@@ -1,0 +1,102 @@
+// E11 — true approximation ratio (extension of E2).
+//
+// E2 measures cost / LP-bound, which over-reports the real ratio because
+// LP <= OPT.  On small instances the exact branch-and-bound solver
+// certifies OPT, so here we report cost / OPT directly, plus the
+// integrality gap OPT / LP of the Section-2 relaxation itself.
+
+#include <iostream>
+
+#include "omn/core/designer.hpp"
+#include "omn/core/exact.hpp"
+#include "omn/topo/akamai.hpp"
+#include "omn/topo/synthetic.hpp"
+#include "omn/util/stats.hpp"
+#include "omn/util/table.hpp"
+
+int main() {
+  using namespace omn;
+  constexpr int kSeeds = 6;
+
+  struct Family {
+    const char* name;
+    int sinks;
+    int reflectors;
+  };
+  const std::vector<Family> families{
+      {"akamai-like small", 6, 4},
+      {"akamai-like medium", 10, 5},
+  };
+
+  util::Table table({"family", "OPT/LP gap mean", "algo cost/OPT mean",
+                     "algo cost/OPT max", "greedy-style wins", "solved"});
+  for (const Family& f : families) {
+    util::RunningStats ip_gap;
+    util::RunningStats ratio;
+    int solved = 0;
+    for (int seed = 1; seed <= kSeeds; ++seed) {
+      auto cfg = topo::global_event_config(f.sinks,
+                                           static_cast<std::uint64_t>(seed));
+      cfg.num_reflectors = f.reflectors;
+      cfg.candidates_per_sink = 4;
+      const auto inst = topo::make_akamai_like(cfg);
+      const auto exact = core::solve_exact(inst);
+      if (!exact.optimal()) continue;
+      core::DesignerConfig dcfg;
+      dcfg.seed = static_cast<std::uint64_t>(seed);
+      dcfg.rounding_attempts = 4;
+      const auto approx = core::OverlayDesigner(dcfg).design(inst);
+      if (!approx.ok()) continue;
+      ++solved;
+      if (approx.lp_objective > 0) {
+        ip_gap.add(exact.objective / approx.lp_objective);
+      }
+      if (exact.objective > 0) {
+        ratio.add(approx.evaluation.total_cost / exact.objective);
+      }
+    }
+    table.row()
+        .cell(f.name)
+        .cell(ip_gap.mean(), 3)
+        .cell(ratio.mean(), 3)
+        .cell(ratio.max(), 3)
+        .cell("-")
+        .cell(std::to_string(solved) + "/" + std::to_string(kSeeds));
+  }
+
+  // Set-cover family: the hardness source of the paper's log n bound.
+  util::RunningStats sc_ratio;
+  util::RunningStats sc_gap;
+  int sc_solved = 0;
+  for (int seed = 1; seed <= kSeeds; ++seed) {
+    const auto sc = topo::make_random_set_cover(
+        10, 6, 0.3, static_cast<std::uint64_t>(seed));
+    const auto exact = core::solve_exact(sc.network);
+    if (!exact.optimal()) continue;
+    core::DesignerConfig dcfg;
+    dcfg.seed = static_cast<std::uint64_t>(seed);
+    dcfg.rounding_attempts = 4;
+    const auto approx = core::OverlayDesigner(dcfg).design(sc.network);
+    if (!approx.ok()) continue;
+    ++sc_solved;
+    if (approx.lp_objective > 0) sc_gap.add(exact.objective / approx.lp_objective);
+    if (exact.objective > 0) {
+      sc_ratio.add(approx.evaluation.total_cost / exact.objective);
+    }
+  }
+  table.row()
+      .cell("random set cover (10 elems)")
+      .cell(sc_gap.mean(), 3)
+      .cell(sc_ratio.mean(), 3)
+      .cell(sc_ratio.max(), 3)
+      .cell("-")
+      .cell(std::to_string(sc_solved) + "/" + std::to_string(kSeeds));
+
+  table.print(std::cout, "E11: true approximation ratio vs certified OPT");
+  std::cout << "\nOPT/LP near 1 means the LP bound used in E2 is tight on\n"
+               "these families; cost/OPT is the algorithm's real ratio\n"
+               "(paper guarantee: O(log n)).  Ratios BELOW 1 are legitimate:\n"
+               "the algorithm is bicriteria — it may deliver only W/4 of the\n"
+               "demand weight, while OPT pays for full coverage.\n";
+  return 0;
+}

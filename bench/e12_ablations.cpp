@@ -1,0 +1,122 @@
+// E12 — ablations of the pipeline's design choices.
+//
+//  (a) the cutting plane (4): the paper keeps it because it is "a useful
+//      cutting plane in the rounding" (Claim 2.1 shows it is redundant for
+//      the IP); we measure its effect on the LP bound, pivot count, and
+//      final design quality;
+//  (b) rounding retries: the w.h.p. guarantees justify rerunning the coin
+//      flips; we measure marginal value of attempts 1 -> 8;
+//  (c) prune_unused: dropping y/z not referenced by any x after the flow
+//      stage is a pure cost win; we quantify it.
+
+#include <iostream>
+
+#include "omn/core/designer.hpp"
+#include "omn/topo/akamai.hpp"
+#include "omn/util/stats.hpp"
+#include "omn/util/table.hpp"
+
+int main() {
+  using namespace omn;
+  constexpr int kSinks = 40;
+  constexpr int kSeeds = 6;
+  // Small multiplier + redundant reflector pool: c ln n stays near 1, so
+  // the z/y coins genuinely flip and the ablations are visible.  (With the
+  // default c = 8 the multiplier saturates and rounding is deterministic —
+  // itself a finding, reported in EXPERIMENTS.md.)
+  constexpr double kC = 0.5;
+  auto make_inst = [](int seed) {
+    auto cfg = topo::global_event_config(kSinks,
+                                         static_cast<std::uint64_t>(seed));
+    cfg.num_reflectors = 24;
+    cfg.candidates_per_sink = 12;
+    return topo::make_akamai_like(cfg);
+  };
+
+  // ---- (a) cutting plane ----------------------------------------------------
+  {
+    util::Table table({"cutting plane (4)", "LP bound mean", "LP pivots mean",
+                       "design cost mean", "min w-ratio worst"});
+    for (bool cut : {true, false}) {
+      util::RunningStats bound;
+      util::RunningStats pivots;
+      util::RunningStats cost;
+      util::RunningStats minw;
+      for (int seed = 1; seed <= kSeeds; ++seed) {
+        const auto inst = make_inst(seed);
+        core::DesignerConfig cfg;
+        cfg.c = kC;
+        cfg.seed = static_cast<std::uint64_t>(seed);
+        cfg.cutting_plane = cut;
+        cfg.rounding_attempts = 3;
+        const auto r = core::OverlayDesigner(cfg).design(inst);
+        if (!r.ok()) continue;
+        bound.add(r.lp_objective);
+        pivots.add(r.lp_iterations);
+        cost.add(r.evaluation.total_cost);
+        minw.add(r.evaluation.min_weight_ratio);
+      }
+      table.row()
+          .cell(cut)
+          .cell(bound.mean(), 2)
+          .cell(pivots.mean(), 0)
+          .cell(cost.mean(), 2)
+          .cell(minw.min(), 3);
+    }
+    table.print(std::cout, "E12a: constraint (4) cutting plane");
+  }
+
+  // ---- (b) rounding attempts ------------------------------------------------
+  {
+    util::Table table({"attempts", "min w-ratio worst", "min w-ratio mean",
+                       "cost mean"});
+    for (int attempts : {1, 2, 4, 8}) {
+      util::RunningStats minw;
+      util::RunningStats cost;
+      for (int seed = 1; seed <= kSeeds; ++seed) {
+        const auto inst = make_inst(seed);
+        core::DesignerConfig cfg;
+        cfg.c = kC;
+        cfg.seed = static_cast<std::uint64_t>(seed);
+        cfg.rounding_attempts = attempts;
+        const auto r = core::OverlayDesigner(cfg).design(inst);
+        if (!r.ok()) continue;
+        minw.add(r.evaluation.min_weight_ratio);
+        cost.add(r.evaluation.total_cost);
+      }
+      table.row()
+          .cell(attempts)
+          .cell(minw.min(), 3)
+          .cell(minw.mean(), 3)
+          .cell(cost.mean(), 2);
+    }
+    table.print(std::cout, "E12b: value of rounding retries");
+  }
+
+  // ---- (c) pruning ------------------------------------------------------------
+  {
+    util::Table table({"prune_unused", "cost mean", "reflectors mean"});
+    for (bool prune : {true, false}) {
+      util::RunningStats cost;
+      util::RunningStats reflectors;
+      for (int seed = 1; seed <= kSeeds; ++seed) {
+        const auto inst = make_inst(seed);
+        core::DesignerConfig cfg;
+        cfg.c = kC;
+        cfg.seed = static_cast<std::uint64_t>(seed);
+        cfg.prune_unused = prune;
+        cfg.rounding_attempts = 3;
+        const auto r = core::OverlayDesigner(cfg).design(inst);
+        if (!r.ok()) continue;
+        cost.add(r.evaluation.total_cost);
+        reflectors.add(r.evaluation.reflectors_built);
+      }
+      table.row().cell(prune).cell(cost.mean(), 2).cell(reflectors.mean(), 1);
+    }
+    table.print(std::cout, "E12c: pruning unused y/z after the flow stage");
+  }
+  std::cout << "\nExpected: (4) tightens the LP bound and improves rounding "
+               "quality;\nretries lift the worst-case weight ratio; pruning "
+               "reduces cost for free.\n";
+  return 0;
+}

@@ -1,0 +1,85 @@
+// E3 — Lemmas 4.3/4.6 + Section 5: after the full rounding pipeline every
+// sink retains at least 1/4 of its demand weight and every reflector's
+// fanout is stretched by at most 4x.  The direct-rounding ablation (the
+// approach the paper rejects in Section 1.6) is run on the same inputs to
+// show why the two-stage pipeline matters.
+
+#include <iostream>
+
+#include "omn/baseline/direct_rounding.hpp"
+#include "omn/core/designer.hpp"
+#include "omn/lp/simplex.hpp"
+#include "omn/topo/akamai.hpp"
+#include "omn/util/stats.hpp"
+#include "omn/util/table.hpp"
+
+int main() {
+  using namespace omn;
+  const std::vector<int> sink_counts{16, 32, 64};
+  constexpr int kSeeds = 8;
+
+  util::Table table({"sinks", "algo", "min w-ratio (worst)", "mean w-ratio",
+                     "worst fanout use", "% within factor-4", "cost/LP"});
+  for (int n : sink_counts) {
+    util::RunningStats min_ratio;
+    util::RunningStats mean_ratio;
+    util::RunningStats fanout;
+    util::RunningStats cost_ratio;
+    util::RunningStats d_fanout;
+    util::RunningStats d_cost_ratio;
+    util::RunningStats d_min_ratio;
+    int within = 0;
+    int total = 0;
+    for (int seed = 1; seed <= kSeeds; ++seed) {
+      const auto inst = topo::make_akamai_like(
+          topo::global_event_config(n, static_cast<std::uint64_t>(seed)));
+      core::DesignerConfig cfg;
+      cfg.seed = static_cast<std::uint64_t>(seed);
+      cfg.rounding_attempts = 3;
+      const auto result = core::OverlayDesigner(cfg).design(inst);
+      if (!result.ok()) continue;
+      ++total;
+      min_ratio.add(result.evaluation.min_weight_ratio);
+      mean_ratio.add(result.evaluation.mean_weight_ratio);
+      fanout.add(result.evaluation.max_fanout_utilization);
+      cost_ratio.add(result.cost_ratio);
+      if (result.evaluation.min_weight_ratio >= 0.25 - 1e-9 &&
+          result.evaluation.max_fanout_utilization <= 4.0 + 1e-9) {
+        ++within;
+      }
+      // Ablation: direct rounding on the same LP solution.
+      const auto d = baseline::direct_rounding_design(
+          inst, core::build_overlay_lp(inst), result.lp_design, cfg.c,
+          cfg.seed);
+      const auto dev = core::evaluate(inst, d);
+      d_fanout.add(dev.max_fanout_utilization);
+      d_min_ratio.add(dev.min_weight_ratio);
+      if (result.lp_objective > 0) {
+        d_cost_ratio.add(dev.total_cost / result.lp_objective);
+      }
+    }
+    table.row()
+        .cell(n)
+        .cell("two-stage (paper)")
+        .cell(min_ratio.min(), 3)
+        .cell(mean_ratio.mean(), 3)
+        .cell(fanout.max(), 2)
+        .cell(100.0 * within / std::max(total, 1), 1)
+        .cell(cost_ratio.mean(), 2);
+    table.row()
+        .cell(n)
+        .cell("direct rounding")
+        .cell(d_min_ratio.min(), 3)
+        .cell("-")
+        .cell(d_fanout.max(), 2)
+        .cell("-")
+        .cell(d_cost_ratio.mean(), 2);
+  }
+  table.print(std::cout,
+              "E3: constraint violations after rounding (8 seeds per size)");
+  std::cout << "\nPaper guarantees for the two-stage pipeline: min w-ratio >= "
+               "0.25,\nfanout use <= 4.0, so '% within factor-4' must be 100.\n"
+               "Direct rounding blows up fanout and cost (Section 1.6's "
+               "rejected approach).\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+// E4 — Section 5.1 running time: "the total running time of our algorithm
+// is the same as solving an LP with O(|S| * |R| * |D|) variables and
+// constraints."
+//
+// google-benchmark harness: we scale the topology (|D| drives |R| in the
+// generator) and time (a) the LP solve alone and (b) the full pipeline.
+// The rounding stages should be a small constant fraction of the LP time,
+// confirming the paper's claim that the LP dominates.
+
+#include <benchmark/benchmark.h>
+
+#include "omn/core/designer.hpp"
+#include "omn/lp/simplex.hpp"
+#include "omn/topo/akamai.hpp"
+
+namespace {
+
+omn::net::OverlayInstance instance_for(int sinks) {
+  return omn::topo::make_akamai_like(
+      omn::topo::global_event_config(sinks, 42));
+}
+
+void BM_LpSolveOnly(benchmark::State& state) {
+  const auto inst = instance_for(static_cast<int>(state.range(0)));
+  const auto lp = omn::core::build_overlay_lp(inst);
+  std::int64_t vars = lp.model.num_variables();
+  for (auto _ : state) {
+    const auto sol = omn::lp::SimplexSolver().solve(lp.model);
+    benchmark::DoNotOptimize(sol.objective);
+    if (!sol.optimal()) state.SkipWithError("LP not optimal");
+  }
+  state.counters["lp_vars"] = static_cast<double>(vars);
+  state.counters["lp_rows"] = static_cast<double>(lp.model.num_rows());
+}
+BENCHMARK(BM_LpSolveOnly)->Arg(8)->Arg(16)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FullPipeline(benchmark::State& state) {
+  const auto inst = instance_for(static_cast<int>(state.range(0)));
+  omn::core::DesignerConfig cfg;
+  cfg.rounding_attempts = 1;
+  const omn::core::OverlayDesigner designer(cfg);
+  double rounding_fraction = 0.0;
+  int runs = 0;
+  for (auto _ : state) {
+    const auto result = designer.design(inst);
+    benchmark::DoNotOptimize(result.evaluation.total_cost);
+    if (!result.ok()) state.SkipWithError("design failed");
+    const double total = result.lp_seconds + result.rounding_seconds;
+    if (total > 0) rounding_fraction += result.rounding_seconds / total;
+    ++runs;
+  }
+  state.counters["rounding_fraction"] =
+      runs > 0 ? rounding_fraction / runs : 0.0;
+}
+BENCHMARK(BM_FullPipeline)->Arg(8)->Arg(16)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RoundingStagesOnly(benchmark::State& state) {
+  const auto inst = instance_for(static_cast<int>(state.range(0)));
+  const auto lp = omn::core::build_overlay_lp(inst);
+  const auto sol = omn::lp::SimplexSolver().solve(lp.model);
+  omn::core::DesignerConfig cfg;
+  cfg.rounding_attempts = 1;
+  const omn::core::OverlayDesigner designer(cfg);
+  for (auto _ : state) {
+    const auto result = designer.design_from_lp(inst, lp, sol);
+    benchmark::DoNotOptimize(result.evaluation.total_cost);
+  }
+}
+BENCHMARK(BM_RoundingStagesOnly)->Arg(8)->Arg(16)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// E7 — Section 6.1: bandwidth on reflectors.
+//
+// Paper claim: replacing (3)/(4) with bandwidth-weighted versions "allows
+// us to model the service by reflectors of different bandwidth streams",
+// and "with small modifications the whole analysis goes through" — i.e.
+// the same factor-4 guarantees hold with B^k-weighted fanout.
+//
+// Workload: a 300 kbps audio stream and a 3 Mbps video stream (0.3 vs 3.0
+// capacity units).  We design with and without the extension and measure
+// the *bandwidth-weighted* fanout utilization of each: ignoring bandwidth
+// overloads reflectors carrying video.
+
+#include <iostream>
+
+#include "omn/core/designer.hpp"
+#include "omn/topo/akamai.hpp"
+#include "omn/util/stats.hpp"
+#include "omn/util/table.hpp"
+
+int main() {
+  using namespace omn;
+  constexpr int kSinks = 40;
+  constexpr int kSeeds = 5;
+
+  util::RunningStats naive_bw_util;     // bandwidth-blind design, bw-weighted
+  util::RunningStats aware_bw_util;     // bandwidth-aware design, bw-weighted
+  util::RunningStats aware_min_ratio;
+  util::RunningStats naive_min_ratio;
+
+  for (int seed = 1; seed <= kSeeds; ++seed) {
+    auto topo_cfg = topo::global_event_config(
+        kSinks, static_cast<std::uint64_t>(seed));
+    topo_cfg.num_sources = 2;
+    auto inst = topo::make_akamai_like(topo_cfg);
+    inst.source(0).bandwidth = 0.3;  // audio
+    inst.source(1).bandwidth = 3.0;  // full-screen video
+
+    core::DesignerConfig naive_cfg;
+    naive_cfg.seed = static_cast<std::uint64_t>(seed);
+    naive_cfg.rounding_attempts = 3;
+    naive_cfg.bandwidth_extension = false;
+    core::DesignerConfig aware_cfg = naive_cfg;
+    aware_cfg.bandwidth_extension = true;
+
+    const auto naive = core::OverlayDesigner(naive_cfg).design(inst);
+    const auto aware = core::OverlayDesigner(aware_cfg).design(inst);
+    if (!naive.ok() || !aware.ok()) continue;
+
+    // Evaluate BOTH with bandwidth weighting to expose the naive overload.
+    const auto naive_ev = core::evaluate(inst, naive.design, true);
+    const auto aware_ev = core::evaluate(inst, aware.design, true);
+    naive_bw_util.add(naive_ev.max_fanout_utilization);
+    aware_bw_util.add(aware_ev.max_fanout_utilization);
+    naive_min_ratio.add(naive_ev.min_weight_ratio);
+    aware_min_ratio.add(aware_ev.min_weight_ratio);
+  }
+
+  util::Table table({"design", "worst bw-weighted fanout use (max)",
+                     "min weight ratio (worst)", "paper bound"});
+  table.row()
+      .cell("bandwidth-blind (3)/(4)")
+      .cell(naive_bw_util.max(), 2)
+      .cell(naive_min_ratio.min(), 3)
+      .cell("none (can overload)");
+  table.row()
+      .cell("bandwidth-aware (3')/(4')")
+      .cell(aware_bw_util.max(), 2)
+      .cell(aware_min_ratio.min(), 3)
+      .cell("<= 4.0 / >= 0.25");
+  table.print(std::cout, "E7: bandwidth extension (0.3 vs 3.0 unit streams)");
+  std::cout << "\nThe aware design must keep bandwidth-weighted utilization "
+               "within the\nfactor-4 envelope while preserving the weight "
+               "guarantee; the blind\ndesign may exceed it on video-heavy "
+               "reflectors.\n";
+  return 0;
+}

@@ -1,0 +1,80 @@
+// E9 — related-work positioning: the paper argues the LP-rounding
+// algorithm is needed because "the greedy approach may not work for
+// multiple commodities, as the coverage no longer increases concavely",
+// while greedy is the natural practical competitor.
+//
+// We compare three designers on identical instances:
+//   - the paper's two-stage LP rounding,
+//   - the capacitated greedy (full coverage, no guarantee on cost),
+//   - the random feasible heuristic (cost floor ceiling).
+// All costs are normalized by the LP lower bound, the only certified
+// yardstick for OPT.
+
+#include <iostream>
+
+#include "omn/baseline/greedy.hpp"
+#include "omn/baseline/random_heuristic.hpp"
+#include "omn/core/designer.hpp"
+#include "omn/topo/akamai.hpp"
+#include "omn/topo/synthetic.hpp"
+#include "omn/util/stats.hpp"
+#include "omn/util/table.hpp"
+
+int main() {
+  using namespace omn;
+  const std::vector<int> sink_counts{16, 32, 64};
+  constexpr int kSeeds = 6;
+
+  util::Table table({"sinks", "designer", "cost/LP mean", "cost/LP max",
+                     "min w-ratio", "wins vs greedy"});
+  for (int n : sink_counts) {
+    util::RunningStats algo_ratio;
+    util::RunningStats greedy_ratio;
+    util::RunningStats random_ratio;
+    util::RunningStats algo_minw;
+    util::RunningStats greedy_minw;
+    int algo_wins = 0;
+    int comparisons = 0;
+    for (int seed = 1; seed <= kSeeds; ++seed) {
+      const auto inst = topo::make_akamai_like(
+          topo::global_event_config(n, static_cast<std::uint64_t>(seed)));
+      core::DesignerConfig cfg;
+      cfg.seed = static_cast<std::uint64_t>(seed);
+      cfg.rounding_attempts = 4;
+      const auto algo = core::OverlayDesigner(cfg).design(inst);
+      if (!algo.ok() || algo.lp_objective <= 0) continue;
+      const auto greedy = baseline::greedy_design(inst);
+      const auto random = baseline::random_design(
+          inst, static_cast<std::uint64_t>(seed) * 31 + 1);
+      const double lp = algo.lp_objective;
+      const auto ge = core::evaluate(inst, greedy.design);
+      const auto re = core::evaluate(inst, random.design);
+      algo_ratio.add(algo.evaluation.total_cost / lp);
+      greedy_ratio.add(ge.total_cost / lp);
+      random_ratio.add(re.total_cost / lp);
+      algo_minw.add(algo.evaluation.min_weight_ratio);
+      greedy_minw.add(ge.min_weight_ratio);
+      ++comparisons;
+      if (algo.evaluation.total_cost < ge.total_cost) ++algo_wins;
+    }
+    table.row()
+        .cell(n).cell("LP rounding (paper)")
+        .cell(algo_ratio.mean(), 2).cell(algo_ratio.max(), 2)
+        .cell(algo_minw.min(), 2)
+        .cell(std::to_string(algo_wins) + "/" + std::to_string(comparisons));
+    table.row()
+        .cell(n).cell("greedy")
+        .cell(greedy_ratio.mean(), 2).cell(greedy_ratio.max(), 2)
+        .cell(greedy_minw.min(), 2).cell("-");
+    table.row()
+        .cell(n).cell("random feasible")
+        .cell(random_ratio.mean(), 2).cell(random_ratio.max(), 2)
+        .cell("-").cell("-");
+  }
+  table.print(std::cout, "E9: LP rounding vs greedy vs random (6 seeds/size)");
+  std::cout << "\nNote: greedy covers the FULL demand (w-ratio >= 1) while the\n"
+               "algorithm guarantees >= 1/4 at lower cost; the fair comparison\n"
+               "is cost at the coverage each method achieves.  'wins' counts\n"
+               "instances where the algorithm's cost is lower outright.\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Quickstart: build a small overlay network by hand, run the SPAA'03
+// design algorithm, and inspect the result.
+//
+//   $ ./examples/quickstart
+//
+// The network: one live stream, three candidate reflectors in two ISPs,
+// four edgeservers with 99% delivery requirements.
+
+#include <cstdio>
+#include <iostream>
+
+#include "omn/core/designer.hpp"
+#include "omn/net/instance.hpp"
+
+int main() {
+  using namespace omn;
+
+  // 1. Describe the network. -------------------------------------------------
+  net::OverlayInstance inst;
+
+  // The encoder feeds one entrypoint; commodity 0 is "the stream".
+  inst.add_source(net::Source{"entrypoint-nyc", 1.0});
+
+  // Three candidate reflectors: build cost, fanout, ISP color.
+  inst.add_reflector(net::Reflector{"refl-chi", 30.0, 3.0, 0});
+  inst.add_reflector(net::Reflector{"refl-lon", 45.0, 3.0, 1});
+  inst.add_reflector(net::Reflector{"refl-sjc", 25.0, 3.0, 0});
+
+  // Entrypoint -> reflector links: (source, reflector, $/stream, loss).
+  inst.add_source_reflector_edge({0, 0, 2.0, 0.010});
+  inst.add_source_reflector_edge({0, 1, 4.0, 0.030});
+  inst.add_source_reflector_edge({0, 2, 2.5, 0.015});
+
+  // Four edgeservers, each demanding the stream at 99% delivery.
+  for (int j = 0; j < 4; ++j) {
+    inst.add_sink(net::Sink{"edge" + std::to_string(j), 0, 0.99});
+  }
+  // Reflector -> edgeserver links: (reflector, sink, $/stream, loss).
+  inst.add_reflector_sink_edge({0, 0, 1.0, 0.020, {}});
+  inst.add_reflector_sink_edge({1, 0, 1.5, 0.040, {}});
+  inst.add_reflector_sink_edge({0, 1, 1.2, 0.030, {}});
+  inst.add_reflector_sink_edge({2, 1, 0.8, 0.015, {}});
+  inst.add_reflector_sink_edge({1, 2, 1.1, 0.025, {}});
+  inst.add_reflector_sink_edge({2, 2, 0.9, 0.035, {}});
+  inst.add_reflector_sink_edge({0, 3, 1.3, 0.020, {}});
+  inst.add_reflector_sink_edge({1, 3, 1.0, 0.030, {}});
+  inst.add_reflector_sink_edge({2, 3, 1.1, 0.025, {}});
+
+  // 2. Run the algorithm. ----------------------------------------------------
+  core::DesignerConfig config;
+  config.seed = 7;
+  config.rounding_attempts = 5;
+  const core::DesignResult result = core::OverlayDesigner(config).design(inst);
+  if (!result.ok()) {
+    std::cerr << "design failed: " << core::to_string(result.status) << "\n";
+    return 1;
+  }
+
+  // 3. Inspect the design. ---------------------------------------------------
+  std::printf("LP lower bound (cost of any design): $%.2f\n",
+              result.lp_objective);
+  std::printf("design cost:                         $%.2f  (%.2fx the bound)\n",
+              result.evaluation.total_cost, result.cost_ratio);
+  std::printf("reflectors built:                    %d of %d\n",
+              result.evaluation.reflectors_built, inst.num_reflectors());
+  for (int i = 0; i < inst.num_reflectors(); ++i) {
+    if (result.design.z[static_cast<std::size_t>(i)]) {
+      std::printf("  - %s (ISP %d, fanout use %.0f%%)\n",
+                  inst.reflector(i).name.c_str(), inst.reflector(i).color,
+                  100.0 * result.evaluation.fanout_utilization
+                              [static_cast<std::size_t>(i)]);
+    }
+  }
+  std::printf("\nper-edgeserver delivery:\n");
+  for (const auto& sink : result.evaluation.sinks) {
+    std::printf("  %s: %d copies, P(delivered) = %.4f (required %.2f)\n",
+                inst.sink(sink.sink).name.c_str(), sink.copies,
+                sink.delivery_probability, sink.threshold);
+  }
+  return 0;
+}

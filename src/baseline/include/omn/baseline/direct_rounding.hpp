@@ -1,0 +1,23 @@
+#pragma once
+// Ablation: the "direct rounding approach" the paper mentions and rejects
+// ("A direct rounding approach is possible, but would lead to a
+// multicriterion logarithmic approximation", Section 1.6).
+//
+// Every LP variable is rounded independently up with probability
+// min(value * c ln n, 1); no GAP stage.  Experiment E9/E3 contrasts its
+// fanout/cost blow-up against the two-stage algorithm.
+
+#include <cstdint>
+
+#include "omn/core/design.hpp"
+#include "omn/core/lp_builder.hpp"
+#include "omn/net/instance.hpp"
+
+namespace omn::baseline {
+
+core::Design direct_rounding_design(const net::OverlayInstance& instance,
+                                    const core::OverlayLp& lp,
+                                    const core::FractionalDesign& fractional,
+                                    double c, std::uint64_t seed);
+
+}  // namespace omn::baseline

@@ -1,0 +1,34 @@
+#pragma once
+// Greedy baseline: the natural extension of the greedy set-cover algorithm
+// (Johnson/Chvatal) to capacitated, costed, redundant coverage.
+//
+// The paper's related-work section explains why this family is the obvious
+// competitor ("The standard greedy approach for the set cover problem can
+// be extended to accommodate capacitated sets...") and why it can fail for
+// multiple commodities (coverage is no longer concave in the chosen
+// reflector set).  Experiment E9 compares it against the LP-rounding
+// algorithm.
+//
+// Move definition: a single (reflector i, sink j) assignment.  Its price is
+// c_ij plus — if not yet paid — c_ki and r_i; its gain is the reduction of
+// sink j's residual demand weight min(w_ij, residual_j).  The algorithm
+// repeatedly takes the move with the best gain/price ratio, respecting
+// fanout, until all residuals reach zero or no feasible move remains.
+
+#include <cstdint>
+
+#include "omn/core/design.hpp"
+#include "omn/net/instance.hpp"
+
+namespace omn::baseline {
+
+struct GreedyResult {
+  core::Design design;
+  /// True when every sink's full demand weight was covered.
+  bool covered_all = true;
+  int moves = 0;
+};
+
+GreedyResult greedy_design(const net::OverlayInstance& instance);
+
+}  // namespace omn::baseline

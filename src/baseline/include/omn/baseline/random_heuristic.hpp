@@ -1,0 +1,21 @@
+#pragma once
+// Random feasible baseline: for every sink, add uniformly random candidate
+// edges until the demand weight is met (fanout permitting).  A floor for
+// comparisons: anything principled must beat it on cost.
+
+#include <cstdint>
+
+#include "omn/core/design.hpp"
+#include "omn/net/instance.hpp"
+
+namespace omn::baseline {
+
+struct RandomHeuristicResult {
+  core::Design design;
+  bool covered_all = true;
+};
+
+RandomHeuristicResult random_design(const net::OverlayInstance& instance,
+                                    std::uint64_t seed);
+
+}  // namespace omn::baseline

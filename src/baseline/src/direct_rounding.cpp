@@ -1,0 +1,37 @@
+#include "omn/baseline/direct_rounding.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "omn/util/rng.hpp"
+
+namespace omn::baseline {
+
+core::Design direct_rounding_design(const net::OverlayInstance& inst,
+                                    const core::OverlayLp& lp,
+                                    const core::FractionalDesign& frac,
+                                    double c, std::uint64_t seed) {
+  util::Rng rng(seed);
+  const double n = std::max(1, inst.num_sinks());
+  const double mult = std::max(c * std::log(n), 1.0);
+
+  core::Design d = core::Design::zeros(inst);
+  for (std::size_t id = 0; id < inst.rd_edges().size(); ++id) {
+    if (lp.x_var[id] < 0) continue;
+    if (rng.bernoulli(std::min(frac.x[id] * mult, 1.0))) d.x[id] = 1;
+  }
+  // Close upward so the design is structurally valid; this pays for y and
+  // z wherever an x was selected (plus independently rounded y/z).
+  for (std::size_t s = 0; s < d.y.size(); ++s) {
+    if (lp.y_var[s] >= 0 && rng.bernoulli(std::min(frac.y[s] * mult, 1.0))) {
+      d.y[s] = 1;
+    }
+  }
+  for (std::size_t i = 0; i < d.z.size(); ++i) {
+    if (rng.bernoulli(std::min(frac.z[i] * mult, 1.0))) d.z[i] = 1;
+  }
+  d.close_upward(inst);
+  return d;
+}
+
+}  // namespace omn::baseline

@@ -1,0 +1,95 @@
+#include "omn/baseline/greedy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace omn::baseline {
+
+GreedyResult greedy_design(const net::OverlayInstance& inst) {
+  inst.validate();
+  GreedyResult out;
+  out.design = core::Design::zeros(inst);
+  core::Design& d = out.design;
+
+  const int R = inst.num_reflectors();
+  const int D = inst.num_sinks();
+
+  // Residual demand weight per sink and fanout headroom per reflector.
+  std::vector<double> residual(static_cast<std::size_t>(D), 0.0);
+  for (int j = 0; j < D; ++j) {
+    residual[static_cast<std::size_t>(j)] = inst.sink_demand_weight(j);
+  }
+  std::vector<double> headroom(static_cast<std::size_t>(R), 0.0);
+  for (int i = 0; i < R; ++i) {
+    headroom[static_cast<std::size_t>(i)] = inst.reflector(i).fanout;
+  }
+
+  // Precompute per rd-edge: weight (clamped to its sink demand) and the
+  // supporting sr edge id (or -1 when the sink's stream cannot reach i).
+  const std::size_t E = inst.rd_edges().size();
+  std::vector<double> weight(E, 0.0);
+  std::vector<int> sr_of(E, -1);
+  for (std::size_t id = 0; id < E; ++id) {
+    const net::ReflectorSinkEdge& e = inst.rd_edges()[id];
+    const int k = inst.sink(e.sink).commodity;
+    const int sr = inst.find_sr_edge(k, e.reflector);
+    sr_of[id] = sr;
+    if (sr < 0) continue;
+    weight[id] = std::min(
+        net::OverlayInstance::path_weight(inst.sr_edge(sr).loss, e.loss),
+        inst.sink_demand_weight(e.sink));
+  }
+
+  for (;;) {
+    // Find the best-ratio feasible move.
+    double best_ratio = 0.0;
+    std::size_t best_edge = E;
+    for (std::size_t id = 0; id < E; ++id) {
+      if (d.x[id] || sr_of[id] < 0) continue;
+      const net::ReflectorSinkEdge& e = inst.rd_edges()[id];
+      const double gain =
+          std::min(weight[id], residual[static_cast<std::size_t>(e.sink)]);
+      if (gain <= 1e-12) continue;
+      if (headroom[static_cast<std::size_t>(e.reflector)] < 1.0) continue;
+      const int k = inst.sink(e.sink).commodity;
+      double price = e.cost;
+      if (!d.y[core::y_index(inst, k, e.reflector)]) {
+        price += inst.sr_edge(sr_of[id]).cost;
+      }
+      if (!d.z[static_cast<std::size_t>(e.reflector)]) {
+        price += inst.reflector(e.reflector).build_cost;
+      }
+      const double ratio =
+          price > 0.0 ? gain / price : std::numeric_limits<double>::infinity();
+      if (ratio > best_ratio) {
+        best_ratio = ratio;
+        best_edge = id;
+      }
+    }
+    if (best_edge == E) break;
+
+    // Apply it.
+    const net::ReflectorSinkEdge& e = inst.rd_edges()[best_edge];
+    const int k = inst.sink(e.sink).commodity;
+    d.x[best_edge] = 1;
+    d.y[core::y_index(inst, k, e.reflector)] = 1;
+    d.z[static_cast<std::size_t>(e.reflector)] = 1;
+    headroom[static_cast<std::size_t>(e.reflector)] -= 1.0;
+    residual[static_cast<std::size_t>(e.sink)] =
+        std::max(0.0, residual[static_cast<std::size_t>(e.sink)] -
+                          weight[best_edge]);
+    ++out.moves;
+  }
+
+  for (double r : residual) {
+    if (r > 1e-9) {
+      out.covered_all = false;
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace omn::baseline

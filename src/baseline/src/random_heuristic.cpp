@@ -1,0 +1,59 @@
+#include "omn/baseline/random_heuristic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "omn/util/rng.hpp"
+
+namespace omn::baseline {
+
+RandomHeuristicResult random_design(const net::OverlayInstance& inst,
+                                    std::uint64_t seed) {
+  inst.validate();
+  util::Rng rng(seed);
+  RandomHeuristicResult out;
+  out.design = core::Design::zeros(inst);
+  core::Design& d = out.design;
+
+  std::vector<double> headroom(static_cast<std::size_t>(inst.num_reflectors()));
+  for (int i = 0; i < inst.num_reflectors(); ++i) {
+    headroom[static_cast<std::size_t>(i)] = inst.reflector(i).fanout;
+  }
+
+  // Random sink order, then random candidate order per sink.
+  std::vector<int> sink_order(static_cast<std::size_t>(inst.num_sinks()));
+  std::iota(sink_order.begin(), sink_order.end(), 0);
+  for (std::size_t a = sink_order.size(); a > 1; --a) {
+    std::swap(sink_order[a - 1], sink_order[rng.uniform_index(a)]);
+  }
+
+  for (int j : sink_order) {
+    double residual = inst.sink_demand_weight(j);
+    std::vector<int> candidates = inst.sink_in(j);
+    for (std::size_t a = candidates.size(); a > 1; --a) {
+      std::swap(candidates[a - 1], candidates[rng.uniform_index(a)]);
+    }
+    const int k = inst.sink(j).commodity;
+    for (int id : candidates) {
+      if (residual <= 1e-12) break;
+      const net::ReflectorSinkEdge& e =
+          inst.rd_edges()[static_cast<std::size_t>(id)];
+      const int sr = inst.find_sr_edge(k, e.reflector);
+      if (sr < 0) continue;
+      if (headroom[static_cast<std::size_t>(e.reflector)] < 1.0) continue;
+      d.x[static_cast<std::size_t>(id)] = 1;
+      d.y[core::y_index(inst, k, e.reflector)] = 1;
+      d.z[static_cast<std::size_t>(e.reflector)] = 1;
+      headroom[static_cast<std::size_t>(e.reflector)] -= 1.0;
+      residual -= std::min(
+          net::OverlayInstance::path_weight(inst.sr_edge(sr).loss, e.loss),
+          inst.sink_demand_weight(j));
+    }
+    if (residual > 1e-9) out.covered_all = false;
+  }
+  return out;
+}
+
+}  // namespace omn::baseline

@@ -1,0 +1,55 @@
+#pragma once
+// Solution representations for the overlay design problem.
+//
+// Index spaces (shared with the LP builder):
+//   z:  one slot per reflector i                        -> built?
+//   y:  one slot per (commodity k, reflector i), flat   -> stream delivered?
+//   x:  one slot per reflector->sink edge id            -> edge serves sink?
+// The commodity of an x slot is implied by its sink (the paper's WLOG:
+// every sink demands exactly one commodity).
+
+#include <cstdint>
+#include <vector>
+
+#include "omn/net/instance.hpp"
+
+namespace omn::core {
+
+/// Flat index of y^k_i.
+inline std::size_t y_index(const net::OverlayInstance& instance, int k, int i) {
+  return static_cast<std::size_t>(k) *
+             static_cast<std::size_t>(instance.num_reflectors()) +
+         static_cast<std::size_t>(i);
+}
+
+/// A 0/1 design (the algorithm's final output).
+struct Design {
+  std::vector<std::uint8_t> z;  // [R]
+  std::vector<std::uint8_t> y;  // [S*R]
+  std::vector<std::uint8_t> x;  // [#rd edges]
+
+  static Design zeros(const net::OverlayInstance& instance);
+
+  /// Total dollar cost: sum r_i z_i + sum c_ki y_ki + sum c_ij x_ij.
+  double cost(const net::OverlayInstance& instance) const;
+
+  /// Forces consistency upward: x=1 implies y=1 implies z=1.
+  void close_upward(const net::OverlayInstance& instance);
+
+  /// Drops y with no supporting x and z with no supporting y (pure cost
+  /// reduction; never affects delivered weight).
+  void prune_unused(const net::OverlayInstance& instance);
+};
+
+/// A fractional design (LP optimum or post-randomized-rounding state).
+struct FractionalDesign {
+  std::vector<double> z;
+  std::vector<double> y;
+  std::vector<double> x;
+
+  static FractionalDesign zeros(const net::OverlayInstance& instance);
+
+  double cost(const net::OverlayInstance& instance) const;
+};
+
+}  // namespace omn::core

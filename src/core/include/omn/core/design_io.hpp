@@ -1,0 +1,32 @@
+#pragma once
+// Text (de)serialization of a Design, so the CLI and operational tooling
+// can persist the output of a design run and re-load it for evaluation,
+// simulation, or failover analysis against the same instance.
+//
+// Format:
+//   omn-design v1
+//   z <R>   <bits...>
+//   y <S*R> <bits...>
+//   x <E>   <bits...>
+
+#include <iosfwd>
+#include <string>
+
+#include "omn/core/design.hpp"
+#include "omn/net/instance.hpp"
+
+namespace omn::core {
+
+void save_design(const Design& design, std::ostream& os);
+/// Loads and validates slot counts against `instance`.
+Design load_design(std::istream& is, const net::OverlayInstance& instance);
+
+std::string design_to_text(const Design& design);
+Design design_from_text(const std::string& text,
+                        const net::OverlayInstance& instance);
+
+void save_design_file(const Design& design, const std::string& path);
+Design load_design_file(const std::string& path,
+                        const net::OverlayInstance& instance);
+
+}  // namespace omn::core

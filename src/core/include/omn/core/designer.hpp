@@ -1,0 +1,109 @@
+#pragma once
+// OverlayDesigner: the end-to-end pipeline of the paper.
+//
+//   LP relaxation (Section 2)  ->  randomized rounding (Section 3)
+//   ->  modified GAP min-cost-flow rounding (Section 5)
+//   [or the color-constrained Srinivasan-Teo rounding (Section 6.5)]
+//   ->  0/1 design + evaluation.
+//
+// The LP optimum is kept as a certified lower bound on the optimal IP
+// cost, so callers can report the measured approximation ratio
+// (cost / LP lower bound <= cost / OPT ratio actually achieved).
+//
+// Because the guarantees of Sections 4-5 hold "with high probability",
+// the designer can retry the randomized stages with fresh seeds and keep
+// the best design (highest min weight ratio, then lowest cost) — the
+// standard practical use of Monte Carlo rounding.
+
+#include <cstdint>
+#include <string>
+
+#include "omn/core/color_rounding.hpp"
+#include "omn/core/design.hpp"
+#include "omn/core/evaluator.hpp"
+#include "omn/core/gap.hpp"
+#include "omn/core/lp_builder.hpp"
+#include "omn/core/rounding.hpp"
+#include "omn/lp/simplex.hpp"
+#include "omn/net/instance.hpp"
+
+namespace omn::core {
+
+struct DesignerConfig {
+  /// The rounding multiplier c (Section 3).
+  double c = 8.0;
+  std::uint64_t seed = 1;
+  /// Number of independent rounding attempts; best design wins.
+  int rounding_attempts = 3;
+  /// Enable the Section 6.4/6.5 color constraints.
+  bool color_constraints = false;
+  /// Enable the Section 6.1 bandwidth extension.
+  bool bandwidth_extension = false;
+  /// Enable the Section 6.3 per-edge capacities.
+  bool rd_capacities = false;
+  /// Enable the Section 6.2 per-reflector stream capacities (constraint
+  /// (8); only a c log n violation guarantee exists, see the paper).
+  bool reflector_stream_capacities = false;
+  /// Drop unused y/z after rounding (cost-only cleanup).
+  bool prune_unused = true;
+  /// Include the paper's cutting plane (4) in the LP.
+  bool cutting_plane = true;
+  lp::SolveOptions lp_options;
+  ColorRoundingOptions color_options;
+  BoxNetworkOptions box_options;
+};
+
+enum class DesignStatus {
+  kOk,
+  kLpInfeasible,     // some sink cannot be served at all
+  kLpIterationLimit, // simplex gave up (raise lp_options.max_iterations)
+};
+
+std::string to_string(DesignStatus status);
+
+struct DesignResult {
+  DesignStatus status = DesignStatus::kOk;
+
+  Design design;
+  Evaluation evaluation;
+
+  /// LP optimum: fractional design and its objective (a lower bound on the
+  /// optimal integral cost).
+  FractionalDesign lp_design;
+  double lp_objective = 0.0;
+  int lp_iterations = 0;
+
+  /// cost(design) / lp_objective (>= 1; the measured approximation ratio).
+  double cost_ratio = 0.0;
+
+  /// Index (0-based) of the winning rounding attempt and total attempts.
+  int winning_attempt = 0;
+  int attempts_made = 0;
+
+  /// Stage timings (seconds).
+  double lp_seconds = 0.0;
+  double rounding_seconds = 0.0;
+
+  bool ok() const { return status == DesignStatus::kOk; }
+};
+
+class OverlayDesigner {
+ public:
+  explicit OverlayDesigner(DesignerConfig config = {}) : config_(config) {}
+
+  /// Runs the full pipeline on `instance`.
+  DesignResult design(const net::OverlayInstance& instance) const;
+
+  /// Reuses a pre-built LP and its solution (for sweeps that vary only the
+  /// rounding configuration, e.g. the c trade-off experiment E8).
+  DesignResult design_from_lp(const net::OverlayInstance& instance,
+                              const OverlayLp& lp,
+                              const lp::Solution& lp_solution) const;
+
+  const DesignerConfig& config() const { return config_; }
+
+ private:
+  DesignerConfig config_;
+};
+
+}  // namespace omn::core

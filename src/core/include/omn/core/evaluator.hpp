@@ -1,0 +1,69 @@
+#pragma once
+// Measures a 0/1 design against the instance: dollar cost, fanout usage,
+// delivered reliability weight per sink (the LP's currency), exact
+// delivery probability (the user's currency; exact because two-hop paths
+// into a sink are independent in a 3-level network, paper Section 1.5),
+// color multiplicities, and structural consistency.
+
+#include <vector>
+
+#include "omn/core/design.hpp"
+#include "omn/net/instance.hpp"
+
+namespace omn::core {
+
+struct SinkEvaluation {
+  int sink = 0;
+  /// W_j (demand weight) and the sum of clamped weights actually delivered.
+  double demand_weight = 0.0;
+  double delivered_weight = 0.0;
+  /// delivered_weight / demand_weight (>= 1 means constraint met;
+  /// >= 0.25 is the paper's factor-4 guarantee).
+  double weight_ratio = 0.0;
+  /// Exact probability that a packet reaches the sink via at least one
+  /// serving path (product formula over independent paths).
+  double delivery_probability = 0.0;
+  /// The sink's required threshold Phi.
+  double threshold = 0.0;
+  /// Number of serving reflectors (copies of the stream received).
+  int copies = 0;
+  /// Copies per ISP color (size = instance.num_colors()).
+  std::vector<int> copies_per_color;
+};
+
+struct Evaluation {
+  double total_cost = 0.0;
+  double reflector_cost = 0.0;
+  double sr_edge_cost = 0.0;
+  double rd_edge_cost = 0.0;
+
+  int reflectors_built = 0;
+  int streams_delivered = 0;  // sum of y
+
+  /// usage_i / F_i per reflector (bandwidth-weighted under extension 6.1)
+  /// and the max over reflectors (<= 1 means no violation; the paper's
+  /// guarantee is <= 4).
+  std::vector<double> fanout_utilization;
+  double max_fanout_utilization = 0.0;
+
+  double min_weight_ratio = 0.0;
+  double mean_weight_ratio = 0.0;
+  int sinks_total = 0;
+  int sinks_meeting_demand = 0;    // ratio >= 1
+  int sinks_meeting_quarter = 0;   // ratio >= 1/4 (paper guarantee)
+  int sinks_unserved = 0;          // zero copies
+
+  /// Max copies of one stream delivered to one sink from a single color
+  /// (extension 6.4 wants <= 1; the ST bound allows a small constant).
+  int max_color_copies = 0;
+
+  /// x <= y <= z held structurally.
+  bool consistent = true;
+
+  std::vector<SinkEvaluation> sinks;
+};
+
+Evaluation evaluate(const net::OverlayInstance& instance, const Design& design,
+                    bool bandwidth_extension = false);
+
+}  // namespace omn::core

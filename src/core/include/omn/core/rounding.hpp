@@ -1,0 +1,48 @@
+#pragma once
+// Section 3: the randomized rounding stage.
+//
+// Given the fractional LP optimum (ẑ, ŷ, x̂) and a preset multiplier c > 1:
+//
+//   [1] ż_i   = min(ẑ_i · c·ln n, 1)
+//   [2] ẏ^k_i = min(ŷ^k_i · c·ln n / ż_i, 1)
+//   [3] z̄_i = 1 with probability ż_i
+//   [4] if z̄_i = 1: ȳ^k_i = 1 with probability ẏ^k_i
+//   [5] if ż_i = ẏ^k_i = 1:        x̄ = x̂            (deterministic)
+//       else if ȳ^k_i = 1:         x̄ = 1/(c·ln n) with probability x̂/ŷ
+//   [6] everything else 0.
+//
+// The output leaves x̄ fractional; Section 5's GAP stage makes it integral.
+// The multiplier is clamped below at 1 so that tiny instances (n = 1, where
+// ln n = 0) still round sensibly.
+
+#include <cstdint>
+
+#include "omn/core/design.hpp"
+#include "omn/core/lp_builder.hpp"
+#include "omn/util/rng.hpp"
+
+namespace omn::core {
+
+struct RoundingOptions {
+  /// The paper's preset multiplier c (theory: c = 64 with delta = 1/4;
+  /// practice: much smaller works; experiment E8 sweeps this).
+  double c = 8.0;
+  std::uint64_t seed = 1;
+};
+
+struct RoundedSolution {
+  /// Integral reflector openings and stream deliveries.
+  std::vector<std::uint8_t> z;
+  std::vector<std::uint8_t> y;
+  /// Fractional x̄ per rd-edge id (values in {0} ∪ {1/(c ln n)} ∪ (0, 1]).
+  std::vector<double> x;
+  /// The multiplier actually used: max(c · ln n, 1).
+  double multiplier = 1.0;
+};
+
+RoundedSolution randomized_round(const net::OverlayInstance& instance,
+                                 const OverlayLp& lp,
+                                 const FractionalDesign& fractional,
+                                 const RoundingOptions& options);
+
+}  // namespace omn::core

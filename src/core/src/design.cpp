@@ -1,0 +1,107 @@
+#include "omn/core/design.hpp"
+
+#include <stdexcept>
+
+namespace omn::core {
+
+namespace {
+
+template <typename T>
+void check_sizes(const net::OverlayInstance& inst, const std::vector<T>& z,
+                 const std::vector<T>& y, const std::vector<T>& x) {
+  if (z.size() != static_cast<std::size_t>(inst.num_reflectors()) ||
+      y.size() != static_cast<std::size_t>(inst.num_sources()) *
+                      static_cast<std::size_t>(inst.num_reflectors()) ||
+      x.size() != inst.rd_edges().size()) {
+    throw std::invalid_argument("Design: size mismatch with instance");
+  }
+}
+
+template <typename T>
+double design_cost(const net::OverlayInstance& inst, const std::vector<T>& z,
+                   const std::vector<T>& y, const std::vector<T>& x) {
+  check_sizes(inst, z, y, x);
+  double total = 0.0;
+  for (int i = 0; i < inst.num_reflectors(); ++i) {
+    total += inst.reflector(i).build_cost *
+             static_cast<double>(z[static_cast<std::size_t>(i)]);
+  }
+  for (const net::SourceReflectorEdge& e : inst.sr_edges()) {
+    total += e.cost * static_cast<double>(
+                          y[y_index(inst, e.source, e.reflector)]);
+  }
+  for (std::size_t id = 0; id < inst.rd_edges().size(); ++id) {
+    total += inst.rd_edges()[id].cost * static_cast<double>(x[id]);
+  }
+  return total;
+}
+
+}  // namespace
+
+Design Design::zeros(const net::OverlayInstance& inst) {
+  Design d;
+  d.z.assign(static_cast<std::size_t>(inst.num_reflectors()), 0);
+  d.y.assign(static_cast<std::size_t>(inst.num_sources()) *
+                 static_cast<std::size_t>(inst.num_reflectors()),
+             0);
+  d.x.assign(inst.rd_edges().size(), 0);
+  return d;
+}
+
+double Design::cost(const net::OverlayInstance& inst) const {
+  return design_cost(inst, z, y, x);
+}
+
+void Design::close_upward(const net::OverlayInstance& inst) {
+  check_sizes(inst, z, y, x);
+  for (std::size_t id = 0; id < inst.rd_edges().size(); ++id) {
+    if (!x[id]) continue;
+    const net::ReflectorSinkEdge& e = inst.rd_edges()[id];
+    const int k = inst.sink(e.sink).commodity;
+    y[y_index(inst, k, e.reflector)] = 1;
+  }
+  for (int k = 0; k < inst.num_sources(); ++k) {
+    for (int i = 0; i < inst.num_reflectors(); ++i) {
+      if (y[y_index(inst, k, i)]) z[static_cast<std::size_t>(i)] = 1;
+    }
+  }
+}
+
+void Design::prune_unused(const net::OverlayInstance& inst) {
+  check_sizes(inst, z, y, x);
+  std::vector<std::uint8_t> y_used(y.size(), 0);
+  for (std::size_t id = 0; id < inst.rd_edges().size(); ++id) {
+    if (!x[id]) continue;
+    const net::ReflectorSinkEdge& e = inst.rd_edges()[id];
+    const int k = inst.sink(e.sink).commodity;
+    y_used[y_index(inst, k, e.reflector)] = 1;
+  }
+  for (std::size_t s = 0; s < y.size(); ++s) {
+    if (!y_used[s]) y[s] = 0;
+  }
+  std::vector<std::uint8_t> z_used(z.size(), 0);
+  for (int k = 0; k < inst.num_sources(); ++k) {
+    for (int i = 0; i < inst.num_reflectors(); ++i) {
+      if (y[y_index(inst, k, i)]) z_used[static_cast<std::size_t>(i)] = 1;
+    }
+  }
+  for (std::size_t i = 0; i < z.size(); ++i) {
+    if (!z_used[i]) z[i] = 0;
+  }
+}
+
+FractionalDesign FractionalDesign::zeros(const net::OverlayInstance& inst) {
+  FractionalDesign d;
+  d.z.assign(static_cast<std::size_t>(inst.num_reflectors()), 0.0);
+  d.y.assign(static_cast<std::size_t>(inst.num_sources()) *
+                 static_cast<std::size_t>(inst.num_reflectors()),
+             0.0);
+  d.x.assign(inst.rd_edges().size(), 0.0);
+  return d;
+}
+
+double FractionalDesign::cost(const net::OverlayInstance& inst) const {
+  return design_cost(inst, z, y, x);
+}
+
+}  // namespace omn::core

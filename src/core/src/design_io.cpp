@@ -1,0 +1,93 @@
+#include "omn/core/design_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace omn::core {
+
+namespace {
+
+constexpr const char* kMagic = "omn-design";
+constexpr const char* kVersion = "v1";
+
+void emit(std::ostream& os, const char* tag,
+          const std::vector<std::uint8_t>& bits) {
+  os << tag << ' ' << bits.size() << ' ';
+  for (std::uint8_t b : bits) os << (b ? '1' : '0');
+  os << '\n';
+}
+
+std::vector<std::uint8_t> read_bits(std::istream& is, const char* tag,
+                                    std::size_t expected) {
+  std::string got;
+  std::size_t count = 0;
+  std::string bits;
+  if (!(is >> got >> count >> bits) || got != tag) {
+    throw std::runtime_error(std::string("load_design: expected section ") +
+                             tag);
+  }
+  if (count != expected || bits.size() != expected) {
+    throw std::runtime_error(
+        std::string("load_design: size mismatch in section ") + tag);
+  }
+  std::vector<std::uint8_t> out(expected, 0);
+  for (std::size_t i = 0; i < expected; ++i) {
+    if (bits[i] != '0' && bits[i] != '1') {
+      throw std::runtime_error("load_design: non-binary digit");
+    }
+    out[i] = bits[i] == '1' ? 1 : 0;
+  }
+  return out;
+}
+
+}  // namespace
+
+void save_design(const Design& design, std::ostream& os) {
+  os << kMagic << ' ' << kVersion << '\n';
+  emit(os, "z", design.z);
+  emit(os, "y", design.y);
+  emit(os, "x", design.x);
+}
+
+Design load_design(std::istream& is, const net::OverlayInstance& inst) {
+  std::string magic;
+  std::string version;
+  if (!(is >> magic >> version) || magic != kMagic || version != kVersion) {
+    throw std::runtime_error("load_design: bad header");
+  }
+  Design d;
+  d.z = read_bits(is, "z", static_cast<std::size_t>(inst.num_reflectors()));
+  d.y = read_bits(is, "y",
+                  static_cast<std::size_t>(inst.num_sources()) *
+                      static_cast<std::size_t>(inst.num_reflectors()));
+  d.x = read_bits(is, "x", inst.rd_edges().size());
+  return d;
+}
+
+std::string design_to_text(const Design& design) {
+  std::ostringstream os;
+  save_design(design, os);
+  return os.str();
+}
+
+Design design_from_text(const std::string& text,
+                        const net::OverlayInstance& inst) {
+  std::istringstream is(text);
+  return load_design(is, inst);
+}
+
+void save_design_file(const Design& design, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("save_design: cannot open " + path);
+  save_design(design, os);
+}
+
+Design load_design_file(const std::string& path,
+                        const net::OverlayInstance& inst) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("load_design: cannot open " + path);
+  return load_design(is, inst);
+}
+
+}  // namespace omn::core

@@ -1,0 +1,130 @@
+#include "omn/core/designer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "omn/util/timer.hpp"
+
+namespace omn::core {
+
+std::string to_string(DesignStatus status) {
+  switch (status) {
+    case DesignStatus::kOk: return "ok";
+    case DesignStatus::kLpInfeasible: return "lp-infeasible";
+    case DesignStatus::kLpIterationLimit: return "lp-iteration-limit";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Attempt quality: higher min weight ratio wins; ties by more sinks
+/// meeting the full demand; then by lower cost.
+bool better(const Evaluation& a, const Evaluation& b) {
+  if (a.min_weight_ratio != b.min_weight_ratio) {
+    return a.min_weight_ratio > b.min_weight_ratio;
+  }
+  if (a.sinks_meeting_demand != b.sinks_meeting_demand) {
+    return a.sinks_meeting_demand > b.sinks_meeting_demand;
+  }
+  return a.total_cost < b.total_cost;
+}
+
+}  // namespace
+
+DesignResult OverlayDesigner::design(const net::OverlayInstance& inst) const {
+  LpBuildOptions lp_options;
+  lp_options.cutting_plane = config_.cutting_plane;
+  lp_options.bandwidth_extension = config_.bandwidth_extension;
+  lp_options.rd_capacities = config_.rd_capacities;
+  lp_options.reflector_stream_capacities = config_.reflector_stream_capacities;
+  lp_options.color_constraints = config_.color_constraints;
+
+  util::Timer lp_timer;
+  const OverlayLp lp = build_overlay_lp(inst, lp_options);
+  const lp::Solution solution =
+      lp::SimplexSolver().solve(lp.model, config_.lp_options);
+
+  DesignResult result = design_from_lp(inst, lp, solution);
+  result.lp_seconds = lp_timer.seconds() - result.rounding_seconds;
+  return result;
+}
+
+DesignResult OverlayDesigner::design_from_lp(
+    const net::OverlayInstance& inst, const OverlayLp& lp,
+    const lp::Solution& lp_solution) const {
+  DesignResult result;
+  result.lp_iterations = lp_solution.iterations;
+
+  switch (lp_solution.status) {
+    case lp::SolveStatus::kOptimal:
+      break;
+    case lp::SolveStatus::kInfeasible:
+      result.status = DesignStatus::kLpInfeasible;
+      return result;
+    default:
+      result.status = DesignStatus::kLpIterationLimit;
+      return result;
+  }
+
+  result.lp_design = lp.extract(inst, lp_solution.x);
+  result.lp_objective = lp_solution.objective;
+
+  util::Timer rounding_timer;
+  bool have_best = false;
+  Design best_design;
+  Evaluation best_eval;
+  int best_attempt = 0;
+
+  const int attempts = std::max(1, config_.rounding_attempts);
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    const std::uint64_t seed =
+        config_.seed + 0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(attempt);
+
+    RoundingOptions ropt;
+    ropt.c = config_.c;
+    ropt.seed = seed;
+    const RoundedSolution rounded = randomized_round(
+        inst, lp, result.lp_design, ropt);
+
+    Design design = Design::zeros(inst);
+    design.z = rounded.z;
+    design.y = rounded.y;
+    if (config_.color_constraints) {
+      ColorRoundingOptions copt = config_.color_options;
+      copt.seed = seed ^ 0xdeadbeefcafef00dull;
+      copt.box_options = config_.box_options;
+      copt.lp_options = config_.lp_options;
+      const ColorRoundResult colored =
+          color_constrained_round(inst, lp, rounded.x, copt);
+      design.x = colored.x;
+    } else {
+      const GapResult gap = gap_round(inst, lp, rounded.x, config_.box_options);
+      design.x = gap.x;
+    }
+    // Selected pairs always had ȳ = 1, but enforce structure defensively
+    // and drop anything the flow stage did not use.
+    design.close_upward(inst);
+    if (config_.prune_unused) design.prune_unused(inst);
+
+    Evaluation eval = evaluate(inst, design, config_.bandwidth_extension);
+    if (!have_best || better(eval, best_eval)) {
+      have_best = true;
+      best_design = std::move(design);
+      best_eval = std::move(eval);
+      best_attempt = attempt;
+    }
+  }
+  result.rounding_seconds = rounding_timer.seconds();
+
+  result.design = std::move(best_design);
+  result.evaluation = std::move(best_eval);
+  result.winning_attempt = best_attempt;
+  result.attempts_made = attempts;
+  result.cost_ratio = result.lp_objective > 0.0
+                          ? result.evaluation.total_cost / result.lp_objective
+                          : 1.0;
+  return result;
+}
+
+}  // namespace omn::core

@@ -1,0 +1,103 @@
+#include "omn/core/evaluator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace omn::core {
+
+Evaluation evaluate(const net::OverlayInstance& inst, const Design& design,
+                    bool bandwidth_extension) {
+  Evaluation ev;
+  const int R = inst.num_reflectors();
+  const int D = inst.num_sinks();
+  const int colors = std::max(1, inst.num_colors());
+
+  // ---- costs ----------------------------------------------------------------
+  for (int i = 0; i < R; ++i) {
+    if (design.z[static_cast<std::size_t>(i)]) {
+      ev.reflector_cost += inst.reflector(i).build_cost;
+      ++ev.reflectors_built;
+    }
+  }
+  for (const net::SourceReflectorEdge& e : inst.sr_edges()) {
+    if (design.y[y_index(inst, e.source, e.reflector)]) {
+      ev.sr_edge_cost += e.cost;
+      ++ev.streams_delivered;
+    }
+  }
+  for (std::size_t id = 0; id < inst.rd_edges().size(); ++id) {
+    if (design.x[id]) ev.rd_edge_cost += inst.rd_edges()[id].cost;
+  }
+  ev.total_cost = ev.reflector_cost + ev.sr_edge_cost + ev.rd_edge_cost;
+
+  // ---- structural consistency and fanout usage -------------------------------
+  ev.fanout_utilization.assign(static_cast<std::size_t>(R), 0.0);
+  for (std::size_t id = 0; id < inst.rd_edges().size(); ++id) {
+    if (!design.x[id]) continue;
+    const net::ReflectorSinkEdge& e = inst.rd_edges()[id];
+    const int k = inst.sink(e.sink).commodity;
+    if (!design.y[y_index(inst, k, e.reflector)]) ev.consistent = false;
+    const double usage = bandwidth_extension ? inst.source(k).bandwidth : 1.0;
+    ev.fanout_utilization[static_cast<std::size_t>(e.reflector)] += usage;
+  }
+  for (const net::SourceReflectorEdge& e : inst.sr_edges()) {
+    if (design.y[y_index(inst, e.source, e.reflector)] &&
+        !design.z[static_cast<std::size_t>(e.reflector)]) {
+      ev.consistent = false;
+    }
+  }
+  for (int i = 0; i < R; ++i) {
+    ev.fanout_utilization[static_cast<std::size_t>(i)] /=
+        inst.reflector(i).fanout;
+    ev.max_fanout_utilization = std::max(
+        ev.max_fanout_utilization,
+        ev.fanout_utilization[static_cast<std::size_t>(i)]);
+  }
+
+  // ---- per-sink reliability ---------------------------------------------------
+  ev.sinks_total = D;
+  ev.sinks.reserve(static_cast<std::size_t>(D));
+  double ratio_sum = 0.0;
+  double ratio_min = D > 0 ? std::numeric_limits<double>::infinity() : 0.0;
+  for (int j = 0; j < D; ++j) {
+    SinkEvaluation se;
+    se.sink = j;
+    se.threshold = inst.sink(j).threshold;
+    se.demand_weight = inst.sink_demand_weight(j);
+    se.copies_per_color.assign(static_cast<std::size_t>(colors), 0);
+    double failure_product = 1.0;
+    const int k = inst.sink(j).commodity;
+    for (int id : inst.sink_in(j)) {
+      if (!design.x[static_cast<std::size_t>(id)]) continue;
+      const net::ReflectorSinkEdge& e = inst.rd_edges()[static_cast<std::size_t>(id)];
+      const int sr = inst.find_sr_edge(k, e.reflector);
+      if (sr < 0) continue;
+      const double w = net::OverlayInstance::path_weight(inst.sr_edge(sr).loss,
+                                                         e.loss);
+      se.delivered_weight += std::min(w, se.demand_weight);
+      failure_product *=
+          net::OverlayInstance::path_failure(inst.sr_edge(sr).loss, e.loss);
+      ++se.copies;
+      ++se.copies_per_color[static_cast<std::size_t>(
+          inst.reflector(e.reflector).color)];
+    }
+    se.delivery_probability = se.copies > 0 ? 1.0 - failure_product : 0.0;
+    se.weight_ratio =
+        se.demand_weight > 0.0 ? se.delivered_weight / se.demand_weight : 1.0;
+
+    ratio_sum += se.weight_ratio;
+    ratio_min = std::min(ratio_min, se.weight_ratio);
+    if (se.weight_ratio >= 1.0 - 1e-9) ++ev.sinks_meeting_demand;
+    if (se.weight_ratio >= 0.25 - 1e-9) ++ev.sinks_meeting_quarter;
+    if (se.copies == 0) ++ev.sinks_unserved;
+    for (int c : se.copies_per_color) {
+      ev.max_color_copies = std::max(ev.max_color_copies, c);
+    }
+    ev.sinks.push_back(std::move(se));
+  }
+  ev.min_weight_ratio = D > 0 ? ratio_min : 0.0;
+  ev.mean_weight_ratio = D > 0 ? ratio_sum / D : 0.0;
+  return ev;
+}
+
+}  // namespace omn::core

@@ -1,0 +1,71 @@
+#include "omn/core/rounding.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace omn::core {
+
+RoundedSolution randomized_round(const net::OverlayInstance& inst,
+                                 const OverlayLp& lp,
+                                 const FractionalDesign& frac,
+                                 const RoundingOptions& options) {
+  // The paper's analysis assumes c > 1; smaller positive values are allowed
+  // so the E8 trade-off experiment can demonstrate *why* (the w.h.p.
+  // guarantee visibly fails once c ln n drops below ~1).
+  if (options.c <= 0.0) {
+    throw std::invalid_argument("randomized_round: c must be positive");
+  }
+  util::Rng rng(options.seed);
+  RoundedSolution out;
+  const int R = inst.num_reflectors();
+  const int S = inst.num_sources();
+  const double n = std::max(1, inst.num_sinks());
+  const double mult = std::max(options.c * std::log(n), 1.0);
+  out.multiplier = mult;
+
+  out.z.assign(static_cast<std::size_t>(R), 0);
+  out.y.assign(static_cast<std::size_t>(S) * static_cast<std::size_t>(R), 0);
+  out.x.assign(inst.rd_edges().size(), 0.0);
+
+  // Steps [1]-[4]: scaled probabilities and coin flips for z and y.
+  std::vector<double> z_dot(static_cast<std::size_t>(R), 0.0);
+  std::vector<double> y_dot(out.y.size(), 0.0);
+  for (int i = 0; i < R; ++i) {
+    const double zi = frac.z[static_cast<std::size_t>(i)];
+    z_dot[static_cast<std::size_t>(i)] = std::min(zi * mult, 1.0);
+    out.z[static_cast<std::size_t>(i)] =
+        rng.bernoulli(z_dot[static_cast<std::size_t>(i)]) ? 1 : 0;
+  }
+  for (const net::SourceReflectorEdge& e : inst.sr_edges()) {
+    const std::size_t slot = y_index(inst, e.source, e.reflector);
+    const double zd = z_dot[static_cast<std::size_t>(e.reflector)];
+    if (zd <= 0.0) continue;  // ẑ = 0 forces ŷ = 0 by constraint (1)
+    y_dot[slot] = std::min(frac.y[slot] * mult / zd, 1.0);
+    if (out.z[static_cast<std::size_t>(e.reflector)]) {
+      out.y[slot] = rng.bernoulli(y_dot[slot]) ? 1 : 0;
+    }
+  }
+
+  // Step [5]: x̄ assignment.
+  for (std::size_t id = 0; id < inst.rd_edges().size(); ++id) {
+    if (lp.x_var[id] < 0) continue;
+    const net::ReflectorSinkEdge& e = inst.rd_edges()[id];
+    const int k = inst.sink(e.sink).commodity;
+    const std::size_t slot = y_index(inst, k, e.reflector);
+    const double x_hat = frac.x[id];
+    if (x_hat <= 0.0) continue;
+    if (z_dot[static_cast<std::size_t>(e.reflector)] >= 1.0 &&
+        y_dot[slot] >= 1.0) {
+      // Both coins were deterministic (z̄ = ȳ = 1): keep x̂ exactly.
+      out.x[id] = x_hat;
+    } else if (out.y[slot]) {
+      const double y_hat = frac.y[slot];
+      const double probability = y_hat > 0.0 ? std::min(x_hat / y_hat, 1.0) : 0.0;
+      if (rng.bernoulli(probability)) out.x[id] = 1.0 / mult;
+    }
+  }
+  return out;
+}
+
+}  // namespace omn::core

@@ -1,0 +1,58 @@
+#pragma once
+// Residual flow network shared by the max-flow and min-cost-flow solvers.
+//
+// The Section-5 "modified GAP" rounding builds a five-level network whose
+// natural capacities are half-integral; callers scale them by 2 so all
+// capacities here are integers (int64).  Costs are real-valued (they carry
+// the LP's dollar costs), so the min-cost solver uses epsilon-aware
+// comparisons.
+
+#include <cstdint>
+#include <vector>
+
+namespace omn::flow {
+
+/// One directed edge plus its residual twin.
+struct Edge {
+  int to = 0;
+  std::int64_t capacity = 0;  // residual capacity
+  double cost = 0.0;
+  int twin = 0;  // index of the reverse edge in edges()
+};
+
+class Graph {
+ public:
+  explicit Graph(int num_nodes);
+
+  /// Adds edge u -> v; returns an edge id usable with flow_on()/edge().
+  /// A reverse edge with zero capacity and negated cost is added
+  /// automatically.
+  int add_edge(int u, int v, std::int64_t capacity, double cost = 0.0);
+
+  int num_nodes() const { return static_cast<int>(adjacency_.size()); }
+  int num_edges() const { return static_cast<int>(edges_.size()) / 2; }
+
+  const Edge& edge(int id) const { return edges_.at(static_cast<std::size_t>(id)); }
+  Edge& edge(int id) { return edges_.at(static_cast<std::size_t>(id)); }
+
+  /// Flow currently routed on forward edge `id` (= residual capacity of its
+  /// twin).
+  std::int64_t flow_on(int id) const;
+
+  /// Original capacity of forward edge `id` (current residual + flow).
+  std::int64_t capacity_of(int id) const;
+
+  const std::vector<int>& out_edges(int node) const {
+    return adjacency_.at(static_cast<std::size_t>(node));
+  }
+
+  /// Resets all flow (restores residual capacities to the originals).
+  void reset_flow();
+
+ private:
+  std::vector<Edge> edges_;
+  std::vector<std::int64_t> original_capacity_;  // per edge id (both dirs)
+  std::vector<std::vector<int>> adjacency_;
+};
+
+}  // namespace omn::flow

@@ -1,0 +1,19 @@
+#pragma once
+// Dinic's blocking-flow max-flow.
+//
+// Used directly by the Figure-3 integrality-gap experiment and as the
+// feasibility engine inside the Section-5 GAP rounding (checking that the
+// box network saturates every sink-box demand).
+
+#include <cstdint>
+
+#include "omn/flow/graph.hpp"
+
+namespace omn::flow {
+
+/// Computes a maximum s-t flow, mutating residual capacities in `graph`.
+/// Returns the flow value.  O(V^2 E) worst case; unit-capacity layered
+/// networks (our use) run in O(E sqrt(V)).
+std::int64_t max_flow(Graph& graph, int source, int sink);
+
+}  // namespace omn::flow

@@ -1,0 +1,47 @@
+#include "omn/flow/graph.hpp"
+
+#include <stdexcept>
+
+namespace omn::flow {
+
+Graph::Graph(int num_nodes) {
+  if (num_nodes < 0) throw std::invalid_argument("Graph: negative node count");
+  adjacency_.resize(static_cast<std::size_t>(num_nodes));
+}
+
+int Graph::add_edge(int u, int v, std::int64_t capacity, double cost) {
+  if (u < 0 || u >= num_nodes() || v < 0 || v >= num_nodes()) {
+    throw std::out_of_range("Graph: endpoint out of range");
+  }
+  if (capacity < 0) throw std::invalid_argument("Graph: negative capacity");
+  const int fwd = static_cast<int>(edges_.size());
+  const int bwd = fwd + 1;
+  edges_.push_back(Edge{v, capacity, cost, bwd});
+  edges_.push_back(Edge{u, 0, -cost, fwd});
+  original_capacity_.push_back(capacity);
+  original_capacity_.push_back(0);
+  adjacency_[static_cast<std::size_t>(u)].push_back(fwd);
+  adjacency_[static_cast<std::size_t>(v)].push_back(bwd);
+  return fwd;
+}
+
+std::int64_t Graph::flow_on(int id) const {
+  const Edge& e = edges_.at(static_cast<std::size_t>(id));
+  return edges_[static_cast<std::size_t>(e.twin)].capacity -
+         original_capacity_[static_cast<std::size_t>(e.twin)];
+}
+
+std::int64_t Graph::capacity_of(int id) const {
+  return original_capacity_.at(static_cast<std::size_t>(id)) == 0 &&
+                 (id & 1) == 1
+             ? 0
+             : original_capacity_[static_cast<std::size_t>(id)];
+}
+
+void Graph::reset_flow() {
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    edges_[i].capacity = original_capacity_[i];
+  }
+}
+
+}  // namespace omn::flow

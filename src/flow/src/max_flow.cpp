@@ -1,0 +1,94 @@
+#include "omn/flow/max_flow.hpp"
+
+#include <limits>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+namespace omn::flow {
+
+namespace {
+
+class Dinic {
+ public:
+  Dinic(Graph& graph, int source, int sink)
+      : graph_(graph), source_(source), sink_(sink),
+        level_(static_cast<std::size_t>(graph.num_nodes())),
+        next_(static_cast<std::size_t>(graph.num_nodes())) {}
+
+  std::int64_t run() {
+    std::int64_t total = 0;
+    while (build_levels()) {
+      std::fill(next_.begin(), next_.end(), 0);
+      for (;;) {
+        const std::int64_t pushed =
+            push(source_, std::numeric_limits<std::int64_t>::max());
+        if (pushed == 0) break;
+        total += pushed;
+      }
+    }
+    return total;
+  }
+
+ private:
+  bool build_levels() {
+    std::fill(level_.begin(), level_.end(), -1);
+    std::queue<int> queue;
+    level_[static_cast<std::size_t>(source_)] = 0;
+    queue.push(source_);
+    while (!queue.empty()) {
+      const int u = queue.front();
+      queue.pop();
+      for (int id : graph_.out_edges(u)) {
+        const Edge& e = graph_.edge(id);
+        if (e.capacity <= 0) continue;
+        if (level_[static_cast<std::size_t>(e.to)] >= 0) continue;
+        level_[static_cast<std::size_t>(e.to)] =
+            level_[static_cast<std::size_t>(u)] + 1;
+        queue.push(e.to);
+      }
+    }
+    return level_[static_cast<std::size_t>(sink_)] >= 0;
+  }
+
+  std::int64_t push(int u, std::int64_t limit) {
+    if (u == sink_) return limit;
+    const auto& out = graph_.out_edges(u);
+    for (auto& i = next_[static_cast<std::size_t>(u)];
+         i < static_cast<int>(out.size()); ++i) {
+      const int id = out[static_cast<std::size_t>(i)];
+      Edge& e = graph_.edge(id);
+      if (e.capacity <= 0) continue;
+      if (level_[static_cast<std::size_t>(e.to)] !=
+          level_[static_cast<std::size_t>(u)] + 1) {
+        continue;
+      }
+      const std::int64_t pushed = push(e.to, std::min(limit, e.capacity));
+      if (pushed > 0) {
+        e.capacity -= pushed;
+        graph_.edge(e.twin).capacity += pushed;
+        return pushed;
+      }
+    }
+    return 0;
+  }
+
+  Graph& graph_;
+  int source_;
+  int sink_;
+  std::vector<int> level_;
+  std::vector<int> next_;
+};
+
+}  // namespace
+
+std::int64_t max_flow(Graph& graph, int source, int sink) {
+  if (source < 0 || source >= graph.num_nodes() || sink < 0 ||
+      sink >= graph.num_nodes()) {
+    throw std::out_of_range("max_flow: node out of range");
+  }
+  if (source == sink) throw std::invalid_argument("max_flow: source == sink");
+  return Dinic(graph, source, sink).run();
+}
+
+}  // namespace omn::flow

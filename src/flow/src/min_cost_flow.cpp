@@ -1,0 +1,135 @@
+#include "omn/flow/min_cost_flow.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+namespace omn::flow {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kEps = 1e-12;
+
+/// Bellman-Ford over residual edges to initialize potentials when negative
+/// costs are present.  Throws on a residual negative cycle.
+std::vector<double> bellman_ford(const Graph& graph, int source) {
+  const auto n = static_cast<std::size_t>(graph.num_nodes());
+  std::vector<double> dist(n, kInf);
+  dist[static_cast<std::size_t>(source)] = 0.0;
+  bool changed = true;
+  for (int pass = 0; pass < graph.num_nodes() && changed; ++pass) {
+    changed = false;
+    for (int u = 0; u < graph.num_nodes(); ++u) {
+      if (dist[static_cast<std::size_t>(u)] == kInf) continue;
+      for (int id : graph.out_edges(u)) {
+        const Edge& e = graph.edge(id);
+        if (e.capacity <= 0) continue;
+        const double cand = dist[static_cast<std::size_t>(u)] + e.cost;
+        if (cand < dist[static_cast<std::size_t>(e.to)] - kEps) {
+          dist[static_cast<std::size_t>(e.to)] = cand;
+          changed = true;
+        }
+      }
+    }
+  }
+  if (changed) {
+    throw std::runtime_error("min_cost_flow: negative residual cycle");
+  }
+  // Unreached nodes keep infinite potential; Dijkstra treats them lazily.
+  return dist;
+}
+
+}  // namespace
+
+MinCostFlowResult min_cost_flow(Graph& graph, int source, int sink,
+                                std::int64_t target) {
+  if (source < 0 || source >= graph.num_nodes() || sink < 0 ||
+      sink >= graph.num_nodes()) {
+    throw std::out_of_range("min_cost_flow: node out of range");
+  }
+  if (source == sink) {
+    throw std::invalid_argument("min_cost_flow: source == sink");
+  }
+
+  bool has_negative = false;
+  for (int u = 0; u < graph.num_nodes() && !has_negative; ++u) {
+    for (int id : graph.out_edges(u)) {
+      const Edge& e = graph.edge(id);
+      if (e.capacity > 0 && e.cost < -kEps) {
+        has_negative = true;
+        break;
+      }
+    }
+  }
+
+  const auto n = static_cast<std::size_t>(graph.num_nodes());
+  std::vector<double> potential(n, 0.0);
+  if (has_negative) potential = bellman_ford(graph, source);
+
+  MinCostFlowResult result;
+  std::vector<double> dist(n);
+  std::vector<int> parent_edge(n);
+
+  while (result.flow < target) {
+    // Dijkstra on reduced costs.
+    std::fill(dist.begin(), dist.end(), kInf);
+    std::fill(parent_edge.begin(), parent_edge.end(), -1);
+    using Item = std::pair<double, int>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+    dist[static_cast<std::size_t>(source)] = 0.0;
+    heap.emplace(0.0, source);
+    while (!heap.empty()) {
+      const auto [du, u] = heap.top();
+      heap.pop();
+      if (du > dist[static_cast<std::size_t>(u)] + kEps) continue;
+      if (potential[static_cast<std::size_t>(u)] == kInf) continue;
+      for (int id : graph.out_edges(u)) {
+        const Edge& e = graph.edge(id);
+        if (e.capacity <= 0) continue;
+        if (potential[static_cast<std::size_t>(e.to)] == kInf) {
+          // Node untouched by Bellman-Ford: give it the tentative label.
+          potential[static_cast<std::size_t>(e.to)] =
+              potential[static_cast<std::size_t>(u)] + e.cost;
+        }
+        const double reduced = e.cost + potential[static_cast<std::size_t>(u)] -
+                               potential[static_cast<std::size_t>(e.to)];
+        const double cand = du + std::max(reduced, 0.0);
+        if (cand < dist[static_cast<std::size_t>(e.to)] - kEps) {
+          dist[static_cast<std::size_t>(e.to)] = cand;
+          parent_edge[static_cast<std::size_t>(e.to)] = id;
+          heap.emplace(cand, e.to);
+        }
+      }
+    }
+    if (parent_edge[static_cast<std::size_t>(sink)] < 0) break;  // saturated
+
+    // Update potentials with the new shortest distances.
+    for (std::size_t v = 0; v < n; ++v) {
+      if (dist[v] < kInf) potential[v] += dist[v];
+    }
+
+    // Find bottleneck along the augmenting path.
+    std::int64_t bottleneck = target - result.flow;
+    for (int v = sink; v != source;) {
+      const Edge& e = graph.edge(parent_edge[static_cast<std::size_t>(v)]);
+      bottleneck = std::min(bottleneck, e.capacity);
+      v = graph.edge(e.twin).to;
+    }
+    // Augment.
+    for (int v = sink; v != source;) {
+      Edge& e = graph.edge(parent_edge[static_cast<std::size_t>(v)]);
+      e.capacity -= bottleneck;
+      graph.edge(e.twin).capacity += bottleneck;
+      result.cost += e.cost * static_cast<double>(bottleneck);
+      v = graph.edge(e.twin).to;
+    }
+    result.flow += bottleneck;
+  }
+  result.reached_target = result.flow >= target;
+  return result;
+}
+
+}  // namespace omn::flow

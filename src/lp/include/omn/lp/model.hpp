@@ -1,0 +1,86 @@
+#pragma once
+// Sparse linear-program model container.
+//
+// The overlay-design LP (paper Section 2) has Theta(|S|*|R|*|D|) variables
+// and constraints; the model stores the constraint matrix as sparse
+// triplets and hands the solver a column-compressed view.
+//
+// Conventions:
+//  - objective is always MINIMIZED;
+//  - every variable has bounds [lower, upper]; upper may be +infinity;
+//  - rows are Ax <= rhs, Ax >= rhs, or Ax == rhs.
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace omn::lp {
+
+inline constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+enum class RowSense { kLessEqual, kGreaterEqual, kEqual };
+
+struct Variable {
+  double lower = 0.0;
+  double upper = kInfinity;
+  double objective = 0.0;
+  std::string name;
+};
+
+struct Row {
+  RowSense sense = RowSense::kLessEqual;
+  double rhs = 0.0;
+  std::string name;
+};
+
+/// One nonzero of the constraint matrix.
+struct Triplet {
+  int row = 0;
+  int var = 0;
+  double value = 0.0;
+};
+
+class Model {
+ public:
+  /// Adds a variable; returns its index.
+  int add_variable(double lower, double upper, double objective,
+                   std::string name = {});
+
+  /// Adds an empty row; returns its index.
+  int add_row(RowSense sense, double rhs, std::string name = {});
+
+  /// Appends a nonzero coefficient.  Duplicate (row, var) entries are
+  /// summed when the matrix is compiled.
+  void add_coefficient(int row, int var, double value);
+
+  int num_variables() const { return static_cast<int>(variables_.size()); }
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+  std::size_t num_nonzeros() const { return triplets_.size(); }
+
+  const Variable& variable(int v) const { return variables_.at(static_cast<std::size_t>(v)); }
+  Variable& variable(int v) { return variables_.at(static_cast<std::size_t>(v)); }
+  const Row& row(int r) const { return rows_.at(static_cast<std::size_t>(r)); }
+  Row& row(int r) { return rows_.at(static_cast<std::size_t>(r)); }
+  const std::vector<Triplet>& triplets() const { return triplets_; }
+
+  /// Computes the activity (A x)_r of every row for a given point.
+  std::vector<double> row_activities(const std::vector<double>& x) const;
+
+  /// Objective value c.x of a given point.
+  double objective_value(const std::vector<double>& x) const;
+
+  /// Maximum violation of bounds and row senses at a point (0 if feasible).
+  double max_infeasibility(const std::vector<double>& x) const;
+
+  /// Validates internal consistency (indices in range, bounds ordered).
+  /// Throws std::invalid_argument on problems.
+  void validate() const;
+
+ private:
+  std::vector<Variable> variables_;
+  std::vector<Row> rows_;
+  std::vector<Triplet> triplets_;
+};
+
+}  // namespace omn::lp

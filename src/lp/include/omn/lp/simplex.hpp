@@ -1,0 +1,73 @@
+#pragma once
+// Two-phase primal simplex for linear programs with bounded variables.
+//
+// This is the LP substrate the paper's algorithm sits on (Section 2: "We
+// solve the LP to optimality and find a fractional solution").  It is a
+// dense-tableau bounded-variable simplex:
+//
+//  - every row is normalized to `Ax <= b` (>= rows are negated; == rows get
+//    a slack fixed to [0,0]) and given a slack in [0, +inf);
+//  - rows whose slack cannot absorb the initial residual get an artificial
+//    variable; phase I minimizes the sum of artificials;
+//  - variables may sit nonbasic at either bound; bound flips are handled
+//    without a basis change (Chvatal ch. 8 upper-bounding technique);
+//  - Dantzig pricing with an automatic switch to Bland's rule after a run
+//    of degenerate pivots, which guarantees termination.
+//
+// The dense tableau keeps the implementation transparent and exactly
+// reproducible; it is comfortably fast for the O(|S||R||D|)-variable
+// overlay LPs used in the paper's regime (thousands of variables).
+
+#include <string>
+#include <vector>
+
+#include "omn/lp/model.hpp"
+
+namespace omn::lp {
+
+enum class SolveStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+};
+
+std::string to_string(SolveStatus status);
+
+struct SolveOptions {
+  /// 0 = automatic: max(20000, 60 * (rows + vars)).
+  int max_iterations = 0;
+  /// Reduced-cost optimality tolerance.
+  double optimality_tol = 1e-9;
+  /// Feasibility tolerance for phase-I residual and final checks.
+  double feasibility_tol = 1e-7;
+  /// Minimum admissible pivot magnitude.
+  double pivot_tol = 1e-8;
+  /// Consecutive degenerate pivots before switching to Bland's rule.
+  int degenerate_switch = 64;
+};
+
+struct Solution {
+  SolveStatus status = SolveStatus::kIterationLimit;
+  /// Objective value c.x (minimization) of the returned point.
+  double objective = 0.0;
+  /// Primal values for the model's structural variables.
+  std::vector<double> x;
+  /// Total simplex pivots (both phases).
+  int iterations = 0;
+  /// Pivots spent in phase I.
+  int phase1_iterations = 0;
+  /// max constraint/bound violation of the returned point, as measured by
+  /// Model::max_infeasibility (diagnostic; ~1e-9 for healthy solves).
+  double max_violation = 0.0;
+
+  bool optimal() const { return status == SolveStatus::kOptimal; }
+};
+
+class SimplexSolver {
+ public:
+  /// Solves `model` (minimization).  The model is not modified.
+  Solution solve(const Model& model, const SolveOptions& options = {}) const;
+};
+
+}  // namespace omn::lp

@@ -1,0 +1,100 @@
+#include "omn/lp/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace omn::lp {
+
+int Model::add_variable(double lower, double upper, double objective,
+                        std::string name) {
+  if (std::isnan(lower) || std::isnan(upper) || lower > upper) {
+    throw std::invalid_argument("Model: bad variable bounds for " + name);
+  }
+  variables_.push_back(Variable{lower, upper, objective, std::move(name)});
+  return static_cast<int>(variables_.size()) - 1;
+}
+
+int Model::add_row(RowSense sense, double rhs, std::string name) {
+  if (std::isnan(rhs)) throw std::invalid_argument("Model: NaN rhs for " + name);
+  rows_.push_back(Row{sense, rhs, std::move(name)});
+  return static_cast<int>(rows_.size()) - 1;
+}
+
+void Model::add_coefficient(int row, int var, double value) {
+  if (row < 0 || row >= num_rows()) throw std::out_of_range("Model: bad row index");
+  if (var < 0 || var >= num_variables()) throw std::out_of_range("Model: bad var index");
+  if (value == 0.0) return;
+  triplets_.push_back(Triplet{row, var, value});
+}
+
+std::vector<double> Model::row_activities(const std::vector<double>& x) const {
+  if (static_cast<int>(x.size()) != num_variables()) {
+    throw std::invalid_argument("Model: point dimension mismatch");
+  }
+  std::vector<double> activity(static_cast<std::size_t>(num_rows()), 0.0);
+  for (const Triplet& t : triplets_) {
+    activity[static_cast<std::size_t>(t.row)] +=
+        t.value * x[static_cast<std::size_t>(t.var)];
+  }
+  return activity;
+}
+
+double Model::objective_value(const std::vector<double>& x) const {
+  if (static_cast<int>(x.size()) != num_variables()) {
+    throw std::invalid_argument("Model: point dimension mismatch");
+  }
+  double obj = 0.0;
+  for (int v = 0; v < num_variables(); ++v) {
+    obj += variables_[static_cast<std::size_t>(v)].objective *
+           x[static_cast<std::size_t>(v)];
+  }
+  return obj;
+}
+
+double Model::max_infeasibility(const std::vector<double>& x) const {
+  double worst = 0.0;
+  for (int v = 0; v < num_variables(); ++v) {
+    const Variable& var = variables_[static_cast<std::size_t>(v)];
+    const double value = x[static_cast<std::size_t>(v)];
+    worst = std::max(worst, var.lower - value);
+    if (std::isfinite(var.upper)) worst = std::max(worst, value - var.upper);
+  }
+  const std::vector<double> activity = row_activities(x);
+  for (int r = 0; r < num_rows(); ++r) {
+    const Row& row = rows_[static_cast<std::size_t>(r)];
+    const double a = activity[static_cast<std::size_t>(r)];
+    switch (row.sense) {
+      case RowSense::kLessEqual:
+        worst = std::max(worst, a - row.rhs);
+        break;
+      case RowSense::kGreaterEqual:
+        worst = std::max(worst, row.rhs - a);
+        break;
+      case RowSense::kEqual:
+        worst = std::max(worst, std::abs(a - row.rhs));
+        break;
+    }
+  }
+  return worst;
+}
+
+void Model::validate() const {
+  for (const Triplet& t : triplets_) {
+    if (t.row < 0 || t.row >= num_rows() || t.var < 0 ||
+        t.var >= num_variables()) {
+      throw std::invalid_argument("Model: triplet index out of range");
+    }
+    if (!std::isfinite(t.value)) {
+      throw std::invalid_argument("Model: non-finite coefficient");
+    }
+  }
+  for (const Variable& v : variables_) {
+    if (v.lower > v.upper) throw std::invalid_argument("Model: inverted bounds");
+    if (!std::isfinite(v.lower)) {
+      throw std::invalid_argument("Model: lower bound must be finite");
+    }
+  }
+}
+
+}  // namespace omn::lp

@@ -1,0 +1,513 @@
+#include "omn/lp/simplex.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+
+namespace omn::lp {
+
+std::string to_string(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::kOptimal: return "optimal";
+    case SolveStatus::kInfeasible: return "infeasible";
+    case SolveStatus::kUnbounded: return "unbounded";
+    case SolveStatus::kIterationLimit: return "iteration-limit";
+  }
+  return "unknown";
+}
+
+namespace {
+
+enum VarState : std::int8_t { kAtLower = 0, kAtUpper = 1, kBasic = 2 };
+
+/// Working state of one solve.  Column layout: [0, n) structural,
+/// [n, n + m) slacks, [n + m, N) artificials.
+class Tableau {
+ public:
+  Tableau(const Model& model, const SolveOptions& opts)
+      : model_(model), opts_(opts) {
+    build();
+  }
+
+  Solution run() {
+    Solution out;
+    const int iter_limit =
+        opts_.max_iterations > 0
+            ? opts_.max_iterations
+            : std::max(20000, 60 * (m_ + n_));
+
+    if (num_artificials_ > 0) {
+      set_phase1_costs();
+      const SolveStatus s1 = iterate(iter_limit, /*phase1=*/true);
+      out.phase1_iterations = iterations_;
+      if (s1 == SolveStatus::kIterationLimit) {
+        out.status = s1;
+        finalize(out);
+        return out;
+      }
+      // Phase I objective = sum of artificial values.
+      if (phase_objective() > opts_.feasibility_tol * scale_) {
+        out.status = SolveStatus::kInfeasible;
+        finalize(out);
+        return out;
+      }
+      // Freeze artificials at zero for phase II.
+      for (int j = n_ + m_; j < total_; ++j) upper_[j] = 0.0;
+    }
+    set_phase2_costs();
+    out.status = iterate(iter_limit, /*phase1=*/false);
+    finalize(out);
+    return out;
+  }
+
+ private:
+  // ---- setup -------------------------------------------------------------
+
+  void build() {
+    model_.validate();
+    n_ = model_.num_variables();
+    m_ = model_.num_rows();
+
+    // Normalized rows: every row becomes a.x <= rhs; == rows keep their
+    // orientation but get a [0,0] slack, making them equalities.
+    row_rhs_.assign(m_, 0.0);
+    std::vector<double> sign(m_, 1.0);
+    for (int r = 0; r < m_; ++r) {
+      const Row& row = model_.row(r);
+      sign[r] = row.sense == RowSense::kGreaterEqual ? -1.0 : 1.0;
+      row_rhs_[r] = sign[r] * row.rhs;
+    }
+
+    // Column-compressed structural matrix (duplicates summed via map pass).
+    std::vector<std::vector<std::pair<int, double>>> cols(n_);
+    for (const Triplet& t : model_.triplets()) {
+      cols[static_cast<std::size_t>(t.var)].emplace_back(t.row,
+                                                         sign[t.row] * t.value);
+    }
+    col_ptr_.assign(n_ + 1, 0);
+    for (int j = 0; j < n_; ++j) {
+      auto& entries = cols[static_cast<std::size_t>(j)];
+      std::sort(entries.begin(), entries.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      // Merge duplicates.
+      std::size_t out = 0;
+      for (std::size_t k = 0; k < entries.size(); ++k) {
+        if (out > 0 && entries[out - 1].first == entries[k].first) {
+          entries[out - 1].second += entries[k].second;
+        } else {
+          entries[out++] = entries[k];
+        }
+      }
+      entries.resize(out);
+      col_ptr_[j + 1] = col_ptr_[j] + static_cast<int>(out);
+    }
+    col_row_.resize(static_cast<std::size_t>(col_ptr_[n_]));
+    col_val_.resize(static_cast<std::size_t>(col_ptr_[n_]));
+    for (int j = 0; j < n_; ++j) {
+      int at = col_ptr_[j];
+      for (const auto& [r, v] : cols[static_cast<std::size_t>(j)]) {
+        col_row_[static_cast<std::size_t>(at)] = r;
+        col_val_[static_cast<std::size_t>(at)] = v;
+        ++at;
+      }
+    }
+
+    // Bounds and initial nonbasic states.
+    lower_.assign(static_cast<std::size_t>(n_ + 2 * m_), 0.0);
+    upper_.assign(static_cast<std::size_t>(n_ + 2 * m_), kInfinity);
+    state_.assign(static_cast<std::size_t>(n_ + 2 * m_), kAtLower);
+    for (int j = 0; j < n_; ++j) {
+      const Variable& v = model_.variable(j);
+      lower_[static_cast<std::size_t>(j)] = v.lower;
+      upper_[static_cast<std::size_t>(j)] = v.upper;
+    }
+    for (int r = 0; r < m_; ++r) {
+      const int js = n_ + r;
+      lower_[static_cast<std::size_t>(js)] = 0.0;
+      upper_[static_cast<std::size_t>(js)] =
+          model_.row(r).sense == RowSense::kEqual ? 0.0 : kInfinity;
+    }
+
+    // Residuals at the all-at-lower-bound point.
+    std::vector<double> residual = row_rhs_;
+    for (int j = 0; j < n_; ++j) {
+      const double xj = lower_[static_cast<std::size_t>(j)];
+      if (xj == 0.0) continue;
+      for (int k = col_ptr_[j]; k < col_ptr_[j + 1]; ++k) {
+        residual[static_cast<std::size_t>(col_row_[static_cast<std::size_t>(k)])] -=
+            col_val_[static_cast<std::size_t>(k)] * xj;
+      }
+    }
+    scale_ = 1.0;
+    for (double b : row_rhs_) scale_ += std::abs(b);
+
+    // Decide basis per row: slack if it can absorb the residual, else an
+    // artificial with coefficient sign matching the residual.
+    basis_.assign(static_cast<std::size_t>(m_), -1);
+    row_scale_.assign(static_cast<std::size_t>(m_), 1.0);
+    std::vector<double> art_beta;
+    art_rows_.clear();
+    for (int r = 0; r < m_; ++r) {
+      const bool eq = model_.row(r).sense == RowSense::kEqual;
+      const double res = residual[static_cast<std::size_t>(r)];
+      const bool slack_ok = eq ? res == 0.0 : res >= 0.0;
+      if (slack_ok) {
+        basis_[static_cast<std::size_t>(r)] = n_ + r;
+      } else {
+        row_scale_[static_cast<std::size_t>(r)] = res >= 0.0 ? 1.0 : -1.0;
+        art_rows_.push_back(r);
+        art_beta.push_back(std::abs(res));
+      }
+    }
+    num_artificials_ = static_cast<int>(art_rows_.size());
+    total_ = n_ + m_ + num_artificials_;
+    lower_.resize(static_cast<std::size_t>(total_), 0.0);
+    upper_.resize(static_cast<std::size_t>(total_), kInfinity);
+    state_.resize(static_cast<std::size_t>(total_), kAtLower);
+
+    // Dense tableau T = B^-1 [A | I | A_art]; since the initial basis is
+    // (signed) unit columns, T row r is the normalized row scaled by
+    // row_scale_[r].
+    tab_.assign(static_cast<std::size_t>(m_) * static_cast<std::size_t>(total_),
+                0.0);
+    for (int j = 0; j < n_; ++j) {
+      for (int k = col_ptr_[j]; k < col_ptr_[j + 1]; ++k) {
+        const int r = col_row_[static_cast<std::size_t>(k)];
+        at(r, j) = row_scale_[static_cast<std::size_t>(r)] *
+                   col_val_[static_cast<std::size_t>(k)];
+      }
+    }
+    for (int r = 0; r < m_; ++r) {
+      at(r, n_ + r) = row_scale_[static_cast<std::size_t>(r)];  // slack column
+    }
+    for (int a = 0; a < num_artificials_; ++a) {
+      const int r = art_rows_[static_cast<std::size_t>(a)];
+      // Artificial coefficient is row_scale_[r]; scaled by B^-1 it is +1.
+      at(r, n_ + m_ + a) = 1.0;
+    }
+
+    // Basic values.
+    beta_.assign(static_cast<std::size_t>(m_), 0.0);
+    for (int r = 0; r < m_; ++r) {
+      if (basis_[static_cast<std::size_t>(r)] >= 0) {
+        beta_[static_cast<std::size_t>(r)] = residual[static_cast<std::size_t>(r)];
+      }
+    }
+    for (int a = 0; a < num_artificials_; ++a) {
+      const int r = art_rows_[static_cast<std::size_t>(a)];
+      basis_[static_cast<std::size_t>(r)] = n_ + m_ + a;
+      beta_[static_cast<std::size_t>(r)] = art_beta[static_cast<std::size_t>(a)];
+      state_[static_cast<std::size_t>(n_ + m_ + a)] = kBasic;
+    }
+    for (int r = 0; r < m_; ++r) {
+      state_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(r)])] =
+          kBasic;
+    }
+
+    cost_.assign(static_cast<std::size_t>(total_), 0.0);
+    d_.assign(static_cast<std::size_t>(total_), 0.0);
+  }
+
+  double& at(int r, int j) {
+    return tab_[static_cast<std::size_t>(r) * static_cast<std::size_t>(total_) +
+                static_cast<std::size_t>(j)];
+  }
+  double at(int r, int j) const {
+    return tab_[static_cast<std::size_t>(r) * static_cast<std::size_t>(total_) +
+                static_cast<std::size_t>(j)];
+  }
+
+  void set_phase1_costs() {
+    std::fill(cost_.begin(), cost_.end(), 0.0);
+    for (int a = 0; a < num_artificials_; ++a) {
+      cost_[static_cast<std::size_t>(n_ + m_ + a)] = 1.0;
+    }
+    recompute_reduced_costs();
+  }
+
+  void set_phase2_costs() {
+    std::fill(cost_.begin(), cost_.end(), 0.0);
+    for (int j = 0; j < n_; ++j) {
+      cost_[static_cast<std::size_t>(j)] = model_.variable(j).objective;
+    }
+    recompute_reduced_costs();
+  }
+
+  void recompute_reduced_costs() {
+    // d = c - c_B^T T, computed row-wise over basic rows with nonzero cost.
+    std::copy(cost_.begin(), cost_.end(), d_.begin());
+    for (int r = 0; r < m_; ++r) {
+      const double cb = cost_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(r)])];
+      if (cb == 0.0) continue;
+      const double* row = &tab_[static_cast<std::size_t>(r) *
+                                static_cast<std::size_t>(total_)];
+      for (int j = 0; j < total_; ++j) d_[static_cast<std::size_t>(j)] -= cb * row[j];
+    }
+    for (int r = 0; r < m_; ++r) {
+      d_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(r)])] = 0.0;
+    }
+  }
+
+  double phase_objective() const {
+    double z = 0.0;
+    for (int j = 0; j < total_; ++j) {
+      if (cost_[static_cast<std::size_t>(j)] == 0.0) continue;
+      z += cost_[static_cast<std::size_t>(j)] * value_of(j);
+    }
+    return z;
+  }
+
+  double value_of(int j) const {
+    switch (state_[static_cast<std::size_t>(j)]) {
+      case kAtLower: return lower_[static_cast<std::size_t>(j)];
+      case kAtUpper: return upper_[static_cast<std::size_t>(j)];
+      default: break;
+    }
+    for (int r = 0; r < m_; ++r) {
+      if (basis_[static_cast<std::size_t>(r)] == j) {
+        return beta_[static_cast<std::size_t>(r)];
+      }
+    }
+    return 0.0;  // unreachable for consistent state
+  }
+
+  // ---- main loop ---------------------------------------------------------
+
+  SolveStatus iterate(int iter_limit, bool phase1) {
+    std::vector<double> column(static_cast<std::size_t>(m_));
+    int degenerate_streak = 0;
+    bool bland = false;
+
+    while (iterations_ < iter_limit) {
+      const int q = choose_entering(bland, phase1);
+      if (q < 0) return SolveStatus::kOptimal;
+
+      // Direction: +1 when increasing from the lower bound.
+      const double sigma = state_[static_cast<std::size_t>(q)] == kAtLower ? 1.0 : -1.0;
+      for (int r = 0; r < m_; ++r) column[static_cast<std::size_t>(r)] = at(r, q);
+
+      // Ratio test.
+      double best_t = upper_[static_cast<std::size_t>(q)] -
+                      lower_[static_cast<std::size_t>(q)];  // bound-flip range
+      int pivot_row = -1;
+      bool leave_at_lower = true;
+      double pivot_abs = 0.0;
+      for (int r = 0; r < m_; ++r) {
+        const double a = column[static_cast<std::size_t>(r)];
+        if (std::abs(a) <= opts_.pivot_tol) continue;
+        const int b = basis_[static_cast<std::size_t>(r)];
+        const double delta = sigma * a;  // basic value moves by -delta * t
+        double t;
+        bool hits_lower;
+        if (delta > 0.0) {
+          t = (beta_[static_cast<std::size_t>(r)] -
+               lower_[static_cast<std::size_t>(b)]) / delta;
+          hits_lower = true;
+        } else {
+          const double ub = upper_[static_cast<std::size_t>(b)];
+          if (!std::isfinite(ub)) continue;
+          t = (ub - beta_[static_cast<std::size_t>(r)]) / (-delta);
+          hits_lower = false;
+        }
+        t = std::max(t, 0.0);
+        const bool strictly_better = t < best_t - 1e-12;
+        const bool tie = !strictly_better && t < best_t + 1e-12;
+        const bool prefer = bland
+                                ? (strictly_better ||
+                                   (tie && pivot_row >= 0 &&
+                                    b < basis_[static_cast<std::size_t>(pivot_row)]))
+                                : (strictly_better ||
+                                   (tie && std::abs(a) > pivot_abs));
+        if (prefer) {
+          best_t = std::min(best_t, t);
+          pivot_row = r;
+          leave_at_lower = hits_lower;
+          pivot_abs = std::abs(a);
+        }
+      }
+
+      if (!std::isfinite(best_t) && pivot_row < 0) {
+        // Phase I is bounded below by zero, so this indicates phase II.
+        return SolveStatus::kUnbounded;
+      }
+
+      ++iterations_;
+      if (pivot_row < 0) {
+        // Bound flip: the entering variable traverses to its other bound.
+        const double range = best_t;
+        for (int r = 0; r < m_; ++r) {
+          beta_[static_cast<std::size_t>(r)] -=
+              sigma * range * column[static_cast<std::size_t>(r)];
+        }
+        state_[static_cast<std::size_t>(q)] =
+            state_[static_cast<std::size_t>(q)] == kAtLower ? kAtUpper : kAtLower;
+        degenerate_streak = 0;
+        bland = false;
+        continue;
+      }
+
+      if (best_t <= 1e-12) {
+        if (++degenerate_streak >= opts_.degenerate_switch) bland = true;
+      } else {
+        degenerate_streak = 0;
+        bland = false;
+      }
+
+      pivot(pivot_row, q, sigma, best_t, leave_at_lower, column);
+    }
+    return SolveStatus::kIterationLimit;
+  }
+
+  int choose_entering(bool bland, bool phase1) const {
+    // In phase II artificials are frozen at zero and never re-enter.
+    const int limit = phase1 ? total_ : n_ + m_;
+    int best = -1;
+    double best_score = opts_.optimality_tol;
+    for (int j = 0; j < limit; ++j) {
+      const auto s = state_[static_cast<std::size_t>(j)];
+      if (s == kBasic) continue;
+      if (upper_[static_cast<std::size_t>(j)] -
+              lower_[static_cast<std::size_t>(j)] <= 0.0) {
+        continue;  // fixed variable can never improve
+      }
+      const double dj = d_[static_cast<std::size_t>(j)];
+      const double score = s == kAtLower ? -dj : dj;
+      if (score <= best_score) continue;
+      if (bland) return j;  // first eligible index
+      best_score = score;
+      best = j;
+    }
+    return best;
+  }
+
+  void pivot(int r, int q, double sigma, double t, bool leave_at_lower,
+             const std::vector<double>& column) {
+    const int leaving = basis_[static_cast<std::size_t>(r)];
+    const double entering_value =
+        (sigma > 0.0 ? lower_[static_cast<std::size_t>(q)]
+                     : upper_[static_cast<std::size_t>(q)]) +
+        sigma * t;
+
+    for (int i = 0; i < m_; ++i) {
+      if (i == r) continue;
+      beta_[static_cast<std::size_t>(i)] -=
+          sigma * t * column[static_cast<std::size_t>(i)];
+    }
+    beta_[static_cast<std::size_t>(r)] = entering_value;
+
+    // Eliminate column q from all rows and the cost row.
+    const double inv = 1.0 / column[static_cast<std::size_t>(r)];
+    double* prow = &tab_[static_cast<std::size_t>(r) *
+                         static_cast<std::size_t>(total_)];
+    for (int j = 0; j < total_; ++j) prow[j] *= inv;
+    prow[q] = 1.0;
+    for (int i = 0; i < m_; ++i) {
+      if (i == r) continue;
+      // prow is already normalized, so the elimination factor is the raw
+      // column entry.
+      const double f = column[static_cast<std::size_t>(i)];
+      if (f == 0.0) continue;
+      double* row = &tab_[static_cast<std::size_t>(i) *
+                          static_cast<std::size_t>(total_)];
+      for (int j = 0; j < total_; ++j) row[j] -= f * prow[j];
+      row[q] = 0.0;
+    }
+    const double dq = d_[static_cast<std::size_t>(q)];
+    if (dq != 0.0) {
+      for (int j = 0; j < total_; ++j) d_[static_cast<std::size_t>(j)] -= dq * prow[j];
+    }
+    d_[static_cast<std::size_t>(q)] = 0.0;
+
+    basis_[static_cast<std::size_t>(r)] = q;
+    state_[static_cast<std::size_t>(q)] = kBasic;
+    state_[static_cast<std::size_t>(leaving)] = leave_at_lower ? kAtLower : kAtUpper;
+  }
+
+  // ---- extraction ----------------------------------------------------------
+
+  void finalize(Solution& out) const {
+    out.iterations = iterations_;
+    out.x.assign(static_cast<std::size_t>(n_), 0.0);
+    std::vector<double> value(static_cast<std::size_t>(total_), 0.0);
+    for (int j = 0; j < total_; ++j) {
+      if (state_[static_cast<std::size_t>(j)] == kAtLower) {
+        value[static_cast<std::size_t>(j)] = lower_[static_cast<std::size_t>(j)];
+      } else if (state_[static_cast<std::size_t>(j)] == kAtUpper) {
+        value[static_cast<std::size_t>(j)] = upper_[static_cast<std::size_t>(j)];
+      }
+    }
+    for (int r = 0; r < m_; ++r) {
+      value[static_cast<std::size_t>(basis_[static_cast<std::size_t>(r)])] =
+          beta_[static_cast<std::size_t>(r)];
+    }
+    for (int j = 0; j < n_; ++j) {
+      // Clamp tiny numerical drift back into the variable's box.
+      double v = value[static_cast<std::size_t>(j)];
+      v = std::max(v, lower_[static_cast<std::size_t>(j)]);
+      if (std::isfinite(upper_[static_cast<std::size_t>(j)])) {
+        v = std::min(v, upper_[static_cast<std::size_t>(j)]);
+      }
+      out.x[static_cast<std::size_t>(j)] = v;
+    }
+    out.objective = model_.objective_value(out.x);
+    out.max_violation = model_.max_infeasibility(out.x);
+  }
+
+  const Model& model_;
+  SolveOptions opts_;
+
+  int n_ = 0;            // structural variables
+  int m_ = 0;            // rows
+  int total_ = 0;        // structural + slack + artificial columns
+  int num_artificials_ = 0;
+  double scale_ = 1.0;   // 1 + |b|_1, for relative feasibility checks
+
+  std::vector<int> col_ptr_;
+  std::vector<int> col_row_;
+  std::vector<double> col_val_;
+  std::vector<double> row_rhs_;
+  std::vector<double> row_scale_;
+  std::vector<int> art_rows_;
+
+  std::vector<double> lower_, upper_;
+  std::vector<std::int8_t> state_;
+  std::vector<int> basis_;
+  std::vector<double> tab_;
+  std::vector<double> beta_;
+  std::vector<double> cost_;
+  std::vector<double> d_;
+
+  int iterations_ = 0;
+};
+
+}  // namespace
+
+Solution SimplexSolver::solve(const Model& model,
+                              const SolveOptions& options) const {
+  if (model.num_rows() == 0) {
+    // Pure box problem: each variable sits at the bound favoured by its
+    // objective coefficient.
+    Solution out;
+    out.status = SolveStatus::kOptimal;
+    out.x.resize(static_cast<std::size_t>(model.num_variables()));
+    for (int j = 0; j < model.num_variables(); ++j) {
+      const Variable& v = model.variable(j);
+      if (v.objective >= 0.0) {
+        out.x[static_cast<std::size_t>(j)] = v.lower;
+      } else if (std::isfinite(v.upper)) {
+        out.x[static_cast<std::size_t>(j)] = v.upper;
+      } else {
+        out.status = SolveStatus::kUnbounded;
+        out.x[static_cast<std::size_t>(j)] = v.lower;
+      }
+    }
+    out.objective = model.objective_value(out.x);
+    return out;
+  }
+  Tableau tableau(model, options);
+  return tableau.run();
+}
+
+}  // namespace omn::lp

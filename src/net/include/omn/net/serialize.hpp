@@ -1,0 +1,35 @@
+#pragma once
+// Plain-text (de)serialization of OverlayInstance.
+//
+// Format (version header then one section per entity; names are
+// whitespace-free tokens):
+//
+//   omn-instance v1
+//   sources <n>
+//     <name> <bandwidth>
+//   reflectors <n>
+//     <name> <build_cost> <fanout> <color>
+//   sinks <n>
+//     <name> <commodity> <threshold>
+//   sr_edges <n>
+//     <source> <reflector> <cost> <loss>
+//   rd_edges <n>
+//     <reflector> <sink> <cost> <loss> <capacity|inf>
+
+#include <iosfwd>
+#include <string>
+
+#include "omn/net/instance.hpp"
+
+namespace omn::net {
+
+void save(const OverlayInstance& instance, std::ostream& os);
+OverlayInstance load(std::istream& is);
+
+std::string to_text(const OverlayInstance& instance);
+OverlayInstance from_text(const std::string& text);
+
+void save_file(const OverlayInstance& instance, const std::string& path);
+OverlayInstance load_file(const std::string& path);
+
+}  // namespace omn::net

@@ -1,0 +1,180 @@
+#include "omn/net/serialize.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace omn::net {
+
+namespace {
+
+constexpr const char* kMagic = "omn-instance";
+// v1: no delays; v2: appends delay_ms to each edge line.  The loader
+// accepts both (v1 edges get delay 0).
+constexpr const char* kVersionV1 = "v1";
+constexpr const char* kVersion = "v2";
+
+std::string safe_name(const std::string& name) {
+  std::string out = name.empty() ? "_" : name;
+  for (char& ch : out) {
+    if (std::isspace(static_cast<unsigned char>(ch))) ch = '_';
+  }
+  return out;
+}
+
+void expect(std::istream& is, const std::string& token) {
+  std::string got;
+  if (!(is >> got) || got != token) {
+    throw std::runtime_error("OverlayInstance load: expected '" + token +
+                             "', got '" + got + "'");
+  }
+}
+
+}  // namespace
+
+void save(const OverlayInstance& instance, std::ostream& os) {
+  os << kMagic << ' ' << kVersion << '\n';
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  os << "sources " << instance.num_sources() << '\n';
+  for (int k = 0; k < instance.num_sources(); ++k) {
+    const Source& s = instance.source(k);
+    os << safe_name(s.name) << ' ' << s.bandwidth << '\n';
+  }
+  os << "reflectors " << instance.num_reflectors() << '\n';
+  for (int i = 0; i < instance.num_reflectors(); ++i) {
+    const Reflector& r = instance.reflector(i);
+    os << safe_name(r.name) << ' ' << r.build_cost << ' ' << r.fanout << ' '
+       << r.color << ' ';
+    if (r.stream_capacity) {
+      os << *r.stream_capacity;
+    } else {
+      os << "inf";
+    }
+    os << '\n';
+  }
+  os << "sinks " << instance.num_sinks() << '\n';
+  for (int j = 0; j < instance.num_sinks(); ++j) {
+    const Sink& d = instance.sink(j);
+    os << safe_name(d.name) << ' ' << d.commodity << ' ' << d.threshold << '\n';
+  }
+  os << "sr_edges " << instance.sr_edges().size() << '\n';
+  for (const SourceReflectorEdge& e : instance.sr_edges()) {
+    os << e.source << ' ' << e.reflector << ' ' << e.cost << ' ' << e.loss
+       << ' ' << e.delay_ms << '\n';
+  }
+  os << "rd_edges " << instance.rd_edges().size() << '\n';
+  for (const ReflectorSinkEdge& e : instance.rd_edges()) {
+    os << e.reflector << ' ' << e.sink << ' ' << e.cost << ' ' << e.loss << ' ';
+    if (e.capacity) {
+      os << *e.capacity;
+    } else {
+      os << "inf";
+    }
+    os << ' ' << e.delay_ms << '\n';
+  }
+}
+
+OverlayInstance load(std::istream& is) {
+  expect(is, kMagic);
+  std::string version;
+  if (!(is >> version) || (version != kVersionV1 && version != kVersion)) {
+    throw std::runtime_error("OverlayInstance load: unsupported version '" +
+                             version + "'");
+  }
+  const bool has_delays = version == kVersion;
+  OverlayInstance out;
+
+  std::size_t count = 0;
+  expect(is, "sources");
+  is >> count;
+  for (std::size_t k = 0; k < count; ++k) {
+    Source s;
+    if (!(is >> s.name >> s.bandwidth)) {
+      throw std::runtime_error("OverlayInstance load: truncated sources");
+    }
+    out.add_source(std::move(s));
+  }
+  expect(is, "reflectors");
+  is >> count;
+  for (std::size_t i = 0; i < count; ++i) {
+    Reflector r;
+    if (!(is >> r.name >> r.build_cost >> r.fanout >> r.color)) {
+      throw std::runtime_error("OverlayInstance load: truncated reflectors");
+    }
+    if (has_delays) {  // v2 also carries the stream capacity
+      std::string capacity;
+      if (!(is >> capacity)) {
+        throw std::runtime_error(
+            "OverlayInstance load: truncated reflector capacity");
+      }
+      if (capacity != "inf") r.stream_capacity = std::stod(capacity);
+    }
+    out.add_reflector(std::move(r));
+  }
+  expect(is, "sinks");
+  is >> count;
+  for (std::size_t j = 0; j < count; ++j) {
+    Sink d;
+    if (!(is >> d.name >> d.commodity >> d.threshold)) {
+      throw std::runtime_error("OverlayInstance load: truncated sinks");
+    }
+    out.add_sink(std::move(d));
+  }
+  expect(is, "sr_edges");
+  is >> count;
+  for (std::size_t e = 0; e < count; ++e) {
+    SourceReflectorEdge edge;
+    if (!(is >> edge.source >> edge.reflector >> edge.cost >> edge.loss)) {
+      throw std::runtime_error("OverlayInstance load: truncated sr_edges");
+    }
+    if (has_delays && !(is >> edge.delay_ms)) {
+      throw std::runtime_error("OverlayInstance load: truncated sr delay");
+    }
+    out.add_source_reflector_edge(edge);
+  }
+  expect(is, "rd_edges");
+  is >> count;
+  for (std::size_t e = 0; e < count; ++e) {
+    ReflectorSinkEdge edge;
+    std::string capacity;
+    if (!(is >> edge.reflector >> edge.sink >> edge.cost >> edge.loss >>
+          capacity)) {
+      throw std::runtime_error("OverlayInstance load: truncated rd_edges");
+    }
+    if (capacity != "inf") edge.capacity = std::stod(capacity);
+    if (has_delays && !(is >> edge.delay_ms)) {
+      throw std::runtime_error("OverlayInstance load: truncated rd delay");
+    }
+    out.add_reflector_sink_edge(edge);
+  }
+  out.validate();
+  return out;
+}
+
+std::string to_text(const OverlayInstance& instance) {
+  std::ostringstream os;
+  save(instance, os);
+  return os.str();
+}
+
+OverlayInstance from_text(const std::string& text) {
+  std::istringstream is(text);
+  return load(is);
+}
+
+void save_file(const OverlayInstance& instance, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("OverlayInstance save: cannot open " + path);
+  save(instance, os);
+}
+
+OverlayInstance load_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("OverlayInstance load: cannot open " + path);
+  return load(is);
+}
+
+}  // namespace omn::net

@@ -1,0 +1,38 @@
+#pragma once
+// Catastrophic-failure injection (Section 1.2 "Reliability" and the color
+// extension 6.4): take down an entire ISP and measure who is still served.
+
+#include <vector>
+
+#include "omn/core/design.hpp"
+#include "omn/net/instance.hpp"
+
+namespace omn::sim {
+
+/// A design with every reflector of `color` removed (z, y, x zeroed).
+core::Design with_failed_color(const net::OverlayInstance& instance,
+                               const core::Design& design, int color);
+
+struct ColorFailureReport {
+  int color = 0;
+  /// Fraction of sinks that still receive at least one copy.
+  double fraction_served = 0.0;
+  /// Fraction of sinks still meeting their full threshold.
+  double fraction_meeting_threshold = 0.0;
+  /// Fraction meeting the relaxed (factor-4) guarantee threshold^(1/4) on
+  /// the loss side.
+  double fraction_meeting_quarter = 0.0;
+  /// Mean delivery probability across sinks.
+  double mean_delivery_probability = 0.0;
+};
+
+/// Evaluates the outage of each color in turn.
+std::vector<ColorFailureReport> color_failure_sweep(
+    const net::OverlayInstance& instance, const core::Design& design);
+
+/// The worst (minimum) fraction_meeting_quarter over all single-ISP
+/// outages — the headline resilience number of experiment E6.
+double worst_case_quarter_fraction(
+    const std::vector<ColorFailureReport>& sweep);
+
+}  // namespace omn::sim

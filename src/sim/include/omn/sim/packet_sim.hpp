@@ -1,0 +1,64 @@
+#pragma once
+// Monte Carlo packet-level simulator of a deployed design.
+//
+// For each simulated packet of each commodity:
+//  - every *used* source->reflector edge drops it independently with its
+//    loss probability (shared across all sinks served by that reflector,
+//    so cross-sink correlations are faithful);
+//  - every used reflector->sink edge drops it independently;
+//  - the edgeserver reconstructs: the packet arrives if at least one of
+//    its serving paths delivered it (paper Section 1.1: "if the kth packet
+//    is missing in one copy ... the edgeserver waits for that packet to
+//    arrive in one of the other identical copies").
+//
+// An optional correlated-failure model (Sections 6.3-6.5 motivation) makes
+// an entire ISP drop a packet with a common-mode probability, on top of
+// the per-link losses.
+//
+// Batches of packets run on a util::ThreadPool; each worker owns a forked
+// RNG stream and a private loss-counter array, merged at the end (no
+// locking on the hot path).
+
+#include <cstdint>
+#include <vector>
+
+#include "omn/core/design.hpp"
+#include "omn/net/instance.hpp"
+
+namespace omn::sim {
+
+struct SimulationConfig {
+  std::int64_t num_packets = 100000;
+  std::uint64_t seed = 1;
+  /// 0 = one batch per hardware thread.
+  int threads = 0;
+  /// Common-mode probability that an entire ISP (color) drops a packet.
+  /// 0 disables the correlated model.
+  double isp_outage_probability = 0.0;
+
+  /// Playback deadline in milliseconds (paper Section 1.2: "packets that
+  /// arrive very late ... must also be considered effectively useless").
+  /// A copy counts only if sr.delay + rd.delay + jitter <= deadline.
+  /// 0 disables the deadline.
+  double deadline_ms = 0.0;
+  /// Lognormal-ish per-packet queueing jitter (sigma of a half-normal, in
+  /// ms) added to each path's deterministic delay.
+  double jitter_sigma_ms = 0.0;
+};
+
+struct SimulationReport {
+  /// Post-reconstruction loss rate per sink (fraction of packets missing).
+  std::vector<double> sink_loss_rate;
+  /// Fraction of sinks whose measured loss satisfies 1 - threshold.
+  double fraction_meeting_threshold = 0.0;
+  /// Fraction of sinks whose measured loss satisfies the paper's factor-4
+  /// guarantee: loss <= (1 - threshold)^(1/4).
+  double fraction_meeting_quarter_guarantee = 0.0;
+  std::int64_t packets = 0;
+};
+
+SimulationReport simulate(const net::OverlayInstance& instance,
+                          const core::Design& design,
+                          const SimulationConfig& config);
+
+}  // namespace omn::sim

@@ -1,0 +1,30 @@
+#pragma once
+// Exact reliability computation.
+//
+// In a 3-level network the serving paths of a sink intersect only at the
+// source, so per-packet losses on distinct paths are independent and the
+// delivery probability has the closed form
+//
+//   P(delivered) = 1 - prod_paths (p_ki + p_ij - p_ki * p_ij).
+//
+// The paper (Section 1.5) points out this is exactly why the three-tier
+// topology is used: deeper networks lose this property (network
+// reliability is #P-complete in general, Valiant '79).
+
+#include <vector>
+
+#include "omn/core/design.hpp"
+#include "omn/net/instance.hpp"
+
+namespace omn::sim {
+
+/// Exact per-sink delivery probability under a design.
+std::vector<double> exact_delivery_probability(
+    const net::OverlayInstance& instance, const core::Design& design);
+
+/// Same, but all reflectors of `failed_color` are considered down.
+std::vector<double> exact_delivery_probability_with_failed_color(
+    const net::OverlayInstance& instance, const core::Design& design,
+    int failed_color);
+
+}  // namespace omn::sim

@@ -1,0 +1,69 @@
+#include "omn/sim/failures.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "omn/sim/reliability.hpp"
+
+namespace omn::sim {
+
+core::Design with_failed_color(const net::OverlayInstance& inst,
+                               const core::Design& design, int color) {
+  core::Design out = design;
+  for (int i = 0; i < inst.num_reflectors(); ++i) {
+    if (inst.reflector(i).color != color) continue;
+    out.z[static_cast<std::size_t>(i)] = 0;
+    for (int k = 0; k < inst.num_sources(); ++k) {
+      out.y[core::y_index(inst, k, i)] = 0;
+    }
+  }
+  for (std::size_t id = 0; id < inst.rd_edges().size(); ++id) {
+    const net::ReflectorSinkEdge& e = inst.rd_edges()[id];
+    if (inst.reflector(e.reflector).color == color) out.x[id] = 0;
+  }
+  return out;
+}
+
+std::vector<ColorFailureReport> color_failure_sweep(
+    const net::OverlayInstance& inst, const core::Design& design) {
+  std::vector<ColorFailureReport> out;
+  const int colors = inst.num_colors();
+  const int D = inst.num_sinks();
+  for (int color = 0; color < colors; ++color) {
+    ColorFailureReport report;
+    report.color = color;
+    const std::vector<double> prob =
+        exact_delivery_probability_with_failed_color(inst, design, color);
+    int served = 0;
+    int meeting = 0;
+    int quarter = 0;
+    double sum = 0.0;
+    for (int j = 0; j < D; ++j) {
+      const double p = prob[static_cast<std::size_t>(j)];
+      sum += p;
+      if (p > 0.0) ++served;
+      const double allowed = 1.0 - inst.sink(j).threshold;
+      if (1.0 - p <= allowed + 1e-12) ++meeting;
+      if (1.0 - p <= std::pow(allowed, 0.25) + 1e-12) ++quarter;
+    }
+    if (D > 0) {
+      report.fraction_served = static_cast<double>(served) / D;
+      report.fraction_meeting_threshold = static_cast<double>(meeting) / D;
+      report.fraction_meeting_quarter = static_cast<double>(quarter) / D;
+      report.mean_delivery_probability = sum / D;
+    }
+    out.push_back(report);
+  }
+  return out;
+}
+
+double worst_case_quarter_fraction(
+    const std::vector<ColorFailureReport>& sweep) {
+  double worst = 1.0;
+  for (const ColorFailureReport& r : sweep) {
+    worst = std::min(worst, r.fraction_meeting_quarter);
+  }
+  return worst;
+}
+
+}  // namespace omn::sim

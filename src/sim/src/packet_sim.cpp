@@ -1,0 +1,162 @@
+#include "omn/sim/packet_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "omn/util/rng.hpp"
+#include "omn/util/thread_pool.hpp"
+
+namespace omn::sim {
+
+namespace {
+
+/// Static routing tables extracted from the design once, so the per-packet
+/// loop touches only flat arrays.
+struct CompiledDesign {
+  /// Used sr edges: loss and the (k, i) slot they implement.
+  std::vector<double> sr_loss;
+  std::vector<int> sr_slot_of_pair;  // y-slot -> index into sr_loss, or -1
+
+  /// Per sink: list of (sr index, rd loss, color, delay) serving paths.
+  struct Path {
+    int sr_index;
+    double rd_loss;
+    int color;
+    double delay_ms;
+  };
+  std::vector<std::vector<Path>> sink_paths;
+};
+
+CompiledDesign compile(const net::OverlayInstance& inst,
+                       const core::Design& design) {
+  CompiledDesign c;
+  c.sr_slot_of_pair.assign(static_cast<std::size_t>(inst.num_sources()) *
+                               static_cast<std::size_t>(inst.num_reflectors()),
+                           -1);
+  for (const net::SourceReflectorEdge& e : inst.sr_edges()) {
+    const std::size_t slot = core::y_index(inst, e.source, e.reflector);
+    if (!design.y[slot]) continue;
+    c.sr_slot_of_pair[slot] = static_cast<int>(c.sr_loss.size());
+    c.sr_loss.push_back(e.loss);
+  }
+  // Remember each used sr edge's delay for the deadline model.
+  std::vector<double> sr_delay(c.sr_loss.size(), 0.0);
+  for (const net::SourceReflectorEdge& e : inst.sr_edges()) {
+    const int idx = c.sr_slot_of_pair[core::y_index(inst, e.source, e.reflector)];
+    if (idx >= 0) sr_delay[static_cast<std::size_t>(idx)] = e.delay_ms;
+  }
+  c.sink_paths.resize(static_cast<std::size_t>(inst.num_sinks()));
+  for (std::size_t id = 0; id < inst.rd_edges().size(); ++id) {
+    if (!design.x[id]) continue;
+    const net::ReflectorSinkEdge& e = inst.rd_edges()[id];
+    const int k = inst.sink(e.sink).commodity;
+    const int sr_index =
+        c.sr_slot_of_pair[core::y_index(inst, k, e.reflector)];
+    if (sr_index < 0) continue;  // x without y: inconsistent design; skip
+    c.sink_paths[static_cast<std::size_t>(e.sink)].push_back(
+        CompiledDesign::Path{sr_index, e.loss,
+                             inst.reflector(e.reflector).color,
+                             sr_delay[static_cast<std::size_t>(sr_index)] +
+                                 e.delay_ms});
+  }
+  return c;
+}
+
+}  // namespace
+
+SimulationReport simulate(const net::OverlayInstance& inst,
+                          const core::Design& design,
+                          const SimulationConfig& config) {
+  const CompiledDesign compiled = compile(inst, design);
+  const auto D = static_cast<std::size_t>(inst.num_sinks());
+  const int colors = std::max(1, inst.num_colors());
+
+  util::ThreadPool pool(static_cast<std::size_t>(std::max(config.threads, 0)));
+  const std::size_t workers = pool.size() + 1;
+  std::vector<std::vector<std::int64_t>> lost_per_worker(
+      workers, std::vector<std::int64_t>(D, 0));
+
+  // Fork one RNG stream per worker up front (deterministic given the seed).
+  util::Rng master(config.seed);
+  std::vector<util::Rng> streams;
+  streams.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) streams.push_back(master.fork());
+
+  const auto packets = static_cast<std::size_t>(config.num_packets);
+  pool.parallel_for(packets, [&](std::size_t begin, std::size_t end,
+                                 std::size_t worker) {
+    util::Rng rng = streams[worker % workers];
+    // Decorrelate the work ranges (parallel_for hands contiguous chunks;
+    // each worker already has an independent stream).
+    std::vector<char> sr_dropped(compiled.sr_loss.size(), 0);
+    std::vector<char> isp_down(static_cast<std::size_t>(colors), 0);
+    auto& lost = lost_per_worker[worker % workers];
+
+    for (std::size_t packet = begin; packet < end; ++packet) {
+      // Correlated ISP outages for this packet.
+      if (config.isp_outage_probability > 0.0) {
+        for (int g = 0; g < colors; ++g) {
+          isp_down[static_cast<std::size_t>(g)] =
+              rng.bernoulli(config.isp_outage_probability) ? 1 : 0;
+        }
+      }
+      // Source->reflector legs (shared by all sinks behind the reflector).
+      for (std::size_t s = 0; s < compiled.sr_loss.size(); ++s) {
+        sr_dropped[s] = rng.bernoulli(compiled.sr_loss[s]) ? 1 : 0;
+      }
+      // Per-sink reconstruction.
+      for (std::size_t j = 0; j < D; ++j) {
+        const auto& paths = compiled.sink_paths[j];
+        if (paths.empty()) {
+          ++lost[j];
+          continue;
+        }
+        bool received = false;
+        for (const auto& path : paths) {
+          if (config.isp_outage_probability > 0.0 &&
+              isp_down[static_cast<std::size_t>(path.color)]) {
+            continue;
+          }
+          if (sr_dropped[static_cast<std::size_t>(path.sr_index)]) continue;
+          if (rng.bernoulli(path.rd_loss)) continue;
+          if (config.deadline_ms > 0.0) {
+            double arrival = path.delay_ms;
+            if (config.jitter_sigma_ms > 0.0) {
+              arrival += std::abs(rng.normal(0.0, config.jitter_sigma_ms));
+            }
+            if (arrival > config.deadline_ms) continue;  // late = useless
+          }
+          received = true;
+          break;
+        }
+        if (!received) ++lost[j];
+      }
+    }
+  });
+
+  SimulationReport report;
+  report.packets = config.num_packets;
+  report.sink_loss_rate.assign(D, 0.0);
+  for (std::size_t j = 0; j < D; ++j) {
+    std::int64_t lost = 0;
+    for (const auto& worker : lost_per_worker) lost += worker[j];
+    report.sink_loss_rate[j] =
+        static_cast<double>(lost) / static_cast<double>(config.num_packets);
+  }
+  int meeting = 0;
+  int meeting_quarter = 0;
+  for (std::size_t j = 0; j < D; ++j) {
+    const double allowed = 1.0 - inst.sink(static_cast<int>(j)).threshold;
+    if (report.sink_loss_rate[j] <= allowed) ++meeting;
+    if (report.sink_loss_rate[j] <= std::pow(allowed, 0.25)) ++meeting_quarter;
+  }
+  if (D > 0) {
+    report.fraction_meeting_threshold =
+        static_cast<double>(meeting) / static_cast<double>(D);
+    report.fraction_meeting_quarter_guarantee =
+        static_cast<double>(meeting_quarter) / static_cast<double>(D);
+  }
+  return report;
+}
+
+}  // namespace omn::sim

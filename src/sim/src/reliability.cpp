@@ -1,0 +1,46 @@
+#include "omn/sim/reliability.hpp"
+
+namespace omn::sim {
+
+namespace {
+
+std::vector<double> delivery(const net::OverlayInstance& inst,
+                             const core::Design& design, int failed_color) {
+  std::vector<double> out(static_cast<std::size_t>(inst.num_sinks()), 0.0);
+  for (int j = 0; j < inst.num_sinks(); ++j) {
+    const int k = inst.sink(j).commodity;
+    double failure_product = 1.0;
+    bool any = false;
+    for (int id : inst.sink_in(j)) {
+      if (!design.x[static_cast<std::size_t>(id)]) continue;
+      const net::ReflectorSinkEdge& e =
+          inst.rd_edges()[static_cast<std::size_t>(id)];
+      if (failed_color >= 0 &&
+          inst.reflector(e.reflector).color == failed_color) {
+        continue;
+      }
+      const int sr = inst.find_sr_edge(k, e.reflector);
+      if (sr < 0) continue;
+      failure_product *=
+          net::OverlayInstance::path_failure(inst.sr_edge(sr).loss, e.loss);
+      any = true;
+    }
+    out[static_cast<std::size_t>(j)] = any ? 1.0 - failure_product : 0.0;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> exact_delivery_probability(
+    const net::OverlayInstance& inst, const core::Design& design) {
+  return delivery(inst, design, -1);
+}
+
+std::vector<double> exact_delivery_probability_with_failed_color(
+    const net::OverlayInstance& inst, const core::Design& design,
+    int failed_color) {
+  return delivery(inst, design, failed_color);
+}
+
+}  // namespace omn::sim

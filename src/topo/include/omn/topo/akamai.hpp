@@ -1,0 +1,76 @@
+#pragma once
+// Synthetic Akamai-like overlay topologies.
+//
+// The paper's future-work section plans to apply the algorithm "to
+// real-world network data gleaned from Akamai's streaming network"; that
+// data is proprietary, so this generator produces the closest synthetic
+// equivalent (documented in DESIGN.md):
+//
+//  - entrypoints, reflectors and edgeservers live in geographic metros on a
+//    unit square; packet loss grows with distance (long-haul paths lose
+//    more), with multiplicative jitter and a per-ISP quality factor;
+//  - bandwidth costs follow contract-like pricing: a per-ISP base rate
+//    plus heavy-tailed (Pareto) variation, scaled by distance;
+//  - reflectors are spread across ISPs ("colors") for the Section 6.4
+//    extension;
+//  - sinks connect to their closest reflectors (candidate lists), since a
+//    real deployment never considers every (reflector, edgeserver) pair;
+//  - a repair pass guarantees every sink's demand is satisfiable with a
+//    configurable weight margin, mirroring how a capacity planner would
+//    only designate reachable edgeservers for a stream.
+
+#include <cstdint>
+
+#include "omn/net/instance.hpp"
+
+namespace omn::topo {
+
+struct AkamaiLikeConfig {
+  int num_metros = 12;
+  int num_isps = 4;
+  int num_sources = 2;   // one commodity per source (paper's WLOG)
+  int num_reflectors = 16;
+  int num_sinks = 48;
+  /// Reflector candidates per sink (0 = connect to every reflector).
+  int candidates_per_sink = 8;
+
+  // Loss model.
+  double base_loss = 0.004;            // short-haul floor
+  double loss_per_unit_distance = 0.06;
+  double loss_jitter = 0.35;           // lognormal sigma
+  double max_loss = 0.45;
+
+  // Quality demands.
+  double threshold_min = 0.96;
+  double threshold_max = 0.999;
+
+  // Reflector provisioning.
+  double fanout_min = 8.0;
+  double fanout_max = 24.0;
+  double reflector_cost_scale = 40.0;  // colo build-out cost scale
+
+  // Bandwidth pricing.
+  double edge_cost_scale = 1.0;
+  double price_pareto_shape = 2.2;     // heavy tail of contract prices
+
+  /// Fraction of sinks placed in the "focus" region (e.g. a Europe-heavy
+  /// event); 0.5 = uniform.
+  double focus_fraction = 0.5;
+
+  /// Feasibility repair: ensure sum of candidate weights >= margin * W_j.
+  double weight_margin = 2.0;
+
+  std::uint64_t seed = 1;
+};
+
+net::OverlayInstance make_akamai_like(const AkamaiLikeConfig& config);
+
+/// Preset: world-wide event, viewership spread evenly.
+AkamaiLikeConfig global_event_config(int sinks, std::uint64_t seed);
+
+/// Preset: EU-heavy viewership (intro's example: "a large event with
+/// predominantly European viewership should include a large number of
+/// edgeservers in Europe").
+AkamaiLikeConfig eu_heavy_event_config(int sinks, std::uint64_t seed);
+
+}  // namespace omn::topo

@@ -1,0 +1,47 @@
+#pragma once
+// The paper's Figure 3: a flow network with an "entangled set" capacity
+// constraint (a joint capacity over the edge set {ab, pq}) showing that
+// such constraints create a gap between fractional and integral max flow
+// (3.5 vs 3).  This motivates the Srinivasan-Teo rounding of Section 6.5.
+
+#include <string>
+#include <vector>
+
+#include "omn/flow/graph.hpp"
+
+namespace omn::topo {
+
+struct Figure3Instance {
+  /// Node indices.
+  int s = 0, a = 1, b = 2, p = 3, q = 4, t = 5;
+  int num_nodes = 6;
+
+  struct Arc {
+    int from;
+    int to;
+    double capacity;
+    std::string name;
+  };
+  std::vector<Arc> arcs;
+
+  /// Indices (into arcs) of the entangled set {ab, pq} with its capacity.
+  std::vector<int> entangled_arcs;
+  double entangled_capacity = 3.0;
+
+  /// Values proven in the paper.
+  double expected_fractional_max_flow = 3.5;
+  double expected_integral_max_flow = 3.0;
+};
+
+/// Builds the exact network of Figure 3.
+Figure3Instance make_figure3();
+
+/// Max s-t flow ignoring the entangled-set constraint (sanity: 4.0),
+/// computed with the Dinic substrate on 2x-scaled capacities.
+double figure3_unconstrained_max_flow(const Figure3Instance& instance);
+
+/// Brute-force integral max flow *with* the entangled constraint
+/// (enumerates integer arc flows; the network is tiny).
+double figure3_integral_max_flow(const Figure3Instance& instance);
+
+}  // namespace omn::topo

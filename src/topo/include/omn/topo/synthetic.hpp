@@ -1,0 +1,59 @@
+#pragma once
+// Structure-free synthetic instances: uniform random tripartite networks
+// (for property tests and solver stress) and the set-cover reduction the
+// paper uses for its hardness lower bound ("This problem can model SET
+// COVER", Section 2).
+
+#include <cstdint>
+#include <vector>
+
+#include "omn/net/instance.hpp"
+
+namespace omn::topo {
+
+struct UniformConfig {
+  int num_sources = 2;
+  int num_reflectors = 10;
+  int num_sinks = 30;
+  /// Probability that a given (reflector, sink) edge exists.
+  double rd_edge_density = 0.6;
+  double loss_min = 0.01;
+  double loss_max = 0.2;
+  double cost_min = 0.5;
+  double cost_max = 5.0;
+  double threshold_min = 0.9;
+  double threshold_max = 0.995;
+  double fanout_min = 4.0;
+  double fanout_max = 16.0;
+  double reflector_cost_min = 5.0;
+  double reflector_cost_max = 50.0;
+  int num_colors = 1;
+  /// Guarantee feasibility by adding edges until candidate weight covers
+  /// margin * demand.
+  double weight_margin = 1.5;
+  std::uint64_t seed = 1;
+};
+
+net::OverlayInstance make_uniform_random(const UniformConfig& config);
+
+/// Encodes SET COVER: one commodity, one reflector per set (unit build
+/// cost, zero edge costs), one sink per element with a threshold such that
+/// any single covering reflector satisfies it.  The optimal design cost
+/// equals the optimal set-cover size.
+struct SetCoverInstance {
+  net::OverlayInstance network;
+  /// sets[s] = elements covered by set s (same indexing as reflectors).
+  std::vector<std::vector<int>> sets;
+  int num_elements = 0;
+};
+
+SetCoverInstance make_set_cover(const std::vector<std::vector<int>>& sets,
+                                int num_elements);
+
+/// Random set-cover instance where every element is covered by at least one
+/// set.
+SetCoverInstance make_random_set_cover(int num_elements, int num_sets,
+                                       double membership_probability,
+                                       std::uint64_t seed);
+
+}  // namespace omn::topo

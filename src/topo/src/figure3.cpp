@@ -1,0 +1,69 @@
+#include "omn/topo/figure3.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "omn/flow/max_flow.hpp"
+
+namespace omn::topo {
+
+Figure3Instance make_figure3() {
+  Figure3Instance fig;
+  // Capacities as drawn in the paper's Figure 3: every edge has capacity 2
+  // except a->q which has capacity 1; {ab, pq} jointly hold 3.
+  fig.arcs = {
+      {fig.s, fig.a, 2.0, "sa"}, {fig.s, fig.p, 2.0, "sp"},
+      {fig.a, fig.b, 2.0, "ab"}, {fig.a, fig.q, 1.0, "aq"},
+      {fig.p, fig.q, 2.0, "pq"}, {fig.b, fig.t, 2.0, "bt"},
+      {fig.q, fig.t, 2.0, "qt"},
+  };
+  fig.entangled_arcs = {2, 4};  // ab, pq
+  fig.entangled_capacity = 3.0;
+  return fig;
+}
+
+double figure3_unconstrained_max_flow(const Figure3Instance& fig) {
+  flow::Graph graph(fig.num_nodes);
+  for (const auto& arc : fig.arcs) {
+    graph.add_edge(arc.from, arc.to,
+                   static_cast<std::int64_t>(std::llround(arc.capacity * 2.0)));
+  }
+  return static_cast<double>(flow::max_flow(graph, fig.s, fig.t)) / 2.0;
+}
+
+double figure3_integral_max_flow(const Figure3Instance& fig) {
+  // Enumerate all integral arc flows; conservation at a, b, p, q plus the
+  // entangled constraint ab + pq <= 3.  Capacities are tiny so the nested
+  // enumeration is exact and instant.
+  const auto cap = [&](const char* name) {
+    for (const auto& arc : fig.arcs) {
+      if (arc.name == name) return static_cast<int>(arc.capacity);
+    }
+    return 0;
+  };
+  const int cap_sa = cap("sa"), cap_sp = cap("sp"), cap_ab = cap("ab"),
+            cap_aq = cap("aq"), cap_pq = cap("pq"), cap_bt = cap("bt"),
+            cap_qt = cap("qt");
+  const int entangled = static_cast<int>(fig.entangled_capacity);
+
+  int best = 0;
+  for (int ab = 0; ab <= cap_ab; ++ab) {
+    for (int aq = 0; aq <= cap_aq; ++aq) {
+      const int sa = ab + aq;
+      if (sa > cap_sa) continue;
+      for (int pq = 0; pq <= cap_pq; ++pq) {
+        if (ab + pq > entangled) continue;
+        const int sp = pq;
+        if (sp > cap_sp) continue;
+        const int bt = ab;
+        if (bt > cap_bt) continue;
+        const int qt = aq + pq;
+        if (qt > cap_qt) continue;
+        best = std::max(best, bt + qt);
+      }
+    }
+  }
+  return static_cast<double>(best);
+}
+
+}  // namespace omn::topo

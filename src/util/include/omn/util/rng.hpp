@@ -1,0 +1,79 @@
+#pragma once
+// Deterministic, seedable pseudo-random number generation.
+//
+// All randomized components of the library (the Section-3 randomized
+// rounding, the Srinivasan–Teo path rounding, topology generators, and the
+// Monte Carlo packet simulator) draw their randomness from omn::util::Rng so
+// that every experiment in the repository is reproducible from a 64-bit
+// seed.  The generator is xoshiro256** (Blackman & Vigna), which is fast,
+// has a 2^256-1 period, and passes BigCrush.
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace omn::util {
+
+/// xoshiro256** generator.  Satisfies std::uniform_random_bit_generator so
+/// it can also be plugged into <random> distributions if desired.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from a 64-bit seed via SplitMix64, as
+  /// recommended by the xoshiro authors (avoids all-zero states).
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+  /// Next raw 64-bit output.
+  std::uint64_t operator()();
+
+  /// Uniform double in [0, 1).  Uses the top 53 bits.
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n).  n must be > 0.  Uses Lemire rejection to
+  /// avoid modulo bias.
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli trial: true with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Standard normal via Marsaglia polar method.
+  double normal();
+
+  /// Normal with given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Exponential with rate lambda (> 0).
+  double exponential(double lambda);
+
+  /// Pareto-distributed value with minimum x_m > 0 and shape alpha > 0.
+  /// Used by the topology generator for heavy-tailed bandwidth costs.
+  double pareto(double x_m, double alpha);
+
+  /// Forks an independent stream: returns a generator seeded from this
+  /// one's next outputs.  Used to give each worker thread its own stream.
+  Rng fork();
+
+  /// Equivalent to 2^128 calls of operator(); provides non-overlapping
+  /// subsequences for parallel use.
+  void jump();
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  // Cached second value from the polar method.
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace omn::util

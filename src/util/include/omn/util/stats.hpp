@@ -1,0 +1,65 @@
+#pragma once
+// Streaming and batch summary statistics used by the experiment harness.
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace omn::util {
+
+/// Numerically stable (Welford) streaming mean/variance plus min/max.
+class RunningStats {
+ public:
+  void add(double x);
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch percentile with linear interpolation; q in [0, 1].
+/// The input span is copied; the original order is preserved.
+double percentile(std::span<const double> values, double q);
+
+/// Arithmetic mean of a span (0 for empty input).
+double mean(std::span<const double> values);
+
+/// Sample standard deviation of a span (0 for fewer than two values).
+double stddev(std::span<const double> values);
+
+/// Geometric mean; all values must be positive.
+double geometric_mean(std::span<const double> values);
+
+/// Summary of a sample used in experiment reports.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+
+  std::string to_string() const;
+};
+
+Summary summarize(std::span<const double> values);
+
+}  // namespace omn::util

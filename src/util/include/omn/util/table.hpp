@@ -1,0 +1,55 @@
+#pragma once
+// Plain-text table rendering for experiment reports.
+//
+// Every bench binary prints its results as an aligned ASCII table (for
+// humans) and can additionally emit CSV (for plotting).  The same Table
+// object backs both renderings.
+
+#include <cstddef>
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace omn::util {
+
+/// A simple row/column table of strings with typed cell helpers.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row; subsequent cell() calls append to it.
+  Table& row();
+
+  Table& cell(const std::string& value);
+  Table& cell(const char* value);
+  Table& cell(double value, int precision = 4);
+  Table& cell(std::size_t value);
+  Table& cell(long value);
+  Table& cell(int value);
+  Table& cell(bool value);
+
+  /// Appends a complete row at once; must match the header width.
+  Table& add_row(std::initializer_list<std::string> cells);
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_cols() const { return headers_.size(); }
+  const std::string& at(std::size_t r, std::size_t c) const;
+
+  /// Renders with aligned columns, a header rule, and a title line.
+  std::string to_ascii(const std::string& title = "") const;
+
+  /// Renders RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  std::string to_csv() const;
+
+  void print(std::ostream& os, const std::string& title = "") const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper shared by bench code).
+std::string format_double(double value, int precision = 4);
+
+}  // namespace omn::util

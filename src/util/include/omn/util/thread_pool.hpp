@@ -1,0 +1,60 @@
+#pragma once
+// A small fixed-size thread pool used for embarrassingly parallel work:
+// Monte Carlo packet simulation batches and per-seed experiment sweeps.
+//
+// Design notes (following the hpc-parallel guides):
+//  - workers are created once and joined in the destructor (RAII);
+//  - parallel_for hands each worker a contiguous index range, so shared
+//    inputs are read-only and each worker writes only to its own slot —
+//    no locks on the hot path;
+//  - the pool degrades gracefully to inline execution when hardware
+//    concurrency is 1 (as on single-core CI machines).
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace omn::util {
+
+class ThreadPool {
+ public:
+  /// threads == 0 selects std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task; tasks may not themselves block on the pool.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+  /// Splits [0, count) into roughly equal chunks, runs
+  /// body(begin, end, worker_index) on the pool, and waits.
+  /// worker_index is in [0, size()] — the calling thread participates and
+  /// uses index size().
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t begin, std::size_t end,
+                                             std::size_t worker)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace omn::util

@@ -1,0 +1,27 @@
+#pragma once
+// Wall-clock timing for the experiment harness.
+
+#include <chrono>
+
+namespace omn::util {
+
+/// Monotonic stopwatch.  Starts running on construction.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+  double microseconds() const { return seconds() * 1e6; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace omn::util

@@ -1,0 +1,6 @@
+// Timer is header-only; this translation unit exists to anchor the target.
+#include "omn/util/timer.hpp"
+
+namespace omn::util {
+static_assert(sizeof(Timer) > 0);
+}  // namespace omn::util

@@ -1,0 +1,63 @@
+// Round-trip tests for design serialization.
+#include "omn/core/design_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "omn/core/designer.hpp"
+#include "omn/topo/akamai.hpp"
+
+namespace {
+
+TEST(DesignIo, RoundTrip) {
+  const auto inst =
+      omn::topo::make_akamai_like(omn::topo::global_event_config(20, 3));
+  const auto result = omn::core::OverlayDesigner().design(inst);
+  ASSERT_TRUE(result.ok());
+  const std::string text = omn::core::design_to_text(result.design);
+  const auto back = omn::core::design_from_text(text, inst);
+  EXPECT_EQ(back.z, result.design.z);
+  EXPECT_EQ(back.y, result.design.y);
+  EXPECT_EQ(back.x, result.design.x);
+}
+
+TEST(DesignIo, FileRoundTrip) {
+  const auto inst =
+      omn::topo::make_akamai_like(omn::topo::global_event_config(12, 5));
+  const auto result = omn::core::OverlayDesigner().design(inst);
+  ASSERT_TRUE(result.ok());
+  const std::string path = ::testing::TempDir() + "omn_design.txt";
+  omn::core::save_design_file(result.design, path);
+  const auto back = omn::core::load_design_file(path, inst);
+  EXPECT_EQ(back.x, result.design.x);
+  std::remove(path.c_str());
+}
+
+TEST(DesignIo, RejectsWrongInstance) {
+  const auto inst =
+      omn::topo::make_akamai_like(omn::topo::global_event_config(12, 5));
+  const auto other =
+      omn::topo::make_akamai_like(omn::topo::global_event_config(20, 6));
+  const auto result = omn::core::OverlayDesigner().design(inst);
+  ASSERT_TRUE(result.ok());
+  const std::string text = omn::core::design_to_text(result.design);
+  EXPECT_THROW(omn::core::design_from_text(text, other), std::runtime_error);
+}
+
+TEST(DesignIo, RejectsGarbage) {
+  const auto inst =
+      omn::topo::make_akamai_like(omn::topo::global_event_config(8, 7));
+  EXPECT_THROW(omn::core::design_from_text("nope", inst), std::runtime_error);
+  EXPECT_THROW(omn::core::design_from_text("omn-design v1\nz 1 2\n", inst),
+               std::runtime_error);
+}
+
+TEST(DesignIo, MissingFileThrows) {
+  const auto inst =
+      omn::topo::make_akamai_like(omn::topo::global_event_config(8, 9));
+  EXPECT_THROW(omn::core::load_design_file("/nonexistent/d.txt", inst),
+               std::runtime_error);
+}
+
+}  // namespace

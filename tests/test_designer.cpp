@@ -1,0 +1,177 @@
+// End-to-end tests of the OverlayDesigner pipeline (TEST_P across
+// topologies/seeds): status, structural consistency, the paper's factor-4
+// weight guarantee, fanout bound, and cost vs the LP lower bound.
+#include "omn/core/designer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "omn/topo/akamai.hpp"
+#include "omn/topo/synthetic.hpp"
+
+namespace {
+
+using omn::core::DesignerConfig;
+using omn::core::DesignResult;
+using omn::core::DesignStatus;
+using omn::core::OverlayDesigner;
+
+TEST(Designer, StatusStrings) {
+  EXPECT_EQ(omn::core::to_string(DesignStatus::kOk), "ok");
+  EXPECT_EQ(omn::core::to_string(DesignStatus::kLpInfeasible), "lp-infeasible");
+}
+
+TEST(Designer, ReportsInfeasibleInstance) {
+  omn::net::OverlayInstance inst;
+  inst.add_source(omn::net::Source{"s", 1.0});
+  inst.add_reflector(omn::net::Reflector{"r", 1.0, 2.0, 0});
+  inst.add_source_reflector_edge(omn::net::SourceReflectorEdge{0, 0, 1.0, 0.1});
+  inst.add_sink(omn::net::Sink{"unreachable", 0, 0.9});
+  // No rd edge at all.
+  const DesignResult r = OverlayDesigner().design(inst);
+  EXPECT_EQ(r.status, DesignStatus::kLpInfeasible);
+}
+
+TEST(Designer, DeterministicPerSeed) {
+  const auto inst =
+      omn::topo::make_akamai_like(omn::topo::global_event_config(20, 3));
+  DesignerConfig cfg;
+  cfg.seed = 99;
+  const DesignResult a = OverlayDesigner(cfg).design(inst);
+  const DesignResult b = OverlayDesigner(cfg).design(inst);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a.design.x, b.design.x);
+  EXPECT_EQ(a.design.z, b.design.z);
+  EXPECT_DOUBLE_EQ(a.evaluation.total_cost, b.evaluation.total_cost);
+}
+
+TEST(Designer, RetriesImproveOrKeepQuality) {
+  const auto inst =
+      omn::topo::make_akamai_like(omn::topo::global_event_config(24, 5));
+  DesignerConfig one;
+  one.rounding_attempts = 1;
+  DesignerConfig many = one;
+  many.rounding_attempts = 8;
+  const DesignResult a = OverlayDesigner(one).design(inst);
+  const DesignResult b = OverlayDesigner(many).design(inst);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_GE(b.evaluation.min_weight_ratio,
+            a.evaluation.min_weight_ratio - 1e-12);
+}
+
+class DesignerEndToEnd
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(DesignerEndToEnd, GuaranteesHold) {
+  const auto [sinks, seed] = GetParam();
+  const auto inst =
+      omn::topo::make_akamai_like(omn::topo::global_event_config(sinks, seed));
+  DesignerConfig cfg;
+  cfg.seed = seed;
+  cfg.rounding_attempts = 3;
+  const DesignResult r = OverlayDesigner(cfg).design(inst);
+  ASSERT_EQ(r.status, DesignStatus::kOk);
+
+  // Structure.
+  EXPECT_TRUE(r.evaluation.consistent);
+  EXPECT_EQ(r.evaluation.sinks_unserved, 0);
+
+  // Paper guarantees: weight >= W/4, fanout <= 4F.
+  EXPECT_GE(r.evaluation.min_weight_ratio, 0.25 - 1e-9);
+  EXPECT_LE(r.evaluation.max_fanout_utilization, 4.0 + 1e-9);
+
+  // Cost: above the LP lower bound, below the c log n envelope (with slack
+  // for the prune stage and constant factors).
+  EXPECT_GE(r.cost_ratio, 1.0 - 1e-9);
+  const double envelope = std::max(cfg.c * std::log(sinks), 1.0) * 4.0;
+  EXPECT_LE(r.cost_ratio, envelope);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TopologiesAndSeeds, DesignerEndToEnd,
+    ::testing::Combine(::testing::Values(12, 24, 36),
+                       ::testing::Values(1u, 2u, 3u, 4u)));
+
+TEST(Designer, ColorConstraintsReduceColorConcentration) {
+  auto cfg_topo = omn::topo::global_event_config(36, 11);
+  cfg_topo.num_isps = 4;
+  const auto inst = omn::topo::make_akamai_like(cfg_topo);
+
+  DesignerConfig plain;
+  plain.seed = 1;
+  DesignerConfig colored = plain;
+  colored.color_constraints = true;
+
+  const DesignResult a = OverlayDesigner(plain).design(inst);
+  const DesignResult b = OverlayDesigner(colored).design(inst);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // The colored design must not concentrate more copies per ISP than the
+  // ST bound; typically far fewer than the unconstrained design's max.
+  EXPECT_LE(b.evaluation.max_color_copies, 8);
+}
+
+TEST(Designer, BandwidthExtensionRespectsScaledFanout) {
+  auto cfg_topo = omn::topo::global_event_config(24, 13);
+  auto inst = omn::topo::make_akamai_like(cfg_topo);
+  for (int k = 0; k < inst.num_sources(); ++k) {
+    inst.source(k).bandwidth = k == 0 ? 0.3 : 3.0;  // 300kbps vs 3Mbps
+  }
+  DesignerConfig cfg;
+  cfg.bandwidth_extension = true;
+  const DesignResult r = OverlayDesigner(cfg).design(inst);
+  ASSERT_TRUE(r.ok());
+  // Bandwidth-weighted utilization also obeys the factor-4 envelope.
+  EXPECT_LE(r.evaluation.max_fanout_utilization, 4.0 + 1e-9);
+  EXPECT_GE(r.evaluation.min_weight_ratio, 0.25 - 1e-9);
+}
+
+TEST(Designer, AllExtensionsCombined) {
+  // Colors + bandwidth + rd capacities together: the pipeline must still
+  // produce a consistent design meeting the factor-4 guarantee.
+  auto topo_cfg = omn::topo::global_event_config(28, 15);
+  topo_cfg.num_isps = 3;
+  topo_cfg.num_sources = 2;
+  topo_cfg.candidates_per_sink = 10;
+  auto inst = omn::topo::make_akamai_like(topo_cfg);
+  inst.source(0).bandwidth = 0.5;
+  inst.source(1).bandwidth = 2.0;
+  for (std::size_t e = 0; e < inst.rd_edges().size(); e += 7) {
+    inst.rd_edge(static_cast<int>(e)).capacity = 0.5;
+  }
+  DesignerConfig cfg;
+  cfg.color_constraints = true;
+  cfg.bandwidth_extension = true;
+  cfg.rd_capacities = true;
+  cfg.rounding_attempts = 4;
+  const DesignResult r = OverlayDesigner(cfg).design(inst);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.evaluation.consistent);
+  EXPECT_EQ(r.evaluation.sinks_unserved, 0);
+  EXPECT_GE(r.evaluation.min_weight_ratio, 0.25 - 1e-9);
+  EXPECT_LE(r.evaluation.max_fanout_utilization, 4.0 + 1e-9);
+  EXPECT_LE(r.evaluation.max_color_copies, 8);
+}
+
+TEST(Designer, LpLowerBoundIsActuallyLower) {
+  const auto inst =
+      omn::topo::make_akamai_like(omn::topo::global_event_config(30, 17));
+  const DesignResult r = OverlayDesigner().design(inst);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LE(r.lp_objective, r.evaluation.total_cost + 1e-6);
+  EXPECT_GT(r.lp_objective, 0.0);
+}
+
+TEST(Designer, TimingsPopulated) {
+  const auto inst =
+      omn::topo::make_akamai_like(omn::topo::global_event_config(16, 19));
+  const DesignResult r = OverlayDesigner().design(inst);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GE(r.lp_seconds, 0.0);
+  EXPECT_GE(r.rounding_seconds, 0.0);
+  EXPECT_GT(r.lp_iterations, 0);
+}
+
+}  // namespace

@@ -1,0 +1,146 @@
+// Tests for the design evaluator against hand-computed numbers.
+#include "omn/core/evaluator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using omn::core::Design;
+using omn::core::evaluate;
+using omn::core::Evaluation;
+using omn::net::OverlayInstance;
+
+OverlayInstance two_reflector_instance() {
+  OverlayInstance inst;
+  inst.add_source(omn::net::Source{"s", 2.0});  // bandwidth 2 for ext 6.1
+  inst.add_reflector(omn::net::Reflector{"r0", 10.0, 2.0, 0});
+  inst.add_reflector(omn::net::Reflector{"r1", 20.0, 2.0, 1});
+  inst.add_sink(omn::net::Sink{"d", 0, 0.99});
+  inst.add_source_reflector_edge(omn::net::SourceReflectorEdge{0, 0, 3.0, 0.1});
+  inst.add_source_reflector_edge(omn::net::SourceReflectorEdge{0, 1, 4.0, 0.2});
+  inst.add_reflector_sink_edge(omn::net::ReflectorSinkEdge{0, 0, 1.0, 0.1, {}});
+  inst.add_reflector_sink_edge(omn::net::ReflectorSinkEdge{1, 0, 2.0, 0.2, {}});
+  return inst;
+}
+
+Design full_design(const OverlayInstance& inst) {
+  Design d = Design::zeros(inst);
+  d.z = {1, 1};
+  d.y = {1, 1};
+  d.x = {1, 1};
+  return d;
+}
+
+TEST(Evaluator, CostBreakdown) {
+  const OverlayInstance inst = two_reflector_instance();
+  const Evaluation ev = evaluate(inst, full_design(inst));
+  EXPECT_DOUBLE_EQ(ev.reflector_cost, 30.0);
+  EXPECT_DOUBLE_EQ(ev.sr_edge_cost, 7.0);
+  EXPECT_DOUBLE_EQ(ev.rd_edge_cost, 3.0);
+  EXPECT_DOUBLE_EQ(ev.total_cost, 40.0);
+  EXPECT_EQ(ev.reflectors_built, 2);
+  EXPECT_EQ(ev.streams_delivered, 2);
+}
+
+TEST(Evaluator, DeliveryProbabilityProductFormula) {
+  const OverlayInstance inst = two_reflector_instance();
+  const Evaluation ev = evaluate(inst, full_design(inst));
+  // Path failures: 0.1+0.1-0.01 = 0.19; 0.2+0.2-0.04 = 0.36.
+  const double expected = 1.0 - 0.19 * 0.36;
+  ASSERT_EQ(ev.sinks.size(), 1u);
+  EXPECT_NEAR(ev.sinks[0].delivery_probability, expected, 1e-12);
+  EXPECT_EQ(ev.sinks[0].copies, 2);
+}
+
+TEST(Evaluator, WeightRatioUsesClampedWeights) {
+  const OverlayInstance inst = two_reflector_instance();
+  const Evaluation ev = evaluate(inst, full_design(inst));
+  const double W = OverlayInstance::demand_weight(0.99);
+  const double w0 = std::min(OverlayInstance::path_weight(0.1, 0.1), W);
+  const double w1 = std::min(OverlayInstance::path_weight(0.2, 0.2), W);
+  EXPECT_NEAR(ev.sinks[0].delivered_weight, w0 + w1, 1e-12);
+  EXPECT_NEAR(ev.sinks[0].weight_ratio, (w0 + w1) / W, 1e-12);
+}
+
+TEST(Evaluator, FanoutUtilization) {
+  const OverlayInstance inst = two_reflector_instance();
+  const Evaluation ev = evaluate(inst, full_design(inst));
+  // One x per reflector, fanout 2 -> utilization 0.5 each.
+  EXPECT_DOUBLE_EQ(ev.fanout_utilization[0], 0.5);
+  EXPECT_DOUBLE_EQ(ev.max_fanout_utilization, 0.5);
+}
+
+TEST(Evaluator, BandwidthExtensionDoublesUsage) {
+  const OverlayInstance inst = two_reflector_instance();
+  const Evaluation ev = evaluate(inst, full_design(inst), /*bandwidth=*/true);
+  EXPECT_DOUBLE_EQ(ev.fanout_utilization[0], 1.0);  // B = 2
+}
+
+TEST(Evaluator, ColorCopiesTracked) {
+  const OverlayInstance inst = two_reflector_instance();
+  const Evaluation ev = evaluate(inst, full_design(inst));
+  EXPECT_EQ(ev.max_color_copies, 1);
+  EXPECT_EQ(ev.sinks[0].copies_per_color.size(), 2u);
+  EXPECT_EQ(ev.sinks[0].copies_per_color[0], 1);
+}
+
+TEST(Evaluator, UnservedSinkCounted) {
+  const OverlayInstance inst = two_reflector_instance();
+  Design d = Design::zeros(inst);
+  const Evaluation ev = evaluate(inst, d);
+  EXPECT_EQ(ev.sinks_unserved, 1);
+  EXPECT_EQ(ev.sinks[0].copies, 0);
+  EXPECT_DOUBLE_EQ(ev.sinks[0].delivery_probability, 0.0);
+  EXPECT_DOUBLE_EQ(ev.total_cost, 0.0);
+}
+
+TEST(Evaluator, InconsistencyDetected) {
+  const OverlayInstance inst = two_reflector_instance();
+  Design d = Design::zeros(inst);
+  d.x[0] = 1;  // x without y
+  const Evaluation ev = evaluate(inst, d);
+  EXPECT_FALSE(ev.consistent);
+}
+
+TEST(Evaluator, ConsistentFullDesign) {
+  const OverlayInstance inst = two_reflector_instance();
+  const Evaluation ev = evaluate(inst, full_design(inst));
+  EXPECT_TRUE(ev.consistent);
+}
+
+TEST(DesignHelpers, CloseUpwardPropagates) {
+  const OverlayInstance inst = two_reflector_instance();
+  Design d = Design::zeros(inst);
+  d.x[1] = 1;
+  d.close_upward(inst);
+  EXPECT_EQ(d.y[1], 1);
+  EXPECT_EQ(d.z[1], 1);
+  EXPECT_EQ(d.z[0], 0);
+}
+
+TEST(DesignHelpers, PruneDropsUnused) {
+  const OverlayInstance inst = two_reflector_instance();
+  Design d = full_design(inst);
+  d.x[1] = 0;  // reflector 1 no longer serves anyone
+  d.prune_unused(inst);
+  EXPECT_EQ(d.y[1], 0);
+  EXPECT_EQ(d.z[1], 0);
+  EXPECT_EQ(d.z[0], 1);
+}
+
+TEST(DesignHelpers, CostMatchesEvaluator) {
+  const OverlayInstance inst = two_reflector_instance();
+  const Design d = full_design(inst);
+  EXPECT_DOUBLE_EQ(d.cost(inst), evaluate(inst, d).total_cost);
+}
+
+TEST(DesignHelpers, SizeMismatchThrows) {
+  const OverlayInstance inst = two_reflector_instance();
+  Design d = Design::zeros(inst);
+  d.z.pop_back();
+  EXPECT_THROW(d.cost(inst), std::invalid_argument);
+}
+
+}  // namespace

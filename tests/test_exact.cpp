@@ -1,0 +1,111 @@
+// Tests for the exact branch-and-bound IP solver.
+#include "omn/core/exact.hpp"
+
+#include <gtest/gtest.h>
+
+#include "omn/baseline/greedy.hpp"
+#include "omn/core/designer.hpp"
+#include "omn/core/evaluator.hpp"
+#include "omn/topo/akamai.hpp"
+#include "omn/topo/synthetic.hpp"
+
+namespace {
+
+using omn::core::ExactOptions;
+using omn::core::ExactResult;
+using omn::core::solve_exact;
+
+TEST(Exact, SetCoverOptimumIsTwo) {
+  // Sets {0,1},{1,2},{2,3}: optimal cover {0,2} of size 2.
+  const auto sc = omn::topo::make_set_cover({{0, 1}, {1, 2}, {2, 3}}, 4);
+  const ExactResult r = solve_exact(sc.network);
+  ASSERT_TRUE(r.optimal());
+  EXPECT_NEAR(r.objective, 2.0, 1e-6);
+  EXPECT_EQ(r.design.z[0], 1);
+  EXPECT_EQ(r.design.z[1], 0);
+  EXPECT_EQ(r.design.z[2], 1);
+}
+
+TEST(Exact, SingleSetCover) {
+  const auto sc = omn::topo::make_set_cover({{0, 1, 2}}, 3);
+  const ExactResult r = solve_exact(sc.network);
+  ASSERT_TRUE(r.optimal());
+  EXPECT_NEAR(r.objective, 1.0, 1e-6);
+}
+
+TEST(Exact, InfeasibleInstanceDetected) {
+  omn::net::OverlayInstance inst;
+  inst.add_source(omn::net::Source{"s", 1.0});
+  inst.add_reflector(omn::net::Reflector{"r", 1.0, 1.0, 0});
+  inst.add_source_reflector_edge(omn::net::SourceReflectorEdge{0, 0, 1.0, 0.4});
+  inst.add_sink(omn::net::Sink{"d", 0, 0.99999});
+  inst.add_reflector_sink_edge(omn::net::ReflectorSinkEdge{0, 0, 1.0, 0.4, {}});
+  const ExactResult r = solve_exact(inst);
+  EXPECT_EQ(r.status, ExactResult::Status::kInfeasible);
+  EXPECT_FALSE(r.has_design);
+}
+
+TEST(Exact, SolutionIsFeasibleAndConsistent) {
+  const auto inst =
+      omn::topo::make_akamai_like(omn::topo::global_event_config(8, 3));
+  const ExactResult r = solve_exact(inst);
+  ASSERT_TRUE(r.optimal());
+  const auto ev = omn::core::evaluate(inst, r.design);
+  EXPECT_TRUE(ev.consistent);
+  EXPECT_GE(ev.min_weight_ratio, 1.0 - 1e-6);       // IP satisfies (5) fully
+  EXPECT_LE(ev.max_fanout_utilization, 1.0 + 1e-6);  // and (3) fully
+  EXPECT_NEAR(ev.total_cost, r.objective, 1e-6);
+}
+
+TEST(Exact, NeverBelowLpBoundAndNeverAboveHeuristics) {
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    auto cfg = omn::topo::global_event_config(8, seed);
+    cfg.num_reflectors = 5;
+    cfg.candidates_per_sink = 4;
+    const auto inst = omn::topo::make_akamai_like(cfg);
+    const ExactResult exact = solve_exact(inst);
+    ASSERT_TRUE(exact.optimal()) << "seed " << seed;
+
+    // LP bound <= OPT.
+    const auto lp = omn::core::build_overlay_lp(inst);
+    const auto sol = omn::lp::SimplexSolver().solve(lp.model);
+    ASSERT_EQ(sol.status, omn::lp::SolveStatus::kOptimal);
+    EXPECT_LE(sol.objective, exact.objective + 1e-6);
+
+    // Any fully-covering heuristic costs at least OPT.
+    const auto greedy = omn::baseline::greedy_design(inst);
+    if (greedy.covered_all) {
+      EXPECT_GE(omn::core::evaluate(inst, greedy.design).total_cost,
+                exact.objective - 1e-6);
+    }
+  }
+}
+
+TEST(Exact, NodeLimitTruncates) {
+  const auto inst =
+      omn::topo::make_akamai_like(omn::topo::global_event_config(12, 5));
+  ExactOptions opts;
+  opts.max_nodes = 1;
+  const ExactResult r = solve_exact(inst, opts);
+  EXPECT_EQ(r.status, ExactResult::Status::kNodeLimit);
+  EXPECT_LE(r.nodes_explored, 2);
+}
+
+TEST(Exact, MatchesDesignerLowerBoundOrdering) {
+  // designer cost >= OPT >= LP bound on a small instance.
+  auto cfg = omn::topo::global_event_config(6, 7);
+  cfg.num_reflectors = 4;
+  const auto inst = omn::topo::make_akamai_like(cfg);
+  const ExactResult exact = solve_exact(inst);
+  ASSERT_TRUE(exact.optimal());
+  omn::core::DesignerConfig dcfg;
+  dcfg.rounding_attempts = 4;
+  const auto approx = omn::core::OverlayDesigner(dcfg).design(inst);
+  ASSERT_TRUE(approx.ok());
+  EXPECT_GE(exact.objective, approx.lp_objective - 1e-6);
+  // The approximation may relax the weight constraint (factor 4), so its
+  // cost can be below OPT; but with full coverage it cannot be below LP.
+  EXPECT_GE(approx.evaluation.total_cost, approx.lp_objective - 1e-6);
+}
+
+}  // namespace

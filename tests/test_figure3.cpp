@@ -1,0 +1,67 @@
+// Reproduces the paper's Figure 3 numbers: the entangled-set constraint
+// creates a 3.5 (fractional) vs 3 (integral) max-flow gap, while the
+// unconstrained max flow is 4.  The fractional value is computed with the
+// LP substrate; the integral one by exhaustive enumeration.
+#include "omn/topo/figure3.hpp"
+
+#include <gtest/gtest.h>
+
+#include "omn/lp/model.hpp"
+#include "omn/lp/simplex.hpp"
+
+namespace {
+
+using omn::topo::Figure3Instance;
+using omn::topo::make_figure3;
+
+TEST(Figure3, UnconstrainedMaxFlowIsFour) {
+  const Figure3Instance fig = make_figure3();
+  EXPECT_DOUBLE_EQ(omn::topo::figure3_unconstrained_max_flow(fig), 4.0);
+}
+
+TEST(Figure3, IntegralMaxFlowWithSetConstraintIsThree) {
+  const Figure3Instance fig = make_figure3();
+  EXPECT_DOUBLE_EQ(omn::topo::figure3_integral_max_flow(fig),
+                   fig.expected_integral_max_flow);
+}
+
+TEST(Figure3, FractionalMaxFlowWithSetConstraintIsThreePointFive) {
+  const Figure3Instance fig = make_figure3();
+  // Edge-flow LP: maximize flow into t subject to conservation, capacities,
+  // and the entangled set constraint sum_{e in S} f_e <= 3.
+  omn::lp::Model m;
+  std::vector<int> var;
+  var.reserve(fig.arcs.size());
+  for (const auto& arc : fig.arcs) {
+    // Maximize total inflow to t == minimize negative of it.
+    const double obj = arc.to == fig.t ? -1.0 : 0.0;
+    var.push_back(m.add_variable(0.0, arc.capacity, obj));
+  }
+  for (int node = 0; node < fig.num_nodes; ++node) {
+    if (node == fig.s || node == fig.t) continue;
+    const int row = m.add_row(omn::lp::RowSense::kEqual, 0.0);
+    for (std::size_t a = 0; a < fig.arcs.size(); ++a) {
+      if (fig.arcs[a].to == node) m.add_coefficient(row, var[a], 1.0);
+      if (fig.arcs[a].from == node) m.add_coefficient(row, var[a], -1.0);
+    }
+  }
+  const int set_row =
+      m.add_row(omn::lp::RowSense::kLessEqual, fig.entangled_capacity);
+  for (int a : fig.entangled_arcs) {
+    m.add_coefficient(set_row, var[static_cast<std::size_t>(a)], 1.0);
+  }
+  const auto sol = omn::lp::SimplexSolver().solve(m);
+  ASSERT_EQ(sol.status, omn::lp::SolveStatus::kOptimal);
+  EXPECT_NEAR(-sol.objective, fig.expected_fractional_max_flow, 1e-7);
+}
+
+TEST(Figure3, PaperGapValuesRecorded) {
+  const Figure3Instance fig = make_figure3();
+  EXPECT_DOUBLE_EQ(fig.expected_fractional_max_flow, 3.5);
+  EXPECT_DOUBLE_EQ(fig.expected_integral_max_flow, 3.0);
+  EXPECT_EQ(fig.entangled_arcs.size(), 2u);
+  EXPECT_EQ(fig.arcs[static_cast<std::size_t>(fig.entangled_arcs[0])].name, "ab");
+  EXPECT_EQ(fig.arcs[static_cast<std::size_t>(fig.entangled_arcs[1])].name, "pq");
+}
+
+}  // namespace

@@ -1,0 +1,125 @@
+// Cross-module integration tests: the full pipeline from topology
+// generation through design to Monte Carlo validation, plus persistence.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "omn/baseline/greedy.hpp"
+#include "omn/core/designer.hpp"
+#include "omn/net/serialize.hpp"
+#include "omn/sim/failures.hpp"
+#include "omn/sim/packet_sim.hpp"
+#include "omn/topo/akamai.hpp"
+
+namespace {
+
+TEST(Integration, DesignSurvivesSerializationRoundTrip) {
+  const auto inst =
+      omn::topo::make_akamai_like(omn::topo::global_event_config(24, 21));
+  const auto reloaded = omn::net::from_text(omn::net::to_text(inst));
+  omn::core::DesignerConfig cfg;
+  cfg.seed = 4;
+  const auto a = omn::core::OverlayDesigner(cfg).design(inst);
+  const auto b = omn::core::OverlayDesigner(cfg).design(reloaded);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // Same bits in, same design out.
+  EXPECT_EQ(a.design.x, b.design.x);
+  EXPECT_DOUBLE_EQ(a.evaluation.total_cost, b.evaluation.total_cost);
+}
+
+TEST(Integration, DesignedNetworkDeliversUnderMonteCarlo) {
+  const auto inst =
+      omn::topo::make_akamai_like(omn::topo::global_event_config(30, 22));
+  omn::core::DesignerConfig cfg;
+  cfg.rounding_attempts = 5;
+  const auto result = omn::core::OverlayDesigner(cfg).design(inst);
+  ASSERT_TRUE(result.ok());
+
+  omn::sim::SimulationConfig sim;
+  sim.num_packets = 100000;
+  const auto report = omn::sim::simulate(inst, result.design, sim);
+  // Every sink must meet the paper's factor-4 relaxed guarantee under
+  // actual packet losses.
+  EXPECT_GE(report.fraction_meeting_quarter_guarantee, 0.99);
+}
+
+TEST(Integration, AlgorithmBeatsGreedyOnReliabilityPerDollarOrCost) {
+  // The LP-rounding algorithm and greedy both produce feasible designs;
+  // record that the LP design's cost stays within a reasonable factor of
+  // greedy's (the cost comparison experiment E9 reports exact numbers).
+  const auto inst =
+      omn::topo::make_akamai_like(omn::topo::global_event_config(36, 23));
+  const auto algo = omn::core::OverlayDesigner().design(inst);
+  const auto greedy = omn::baseline::greedy_design(inst);
+  ASSERT_TRUE(algo.ok());
+  ASSERT_TRUE(greedy.covered_all);
+  const auto ge = omn::core::evaluate(inst, greedy.design);
+  EXPECT_GT(algo.evaluation.total_cost, 0.0);
+  EXPECT_GT(ge.total_cost, 0.0);
+  // Both respect the LP lower bound.
+  EXPECT_GE(ge.total_cost, algo.lp_objective - 1e-6);
+  EXPECT_GE(algo.evaluation.total_cost, algo.lp_objective - 1e-6);
+}
+
+TEST(Integration, ColorDesignSurvivesWorstIspOutageBetter) {
+  auto topo_cfg = omn::topo::global_event_config(40, 24);
+  topo_cfg.num_isps = 4;
+  topo_cfg.candidates_per_sink = 10;
+  const auto inst = omn::topo::make_akamai_like(topo_cfg);
+
+  omn::core::DesignerConfig plain;
+  plain.seed = 2;
+  plain.rounding_attempts = 4;
+  omn::core::DesignerConfig colored = plain;
+  colored.color_constraints = true;
+
+  const auto a = omn::core::OverlayDesigner(plain).design(inst);
+  const auto b = omn::core::OverlayDesigner(colored).design(inst);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+
+  const auto sweep_plain = omn::sim::color_failure_sweep(inst, a.design);
+  const auto sweep_colored = omn::sim::color_failure_sweep(inst, b.design);
+  auto worst_served = [](const auto& sweep) {
+    double worst = 1.0;
+    for (const auto& r : sweep) worst = std::min(worst, r.fraction_served);
+    return worst;
+  };
+  // Color diversification must not make the worst single-ISP outage
+  // materially worse, and must keep serving a majority of sinks.  (Sinks
+  // whose demand is met by a single copy are unprotectable by diversity;
+  // experiment E6 quantifies the full picture.)
+  EXPECT_GE(worst_served(sweep_colored), worst_served(sweep_plain) - 0.05);
+  EXPECT_GE(worst_served(sweep_colored), 0.5);
+}
+
+TEST(Integration, EuHeavyScenarioDesigns) {
+  const auto inst = omn::topo::make_akamai_like(
+      omn::topo::eu_heavy_event_config(32, 25));
+  const auto result = omn::core::OverlayDesigner().design(inst);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.evaluation.sinks_unserved, 0);
+  EXPECT_GE(result.evaluation.min_weight_ratio, 0.25 - 1e-9);
+}
+
+TEST(Integration, MultiDemandExpansionDesigns) {
+  // Build a 2-commodity base where each edgeserver wants both streams.
+  auto topo_cfg = omn::topo::global_event_config(16, 26);
+  topo_cfg.num_sources = 2;
+  auto base = omn::topo::make_akamai_like(topo_cfg);
+  std::vector<std::vector<std::pair<int, double>>> demands(
+      static_cast<std::size_t>(base.num_sinks()));
+  for (int j = 0; j < base.num_sinks(); ++j) {
+    demands[static_cast<std::size_t>(j)] = {{0, 0.95}, {1, 0.95}};
+  }
+  const auto expanded =
+      omn::net::OverlayInstance::expand_multi_demand(base, demands);
+  EXPECT_EQ(expanded.num_sinks(), base.num_sinks() * 2);
+  const auto result = omn::core::OverlayDesigner().design(expanded);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result.evaluation.min_weight_ratio, 0.25 - 1e-9);
+}
+
+}  // namespace

@@ -1,0 +1,112 @@
+// Tests for the latency/deadline model (paper Section 1.2: late packets
+// are effectively useless) and the v1/v2 serialization compatibility.
+#include <gtest/gtest.h>
+
+#include "omn/core/designer.hpp"
+#include "omn/net/serialize.hpp"
+#include "omn/sim/packet_sim.hpp"
+#include "omn/topo/akamai.hpp"
+
+namespace {
+
+using omn::net::OverlayInstance;
+
+OverlayInstance delayed_instance(double sr_delay, double rd_delay) {
+  OverlayInstance inst;
+  inst.add_source(omn::net::Source{"s", 1.0});
+  inst.add_reflector(omn::net::Reflector{"r", 1.0, 4.0, 0});
+  inst.add_sink(omn::net::Sink{"d", 0, 0.9});
+  omn::net::SourceReflectorEdge sr{0, 0, 1.0, 0.01};
+  sr.delay_ms = sr_delay;
+  inst.add_source_reflector_edge(sr);
+  omn::net::ReflectorSinkEdge rd{0, 0, 1.0, 0.01, {}};
+  rd.delay_ms = rd_delay;
+  inst.add_reflector_sink_edge(rd);
+  return inst;
+}
+
+omn::core::Design full_design(const OverlayInstance& inst) {
+  auto d = omn::core::Design::zeros(inst);
+  d.x.assign(d.x.size(), 1);
+  d.close_upward(inst);
+  return d;
+}
+
+TEST(Latency, NoDeadlineIgnoresDelay) {
+  const auto inst = delayed_instance(500.0, 500.0);
+  omn::sim::SimulationConfig cfg;
+  cfg.num_packets = 5000;
+  const auto report = omn::sim::simulate(inst, full_design(inst), cfg);
+  EXPECT_LT(report.sink_loss_rate[0], 0.05);  // only packet loss matters
+}
+
+TEST(Latency, PathExceedingDeadlineIsUseless) {
+  const auto inst = delayed_instance(80.0, 80.0);  // 160 ms path
+  omn::sim::SimulationConfig cfg;
+  cfg.num_packets = 2000;
+  cfg.deadline_ms = 100.0;  // everything arrives late
+  const auto report = omn::sim::simulate(inst, full_design(inst), cfg);
+  EXPECT_DOUBLE_EQ(report.sink_loss_rate[0], 1.0);
+}
+
+TEST(Latency, PathWithinDeadlineUnaffected) {
+  const auto inst = delayed_instance(20.0, 20.0);
+  omn::sim::SimulationConfig cfg;
+  cfg.num_packets = 5000;
+  cfg.deadline_ms = 100.0;
+  const auto report = omn::sim::simulate(inst, full_design(inst), cfg);
+  EXPECT_LT(report.sink_loss_rate[0], 0.05);
+}
+
+TEST(Latency, JitterPushesBoundaryPathsOverDeadline) {
+  const auto inst = delayed_instance(45.0, 45.0);  // 90 ms, 10 ms headroom
+  omn::sim::SimulationConfig base;
+  base.num_packets = 20000;
+  base.deadline_ms = 100.0;
+  omn::sim::SimulationConfig jittery = base;
+  jittery.jitter_sigma_ms = 30.0;
+  const auto calm = omn::sim::simulate(inst, full_design(inst), base);
+  const auto rough = omn::sim::simulate(inst, full_design(inst), jittery);
+  EXPECT_LT(calm.sink_loss_rate[0], 0.05);
+  EXPECT_GT(rough.sink_loss_rate[0], calm.sink_loss_rate[0] + 0.2);
+}
+
+TEST(Latency, GeneratorAssignsPositiveDelays) {
+  const auto inst =
+      omn::topo::make_akamai_like(omn::topo::global_event_config(20, 3));
+  for (const auto& e : inst.sr_edges()) EXPECT_GT(e.delay_ms, 0.0);
+  for (const auto& e : inst.rd_edges()) EXPECT_GT(e.delay_ms, 0.0);
+}
+
+TEST(Latency, ValidateRejectsNegativeDelay) {
+  auto inst = delayed_instance(1.0, 1.0);
+  inst.sr_edge(0).delay_ms = -1.0;
+  EXPECT_THROW(inst.validate(), std::invalid_argument);
+}
+
+TEST(Latency, SerializationRoundTripsDelays) {
+  const auto inst = delayed_instance(12.5, 37.5);
+  const auto back = omn::net::from_text(omn::net::to_text(inst));
+  EXPECT_DOUBLE_EQ(back.sr_edges()[0].delay_ms, 12.5);
+  EXPECT_DOUBLE_EQ(back.rd_edges()[0].delay_ms, 37.5);
+}
+
+TEST(Latency, LoadsLegacyV1WithoutDelays) {
+  const std::string v1 =
+      "omn-instance v1\n"
+      "sources 1\ns 1\n"
+      "reflectors 1\nr 1 4 0\n"
+      "sinks 1\nd 0 0.9\n"
+      "sr_edges 1\n0 0 1 0.01\n"
+      "rd_edges 1\n0 0 1 0.01 inf\n";
+  const auto inst = omn::net::from_text(v1);
+  EXPECT_EQ(inst.num_sinks(), 1);
+  EXPECT_DOUBLE_EQ(inst.sr_edges()[0].delay_ms, 0.0);
+  EXPECT_DOUBLE_EQ(inst.rd_edges()[0].delay_ms, 0.0);
+}
+
+TEST(Latency, RejectsUnknownVersion) {
+  EXPECT_THROW(omn::net::from_text("omn-instance v3\n"), std::runtime_error);
+}
+
+}  // namespace

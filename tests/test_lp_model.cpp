@@ -1,0 +1,90 @@
+// Unit tests for the LP model container.
+#include "omn/lp/model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using omn::lp::Model;
+using omn::lp::RowSense;
+
+TEST(LpModel, AddVariableValidatesBounds) {
+  Model m;
+  EXPECT_EQ(m.add_variable(0.0, 1.0, 2.0), 0);
+  EXPECT_EQ(m.add_variable(0.0, omn::lp::kInfinity, 0.0), 1);
+  EXPECT_THROW(m.add_variable(2.0, 1.0, 0.0), std::invalid_argument);
+}
+
+TEST(LpModel, AddCoefficientChecksIndices) {
+  Model m;
+  const int v = m.add_variable(0.0, 1.0, 0.0);
+  const int r = m.add_row(RowSense::kLessEqual, 1.0);
+  m.add_coefficient(r, v, 2.0);
+  EXPECT_THROW(m.add_coefficient(r + 1, v, 1.0), std::out_of_range);
+  EXPECT_THROW(m.add_coefficient(r, v + 1, 1.0), std::out_of_range);
+}
+
+TEST(LpModel, ZeroCoefficientIgnored) {
+  Model m;
+  const int v = m.add_variable(0.0, 1.0, 0.0);
+  const int r = m.add_row(RowSense::kLessEqual, 1.0);
+  m.add_coefficient(r, v, 0.0);
+  EXPECT_EQ(m.num_nonzeros(), 0u);
+}
+
+TEST(LpModel, RowActivities) {
+  Model m;
+  const int a = m.add_variable(0.0, 10.0, 0.0);
+  const int b = m.add_variable(0.0, 10.0, 0.0);
+  const int r0 = m.add_row(RowSense::kLessEqual, 5.0);
+  const int r1 = m.add_row(RowSense::kGreaterEqual, 1.0);
+  m.add_coefficient(r0, a, 1.0);
+  m.add_coefficient(r0, b, 2.0);
+  m.add_coefficient(r1, b, 1.0);
+  const auto act = m.row_activities({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(act[0], 5.0);
+  EXPECT_DOUBLE_EQ(act[1], 2.0);
+}
+
+TEST(LpModel, ObjectiveValue) {
+  Model m;
+  m.add_variable(0.0, 1.0, 3.0);
+  m.add_variable(0.0, 1.0, -2.0);
+  EXPECT_DOUBLE_EQ(m.objective_value({1.0, 0.5}), 2.0);
+}
+
+TEST(LpModel, MaxInfeasibilityMeasuresWorstViolation) {
+  Model m;
+  const int v = m.add_variable(0.0, 1.0, 0.0);
+  const int r = m.add_row(RowSense::kGreaterEqual, 3.0);
+  m.add_coefficient(r, v, 1.0);
+  // x = 0.5: row shortfall 2.5, bounds fine.
+  EXPECT_DOUBLE_EQ(m.max_infeasibility({0.5}), 2.5);
+  // x = 2.0 violates the upper bound by 1 but the row by 1.
+  EXPECT_DOUBLE_EQ(m.max_infeasibility({2.0}), 1.0);
+}
+
+TEST(LpModel, EqualitySenseInfeasibilityIsAbsolute) {
+  Model m;
+  const int v = m.add_variable(-5.0, 5.0, 0.0);
+  const int r = m.add_row(RowSense::kEqual, 1.0);
+  m.add_coefficient(r, v, 1.0);
+  EXPECT_DOUBLE_EQ(m.max_infeasibility({3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(m.max_infeasibility({-1.0}), 2.0);
+}
+
+TEST(LpModel, ValidateRejectsInfiniteLowerBound) {
+  Model m;
+  m.add_variable(0.0, 1.0, 0.0);
+  m.variable(0).lower = -omn::lp::kInfinity;
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+}
+
+TEST(LpModel, DimensionMismatchThrows) {
+  Model m;
+  m.add_variable(0.0, 1.0, 0.0);
+  EXPECT_THROW(m.objective_value({1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(m.row_activities({}), std::invalid_argument);
+}
+
+}  // namespace

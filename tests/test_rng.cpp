@@ -1,0 +1,161 @@
+// Unit tests for the xoshiro256** RNG wrapper.
+#include "omn/util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace {
+
+using omn::util::Rng;
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  double min = 1.0;
+  double max = 0.0;
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    min = std::min(min, u);
+    max = std::max(max, u);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+  EXPECT_LT(min, 0.001);
+  EXPECT_GT(max, 0.999);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIndexIsUnbiased) {
+  Rng rng(11);
+  constexpr std::uint64_t kBuckets = 7;
+  std::vector<int> counts(kBuckets, 0);
+  constexpr int kN = 140000;
+  for (int i = 0; i < kN; ++i) ++counts[rng.uniform_index(kBuckets)];
+  for (std::uint64_t b = 0; b < kBuckets; ++b) {
+    EXPECT_NEAR(counts[b], kN / static_cast<int>(kBuckets), 900)
+        << "bucket " << b;
+  }
+}
+
+TEST(Rng, UniformIntInclusiveRange) {
+  Rng rng(13);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.uniform_int(-2, 2);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(17);
+  constexpr int kN = 100000;
+  int hits = 0;
+  for (int i = 0; i < kN; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-0.5));
+    EXPECT_TRUE(rng.bernoulli(1.5));
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(23);
+  constexpr int kN = 200000;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sq / kN, 1.0, 0.03);
+}
+
+TEST(Rng, NormalWithParameters) {
+  Rng rng(29);
+  constexpr int kN = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < kN; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / kN, 10.0, 0.05);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(31);
+  constexpr int kN = 200000;
+  double sum = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.exponential(2.0);
+    ASSERT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, ParetoRespectsMinimum) {
+  Rng rng(37);
+  for (int i = 0; i < 10000; ++i) ASSERT_GE(rng.pareto(2.0, 1.5), 2.0);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(41);
+  Rng child = parent.fork();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (parent() == child()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, JumpChangesSequence) {
+  Rng a(43);
+  Rng b(43);
+  b.jump();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+}  // namespace

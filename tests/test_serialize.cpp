@@ -1,0 +1,112 @@
+// Round-trip tests for the text serialization.
+#include "omn/net/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "omn/topo/akamai.hpp"
+#include "omn/topo/synthetic.hpp"
+
+namespace {
+
+using omn::net::OverlayInstance;
+
+void expect_equal(const OverlayInstance& a, const OverlayInstance& b) {
+  ASSERT_EQ(a.num_sources(), b.num_sources());
+  ASSERT_EQ(a.num_reflectors(), b.num_reflectors());
+  ASSERT_EQ(a.num_sinks(), b.num_sinks());
+  ASSERT_EQ(a.sr_edges().size(), b.sr_edges().size());
+  ASSERT_EQ(a.rd_edges().size(), b.rd_edges().size());
+  for (int k = 0; k < a.num_sources(); ++k) {
+    EXPECT_DOUBLE_EQ(a.source(k).bandwidth, b.source(k).bandwidth);
+  }
+  for (int i = 0; i < a.num_reflectors(); ++i) {
+    EXPECT_DOUBLE_EQ(a.reflector(i).build_cost, b.reflector(i).build_cost);
+    EXPECT_DOUBLE_EQ(a.reflector(i).fanout, b.reflector(i).fanout);
+    EXPECT_EQ(a.reflector(i).color, b.reflector(i).color);
+  }
+  for (int j = 0; j < a.num_sinks(); ++j) {
+    EXPECT_EQ(a.sink(j).commodity, b.sink(j).commodity);
+    EXPECT_DOUBLE_EQ(a.sink(j).threshold, b.sink(j).threshold);
+  }
+  for (std::size_t e = 0; e < a.sr_edges().size(); ++e) {
+    EXPECT_DOUBLE_EQ(a.sr_edges()[e].cost, b.sr_edges()[e].cost);
+    EXPECT_DOUBLE_EQ(a.sr_edges()[e].loss, b.sr_edges()[e].loss);
+  }
+  for (std::size_t e = 0; e < a.rd_edges().size(); ++e) {
+    EXPECT_DOUBLE_EQ(a.rd_edges()[e].cost, b.rd_edges()[e].cost);
+    EXPECT_DOUBLE_EQ(a.rd_edges()[e].loss, b.rd_edges()[e].loss);
+    EXPECT_EQ(a.rd_edges()[e].capacity.has_value(),
+              b.rd_edges()[e].capacity.has_value());
+  }
+}
+
+TEST(Serialize, RoundTripAkamaiLike) {
+  const auto inst =
+      omn::topo::make_akamai_like(omn::topo::global_event_config(30, 7));
+  const std::string text = omn::net::to_text(inst);
+  const OverlayInstance back = omn::net::from_text(text);
+  expect_equal(inst, back);
+}
+
+TEST(Serialize, RoundTripUniform) {
+  omn::topo::UniformConfig cfg;
+  cfg.seed = 3;
+  const auto inst = omn::topo::make_uniform_random(cfg);
+  expect_equal(inst, omn::net::from_text(omn::net::to_text(inst)));
+}
+
+TEST(Serialize, PreservesCapacities) {
+  OverlayInstance inst;
+  inst.add_source(omn::net::Source{"s", 1.0});
+  inst.add_reflector(omn::net::Reflector{"r", 1.0, 2.0, 0});
+  inst.add_sink(omn::net::Sink{"d", 0, 0.9});
+  inst.add_source_reflector_edge(omn::net::SourceReflectorEdge{0, 0, 1.0, 0.1});
+  omn::net::ReflectorSinkEdge e{0, 0, 1.0, 0.1, {}};
+  e.capacity = 0.5;
+  inst.add_reflector_sink_edge(e);
+  const OverlayInstance back = omn::net::from_text(omn::net::to_text(inst));
+  ASSERT_TRUE(back.rd_edges()[0].capacity.has_value());
+  EXPECT_DOUBLE_EQ(*back.rd_edges()[0].capacity, 0.5);
+}
+
+TEST(Serialize, NamesWithSpacesAreSanitized) {
+  OverlayInstance inst;
+  inst.add_source(omn::net::Source{"has space", 1.0});
+  inst.add_reflector(omn::net::Reflector{"r", 1.0, 2.0, 0});
+  inst.add_sink(omn::net::Sink{"d", 0, 0.9});
+  inst.add_source_reflector_edge(omn::net::SourceReflectorEdge{0, 0, 0.0, 0.1});
+  inst.add_reflector_sink_edge(omn::net::ReflectorSinkEdge{0, 0, 0.0, 0.1, {}});
+  const OverlayInstance back = omn::net::from_text(omn::net::to_text(inst));
+  EXPECT_EQ(back.source(0).name, "has_space");
+}
+
+TEST(Serialize, RejectsGarbage) {
+  EXPECT_THROW(omn::net::from_text("not an instance"), std::runtime_error);
+  EXPECT_THROW(omn::net::from_text("omn-instance v9\n"), std::runtime_error);
+}
+
+TEST(Serialize, RejectsTruncated) {
+  const auto inst =
+      omn::topo::make_akamai_like(omn::topo::global_event_config(10, 7));
+  std::string text = omn::net::to_text(inst);
+  text.resize(text.size() / 2);
+  EXPECT_ANY_THROW(omn::net::from_text(text));
+}
+
+TEST(Serialize, FileRoundTrip) {
+  const auto inst =
+      omn::topo::make_akamai_like(omn::topo::global_event_config(12, 9));
+  const std::string path = ::testing::TempDir() + "omn_roundtrip.txt";
+  omn::net::save_file(inst, path);
+  const OverlayInstance back = omn::net::load_file(path);
+  expect_equal(inst, back);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileThrows) {
+  EXPECT_THROW(omn::net::load_file("/nonexistent/omn.txt"), std::runtime_error);
+}
+
+}  // namespace

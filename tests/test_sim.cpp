@@ -1,0 +1,160 @@
+// Tests for the Monte Carlo packet simulator, exact reliability, and
+// failure injection.  The key property: MC loss rates converge to the
+// exact product-form probabilities.
+#include "omn/sim/failures.hpp"
+#include "omn/sim/packet_sim.hpp"
+#include "omn/sim/reliability.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "omn/core/designer.hpp"
+#include "omn/topo/akamai.hpp"
+
+namespace {
+
+using omn::core::Design;
+using omn::net::OverlayInstance;
+
+struct Deployed {
+  OverlayInstance inst;
+  Design design;
+};
+
+Deployed deploy(int sinks, std::uint64_t seed, int isps = 4) {
+  Deployed d;
+  auto cfg = omn::topo::global_event_config(sinks, seed);
+  cfg.num_isps = isps;
+  d.inst = omn::topo::make_akamai_like(cfg);
+  omn::core::DesignerConfig dcfg;
+  dcfg.seed = seed;
+  const auto result = omn::core::OverlayDesigner(dcfg).design(d.inst);
+  EXPECT_TRUE(result.ok());
+  d.design = result.design;
+  return d;
+}
+
+TEST(ExactReliability, MatchesEvaluator) {
+  const Deployed d = deploy(20, 1);
+  const auto probs = omn::sim::exact_delivery_probability(d.inst, d.design);
+  const auto ev = omn::core::evaluate(d.inst, d.design);
+  ASSERT_EQ(probs.size(), ev.sinks.size());
+  for (std::size_t j = 0; j < probs.size(); ++j) {
+    EXPECT_NEAR(probs[j], ev.sinks[j].delivery_probability, 1e-12);
+  }
+}
+
+TEST(PacketSim, ConvergesToExactReliability) {
+  const Deployed d = deploy(16, 2);
+  const auto exact = omn::sim::exact_delivery_probability(d.inst, d.design);
+  omn::sim::SimulationConfig cfg;
+  cfg.num_packets = 200000;
+  cfg.seed = 7;
+  const auto report = omn::sim::simulate(d.inst, d.design, cfg);
+  ASSERT_EQ(report.sink_loss_rate.size(), exact.size());
+  for (std::size_t j = 0; j < exact.size(); ++j) {
+    // Binomial std dev at n = 2e5 is < 0.0012; allow 4 sigma.
+    EXPECT_NEAR(report.sink_loss_rate[j], 1.0 - exact[j], 0.005)
+        << "sink " << j;
+  }
+}
+
+TEST(PacketSim, DeterministicPerSeed) {
+  const Deployed d = deploy(12, 3);
+  omn::sim::SimulationConfig cfg;
+  cfg.num_packets = 20000;
+  cfg.seed = 5;
+  cfg.threads = 2;
+  const auto a = omn::sim::simulate(d.inst, d.design, cfg);
+  const auto b = omn::sim::simulate(d.inst, d.design, cfg);
+  EXPECT_EQ(a.sink_loss_rate, b.sink_loss_rate);
+}
+
+TEST(PacketSim, EmptyDesignLosesEverything) {
+  const Deployed d = deploy(10, 4);
+  const Design empty = Design::zeros(d.inst);
+  omn::sim::SimulationConfig cfg;
+  cfg.num_packets = 1000;
+  const auto report = omn::sim::simulate(d.inst, empty, cfg);
+  for (double loss : report.sink_loss_rate) EXPECT_DOUBLE_EQ(loss, 1.0);
+  EXPECT_DOUBLE_EQ(report.fraction_meeting_threshold, 0.0);
+}
+
+TEST(PacketSim, QuarterGuaranteeFractionReported) {
+  const Deployed d = deploy(20, 5);
+  omn::sim::SimulationConfig cfg;
+  cfg.num_packets = 50000;
+  const auto report = omn::sim::simulate(d.inst, d.design, cfg);
+  EXPECT_GE(report.fraction_meeting_quarter_guarantee, 0.95);
+  EXPECT_GE(report.fraction_meeting_quarter_guarantee,
+            report.fraction_meeting_threshold - 1e-12);
+}
+
+TEST(PacketSim, CorrelatedIspOutagesIncreaseLoss) {
+  const Deployed d = deploy(20, 6);
+  omn::sim::SimulationConfig base;
+  base.num_packets = 50000;
+  base.seed = 11;
+  omn::sim::SimulationConfig correlated = base;
+  correlated.isp_outage_probability = 0.2;
+  const auto a = omn::sim::simulate(d.inst, d.design, base);
+  const auto b = omn::sim::simulate(d.inst, d.design, correlated);
+  double mean_a = 0.0;
+  double mean_b = 0.0;
+  for (double v : a.sink_loss_rate) mean_a += v;
+  for (double v : b.sink_loss_rate) mean_b += v;
+  EXPECT_GT(mean_b, mean_a);
+}
+
+TEST(Failures, WithFailedColorZeroesThatColor) {
+  const Deployed d = deploy(20, 7);
+  const Design failed = omn::sim::with_failed_color(d.inst, d.design, 0);
+  for (int i = 0; i < d.inst.num_reflectors(); ++i) {
+    if (d.inst.reflector(i).color == 0) {
+      EXPECT_EQ(failed.z[static_cast<std::size_t>(i)], 0);
+    }
+  }
+  for (std::size_t id = 0; id < d.inst.rd_edges().size(); ++id) {
+    const auto& e = d.inst.rd_edges()[id];
+    if (d.inst.reflector(e.reflector).color == 0) {
+      EXPECT_EQ(failed.x[id], 0);
+    } else {
+      EXPECT_EQ(failed.x[id], d.design.x[id]);
+    }
+  }
+}
+
+TEST(Failures, SweepCoversEveryColor) {
+  const Deployed d = deploy(24, 8);
+  const auto sweep = omn::sim::color_failure_sweep(d.inst, d.design);
+  EXPECT_EQ(static_cast<int>(sweep.size()), d.inst.num_colors());
+  for (const auto& r : sweep) {
+    EXPECT_GE(r.fraction_served, 0.0);
+    EXPECT_LE(r.fraction_served, 1.0);
+    EXPECT_LE(r.fraction_meeting_threshold, r.fraction_meeting_quarter + 1e-12);
+  }
+}
+
+TEST(Failures, FailureNeverImprovesDelivery) {
+  const Deployed d = deploy(24, 9);
+  const auto base = omn::sim::exact_delivery_probability(d.inst, d.design);
+  for (int c = 0; c < d.inst.num_colors(); ++c) {
+    const auto failed =
+        omn::sim::exact_delivery_probability_with_failed_color(d.inst,
+                                                               d.design, c);
+    for (std::size_t j = 0; j < base.size(); ++j) {
+      EXPECT_LE(failed[j], base[j] + 1e-12);
+    }
+  }
+}
+
+TEST(Failures, WorstCaseHelper) {
+  std::vector<omn::sim::ColorFailureReport> sweep(3);
+  sweep[0].fraction_meeting_quarter = 0.9;
+  sweep[1].fraction_meeting_quarter = 0.4;
+  sweep[2].fraction_meeting_quarter = 0.7;
+  EXPECT_DOUBLE_EQ(omn::sim::worst_case_quarter_fraction(sweep), 0.4);
+}
+
+}  // namespace

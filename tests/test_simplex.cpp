@@ -1,0 +1,228 @@
+// Unit tests for the two-phase bounded-variable simplex on hand-checked
+// programs: textbook optima, equality rows, upper bounds, infeasible and
+// unbounded detection, and a classic degenerate/cycling instance.
+#include "omn/lp/simplex.hpp"
+
+#include <gtest/gtest.h>
+
+#include "omn/lp/model.hpp"
+
+namespace {
+
+using omn::lp::Model;
+using omn::lp::RowSense;
+using omn::lp::SimplexSolver;
+using omn::lp::SolveStatus;
+
+constexpr double kTol = 1e-7;
+
+TEST(Simplex, EmptyModelBoxOptimum) {
+  Model m;
+  m.add_variable(0.0, 1.0, 1.0);    // stays at lower
+  m.add_variable(0.0, 1.0, -2.0);   // goes to upper
+  const auto sol = SimplexSolver().solve(m);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.x[0], 0.0, kTol);
+  EXPECT_NEAR(sol.x[1], 1.0, kTol);
+  EXPECT_NEAR(sol.objective, -2.0, kTol);
+}
+
+TEST(Simplex, EmptyModelUnboundedVariable) {
+  Model m;
+  m.add_variable(0.0, omn::lp::kInfinity, -1.0);
+  const auto sol = SimplexSolver().solve(m);
+  EXPECT_EQ(sol.status, SolveStatus::kUnbounded);
+}
+
+// Maximize 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 (classic Dantzig
+// example): optimum (2, 6) with value 36.
+TEST(Simplex, TextbookMaximization) {
+  Model m;
+  const int x = m.add_variable(0.0, omn::lp::kInfinity, -3.0);
+  const int y = m.add_variable(0.0, omn::lp::kInfinity, -5.0);
+  int r = m.add_row(RowSense::kLessEqual, 4.0);
+  m.add_coefficient(r, x, 1.0);
+  r = m.add_row(RowSense::kLessEqual, 12.0);
+  m.add_coefficient(r, y, 2.0);
+  r = m.add_row(RowSense::kLessEqual, 18.0);
+  m.add_coefficient(r, x, 3.0);
+  m.add_coefficient(r, y, 2.0);
+  const auto sol = SimplexSolver().solve(m);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, -36.0, kTol);
+  EXPECT_NEAR(sol.x[0], 2.0, 1e-6);
+  EXPECT_NEAR(sol.x[1], 6.0, 1e-6);
+}
+
+// Minimize x + 2y s.t. x + y >= 3, x - y <= 1: needs phase I.
+TEST(Simplex, GreaterEqualNeedsPhase1) {
+  Model m;
+  const int x = m.add_variable(0.0, omn::lp::kInfinity, 1.0);
+  const int y = m.add_variable(0.0, omn::lp::kInfinity, 2.0);
+  int r = m.add_row(RowSense::kGreaterEqual, 3.0);
+  m.add_coefficient(r, x, 1.0);
+  m.add_coefficient(r, y, 1.0);
+  r = m.add_row(RowSense::kLessEqual, 1.0);
+  m.add_coefficient(r, x, 1.0);
+  m.add_coefficient(r, y, -1.0);
+  const auto sol = SimplexSolver().solve(m);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  // Optimum: push x as high as possible: x - y <= 1, x + y >= 3 =>
+  // x = 2, y = 1, objective 4.
+  EXPECT_NEAR(sol.objective, 4.0, 1e-6);
+  EXPECT_GT(sol.phase1_iterations, 0);
+  EXPECT_LE(sol.max_violation, 1e-6);
+}
+
+TEST(Simplex, EqualityRow) {
+  Model m;
+  const int x = m.add_variable(0.0, 10.0, 1.0);
+  const int y = m.add_variable(0.0, 10.0, 3.0);
+  const int r = m.add_row(RowSense::kEqual, 4.0);
+  m.add_coefficient(r, x, 1.0);
+  m.add_coefficient(r, y, 1.0);
+  const auto sol = SimplexSolver().solve(m);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.x[0], 4.0, 1e-6);  // cheap variable takes it all
+  EXPECT_NEAR(sol.x[1], 0.0, 1e-6);
+  EXPECT_NEAR(sol.objective, 4.0, kTol);
+}
+
+TEST(Simplex, UpperBoundsBindWithoutExplicitRows) {
+  Model m;
+  // min -x - y s.t. x + y <= 1.5, x,y in [0,1]: optimum 1.5 at e.g. (1, .5).
+  const int x = m.add_variable(0.0, 1.0, -1.0);
+  const int y = m.add_variable(0.0, 1.0, -1.0);
+  const int r = m.add_row(RowSense::kLessEqual, 1.5);
+  m.add_coefficient(r, x, 1.0);
+  m.add_coefficient(r, y, 1.0);
+  const auto sol = SimplexSolver().solve(m);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, -1.5, kTol);
+  EXPECT_LE(sol.x[0], 1.0 + kTol);
+  EXPECT_LE(sol.x[1], 1.0 + kTol);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  Model m;
+  const int x = m.add_variable(0.0, 1.0, 1.0);
+  const int r = m.add_row(RowSense::kGreaterEqual, 2.0);
+  m.add_coefficient(r, x, 1.0);
+  const auto sol = SimplexSolver().solve(m);
+  EXPECT_EQ(sol.status, SolveStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsInfeasibleEqualitySystem) {
+  Model m;
+  const int x = m.add_variable(0.0, 10.0, 0.0);
+  const int y = m.add_variable(0.0, 10.0, 0.0);
+  int r = m.add_row(RowSense::kEqual, 1.0);
+  m.add_coefficient(r, x, 1.0);
+  m.add_coefficient(r, y, 1.0);
+  r = m.add_row(RowSense::kEqual, 5.0);
+  m.add_coefficient(r, x, 1.0);
+  m.add_coefficient(r, y, 1.0);
+  const auto sol = SimplexSolver().solve(m);
+  EXPECT_EQ(sol.status, SolveStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  Model m;
+  const int x = m.add_variable(0.0, omn::lp::kInfinity, -1.0);
+  const int y = m.add_variable(0.0, omn::lp::kInfinity, 0.0);
+  // x - y <= 1 does not bound x from above because y can chase it.
+  const int r = m.add_row(RowSense::kLessEqual, 1.0);
+  m.add_coefficient(r, x, 1.0);
+  m.add_coefficient(r, y, -1.0);
+  const auto sol = SimplexSolver().solve(m);
+  EXPECT_EQ(sol.status, SolveStatus::kUnbounded);
+}
+
+// Beale's classic cycling example; terminates only with anti-cycling.
+TEST(Simplex, BealeCyclingInstanceTerminates) {
+  Model m;
+  const int x1 = m.add_variable(0.0, omn::lp::kInfinity, -0.75);
+  const int x2 = m.add_variable(0.0, omn::lp::kInfinity, 150.0);
+  const int x3 = m.add_variable(0.0, omn::lp::kInfinity, -0.02);
+  const int x4 = m.add_variable(0.0, omn::lp::kInfinity, 6.0);
+  int r = m.add_row(RowSense::kLessEqual, 0.0);
+  m.add_coefficient(r, x1, 0.25);
+  m.add_coefficient(r, x2, -60.0);
+  m.add_coefficient(r, x3, -0.04);
+  m.add_coefficient(r, x4, 9.0);
+  r = m.add_row(RowSense::kLessEqual, 0.0);
+  m.add_coefficient(r, x1, 0.5);
+  m.add_coefficient(r, x2, -90.0);
+  m.add_coefficient(r, x3, -0.02);
+  m.add_coefficient(r, x4, 3.0);
+  r = m.add_row(RowSense::kLessEqual, 1.0);
+  m.add_coefficient(r, x3, 1.0);
+  const auto sol = SimplexSolver().solve(m);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, -0.05, 1e-6);
+}
+
+TEST(Simplex, FixedVariablesRespected) {
+  Model m;
+  const int x = m.add_variable(0.7, 0.7, -10.0);  // fixed
+  const int y = m.add_variable(0.0, 1.0, 1.0);
+  const int r = m.add_row(RowSense::kGreaterEqual, 1.0);
+  m.add_coefficient(r, x, 1.0);
+  m.add_coefficient(r, y, 1.0);
+  const auto sol = SimplexSolver().solve(m);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.x[0], 0.7, kTol);
+  EXPECT_NEAR(sol.x[1], 0.3, 1e-6);
+}
+
+TEST(Simplex, NonzeroLowerBounds) {
+  Model m;
+  // min x + y with x >= 2, y >= 3, x + y >= 6.
+  const int x = m.add_variable(2.0, omn::lp::kInfinity, 1.0);
+  const int y = m.add_variable(3.0, omn::lp::kInfinity, 1.0);
+  const int r = m.add_row(RowSense::kGreaterEqual, 6.0);
+  m.add_coefficient(r, x, 1.0);
+  m.add_coefficient(r, y, 1.0);
+  const auto sol = SimplexSolver().solve(m);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 6.0, 1e-6);
+}
+
+TEST(Simplex, RedundantRowsHandled) {
+  Model m;
+  const int x = m.add_variable(0.0, 1.0, -1.0);
+  for (int i = 0; i < 5; ++i) {
+    const int r = m.add_row(RowSense::kLessEqual, 0.5);
+    m.add_coefficient(r, x, 1.0);
+  }
+  const auto sol = SimplexSolver().solve(m);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.x[0], 0.5, 1e-6);
+}
+
+TEST(Simplex, DuplicateTripletsAreSummed) {
+  Model m;
+  const int x = m.add_variable(0.0, 10.0, -1.0);
+  const int r = m.add_row(RowSense::kLessEqual, 4.0);
+  m.add_coefficient(r, x, 1.0);
+  m.add_coefficient(r, x, 1.0);  // effective coefficient 2
+  const auto sol = SimplexSolver().solve(m);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.x[0], 2.0, 1e-6);
+}
+
+TEST(Simplex, ReportsIterationLimit) {
+  Model m;
+  const int x = m.add_variable(0.0, omn::lp::kInfinity, -3.0);
+  const int y = m.add_variable(0.0, omn::lp::kInfinity, -5.0);
+  int r = m.add_row(RowSense::kLessEqual, 4.0);
+  m.add_coefficient(r, x, 1.0);
+  r = m.add_row(RowSense::kLessEqual, 12.0);
+  m.add_coefficient(r, y, 2.0);
+  omn::lp::SolveOptions opts;
+  opts.max_iterations = 1;
+  const auto sol = SimplexSolver().solve(m, opts);
+  EXPECT_EQ(sol.status, SolveStatus::kIterationLimit);
+}
+
+}  // namespace

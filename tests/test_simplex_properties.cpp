@@ -1,0 +1,153 @@
+// Property tests for the simplex: random LPs with a *certified* optimum.
+//
+// Construction (KKT): pick a random point x* in the box [0,1]^n, generate
+// random rows a_i.  A subset T of rows is made tight at x* (b_i = a_i.x*);
+// the rest get positive slack.  The objective is then assembled as
+//   c = -sum_{i in T} lambda_i a_i  - mu_plus + mu_minus
+// with lambda_i >= 0, mu_plus supported on coordinates at the upper bound,
+// mu_minus on coordinates at the lower bound.  By weak duality x* is an
+// optimal solution, so the solver must return objective c.x* (it may find
+// a different optimal vertex).
+#include "omn/lp/simplex.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "omn/lp/model.hpp"
+#include "omn/util/rng.hpp"
+
+namespace {
+
+using omn::lp::Model;
+using omn::lp::RowSense;
+using omn::lp::SimplexSolver;
+using omn::lp::SolveStatus;
+using omn::util::Rng;
+
+struct CertifiedLp {
+  Model model;
+  std::vector<double> x_star;
+  double optimum = 0.0;
+};
+
+CertifiedLp make_certified_lp(int n, int m, std::uint64_t seed) {
+  Rng rng(seed);
+  CertifiedLp out;
+  Model& model = out.model;
+
+  out.x_star.resize(n);
+  for (int j = 0; j < n; ++j) {
+    // Mix of interior, lower-bound, and upper-bound coordinates.
+    const double roll = rng.uniform();
+    if (roll < 0.25) {
+      out.x_star[j] = 0.0;
+    } else if (roll < 0.5) {
+      out.x_star[j] = 1.0;
+    } else {
+      out.x_star[j] = rng.uniform();
+    }
+  }
+
+  std::vector<std::vector<double>> rows(m, std::vector<double>(n));
+  std::vector<bool> tight(m);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) rows[i][j] = rng.uniform(-2.0, 2.0);
+    tight[i] = rng.bernoulli(0.5);
+  }
+  // Build objective from tight-row normals and bound multipliers.
+  std::vector<double> c(n, 0.0);
+  for (int i = 0; i < m; ++i) {
+    if (!tight[i]) continue;
+    const double lambda = rng.uniform(0.0, 2.0);
+    for (int j = 0; j < n; ++j) c[j] -= lambda * rows[i][j];
+  }
+  for (int j = 0; j < n; ++j) {
+    if (out.x_star[j] >= 1.0) {
+      c[j] -= rng.uniform(0.0, 1.0);  // pushes toward upper: mu_plus
+    } else if (out.x_star[j] <= 0.0) {
+      c[j] += rng.uniform(0.0, 1.0);  // pushes toward lower: mu_minus
+    }
+  }
+
+  for (int j = 0; j < n; ++j) model.add_variable(0.0, 1.0, c[j]);
+  out.optimum = 0.0;
+  for (int j = 0; j < n; ++j) out.optimum += c[j] * out.x_star[j];
+
+  for (int i = 0; i < m; ++i) {
+    double activity = 0.0;
+    for (int j = 0; j < n; ++j) activity += rows[i][j] * out.x_star[j];
+    const double slack = tight[i] ? 0.0 : rng.uniform(0.1, 1.0);
+    const int r = model.add_row(RowSense::kLessEqual, activity + slack);
+    for (int j = 0; j < n; ++j) model.add_coefficient(r, j, rows[i][j]);
+  }
+  return out;
+}
+
+class CertifiedLpTest
+    : public ::testing::TestWithParam<std::tuple<int, int, std::uint64_t>> {};
+
+TEST_P(CertifiedLpTest, SolverFindsCertifiedOptimum) {
+  const auto [n, m, seed] = GetParam();
+  CertifiedLp lp = make_certified_lp(n, m, seed);
+  const auto sol = SimplexSolver().solve(lp.model);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal) << "n=" << n << " m=" << m;
+  EXPECT_LE(sol.max_violation, 1e-6);
+  const double scale = 1.0 + std::abs(lp.optimum);
+  EXPECT_NEAR(sol.objective, lp.optimum, 1e-6 * scale)
+      << "n=" << n << " m=" << m << " seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndSeeds, CertifiedLpTest,
+    ::testing::Combine(::testing::Values(2, 5, 12, 25),
+                       ::testing::Values(1, 4, 10, 30),
+                       ::testing::Values(1u, 2u, 3u, 4u, 5u)));
+
+// Feasibility-only property: random LPs that are feasible by construction
+// (b_i = a_i . x0 + slack for a random x0): the solver must return either a
+// feasible optimal point or kUnbounded, never kInfeasible.
+class FeasibleLpTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FeasibleLpTest, NeverClaimsInfeasible) {
+  Rng rng(GetParam());
+  const int n = 2 + static_cast<int>(rng.uniform_index(10));
+  const int m = 1 + static_cast<int>(rng.uniform_index(12));
+  Model model;
+  std::vector<double> x0(n);
+  for (int j = 0; j < n; ++j) {
+    x0[j] = rng.uniform();
+    model.add_variable(0.0, 1.0, rng.uniform(-1.0, 1.0));
+  }
+  for (int i = 0; i < m; ++i) {
+    std::vector<double> row(n);
+    double activity = 0.0;
+    for (int j = 0; j < n; ++j) {
+      row[j] = rng.uniform(-2.0, 2.0);
+      activity += row[j] * x0[j];
+    }
+    // Mix of <= and >= rows, all satisfied at x0.
+    const bool le = rng.bernoulli(0.5);
+    const int r = model.add_row(le ? RowSense::kLessEqual : RowSense::kGreaterEqual,
+                                le ? activity + rng.uniform(0.0, 0.5)
+                                   : activity - rng.uniform(0.0, 0.5));
+    for (int j = 0; j < n; ++j) model.add_coefficient(r, j, row[j]);
+  }
+  const auto sol = SimplexSolver().solve(model);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);  // box-bounded: never unbounded
+  EXPECT_LE(sol.max_violation, 1e-6);
+  // Optimality sanity: no random feasible point beats the reported optimum.
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<double> x(n);
+    for (int j = 0; j < n; ++j) x[j] = rng.uniform();
+    if (model.max_infeasibility(x) > 1e-9) continue;
+    EXPECT_GE(model.objective_value(x), sol.objective - 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FeasibleLpTest,
+                         ::testing::Range<std::uint64_t>(100, 140));
+
+}  // namespace

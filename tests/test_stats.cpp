@@ -1,0 +1,115 @@
+// Unit tests for streaming/batch statistics.
+#include "omn/util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace {
+
+using omn::util::RunningStats;
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MatchesBatchFormulas) {
+  const std::vector<double> data{1.0, 2.0, 4.0, 8.0, 16.0};
+  RunningStats s;
+  for (double x : data) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), omn::util::mean(data));
+  EXPECT_NEAR(s.stddev(), omn::util::stddev(data), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 16.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 31.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  RunningStats all;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i) * 10.0;
+    all.add(x);
+    (i < 40 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(2.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.5);
+}
+
+TEST(Percentile, Interpolates) {
+  const std::vector<double> v{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(omn::util::percentile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(omn::util::percentile(v, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(omn::util::percentile(v, 0.5), 25.0);
+}
+
+TEST(Percentile, UnsortedInput) {
+  const std::vector<double> v{40.0, 10.0, 30.0, 20.0};
+  EXPECT_DOUBLE_EQ(omn::util::percentile(v, 0.5), 25.0);
+}
+
+TEST(Percentile, RejectsBadQuantile) {
+  const std::vector<double> v{1.0};
+  EXPECT_THROW(omn::util::percentile(v, 1.5), std::invalid_argument);
+  EXPECT_THROW(omn::util::percentile(v, -0.1), std::invalid_argument);
+}
+
+TEST(Percentile, EmptyReturnsZero) {
+  EXPECT_EQ(omn::util::percentile({}, 0.5), 0.0);
+}
+
+TEST(GeometricMean, KnownValue) {
+  const std::vector<double> v{1.0, 4.0, 16.0};
+  EXPECT_NEAR(omn::util::geometric_mean(v), 4.0, 1e-12);
+}
+
+TEST(GeometricMean, RejectsNonPositive) {
+  const std::vector<double> v{1.0, 0.0};
+  EXPECT_THROW(omn::util::geometric_mean(v), std::invalid_argument);
+}
+
+TEST(Summary, ReportsAllFields) {
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(static_cast<double>(i));
+  const omn::util::Summary s = omn::util::summarize(v);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_NEAR(s.p50, 50.5, 1e-9);
+  EXPECT_NEAR(s.p90, 90.1, 1e-9);
+  EXPECT_FALSE(s.to_string().empty());
+}
+
+}  // namespace

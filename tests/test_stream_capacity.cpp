@@ -1,0 +1,115 @@
+// Tests for extension 6.2 (constraint (8): per-reflector stream-ingest
+// capacities).  The paper proves only a c log n violation guarantee is
+// possible for the rounded solution; the LP itself must respect the cap
+// exactly.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "omn/core/designer.hpp"
+#include "omn/lp/simplex.hpp"
+#include "omn/net/serialize.hpp"
+#include "omn/topo/akamai.hpp"
+
+namespace {
+
+omn::net::OverlayInstance capped_instance(std::uint64_t seed) {
+  auto cfg = omn::topo::global_event_config(24, seed);
+  cfg.num_sources = 3;
+  auto inst = omn::topo::make_akamai_like(cfg);
+  for (int i = 0; i < inst.num_reflectors(); ++i) {
+    inst.reflector(i).stream_capacity = 1.0;  // one stream per reflector
+  }
+  return inst;
+}
+
+TEST(StreamCapacity, LpRespectsCapExactly) {
+  const auto inst = capped_instance(3);
+  omn::core::LpBuildOptions opts;
+  opts.reflector_stream_capacities = true;
+  const auto lp = omn::core::build_overlay_lp(inst, opts);
+  const auto sol = omn::lp::SimplexSolver().solve(lp.model);
+  ASSERT_EQ(sol.status, omn::lp::SolveStatus::kOptimal);
+  const auto frac = lp.extract(inst, sol.x);
+  for (int i = 0; i < inst.num_reflectors(); ++i) {
+    double total = 0.0;
+    for (int k = 0; k < inst.num_sources(); ++k) {
+      total += frac.y[omn::core::y_index(inst, k, i)];
+    }
+    EXPECT_LE(total, 1.0 + 1e-6) << "reflector " << i;
+  }
+}
+
+TEST(StreamCapacity, ToggleOffIgnoresCaps) {
+  const auto inst = capped_instance(5);
+  const auto with_rows =
+      [&](bool on) {
+        omn::core::LpBuildOptions opts;
+        opts.reflector_stream_capacities = on;
+        return omn::core::build_overlay_lp(inst, opts).model.num_rows();
+      };
+  EXPECT_GT(with_rows(true), with_rows(false));
+}
+
+TEST(StreamCapacity, RoundedViolationWithinCLogN) {
+  // Paper: the rounding violates (8) by at most c log n — "the best
+  // guarantee we can hope for".
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    const auto inst = capped_instance(seed);
+    omn::core::DesignerConfig cfg;
+    cfg.seed = seed;
+    cfg.reflector_stream_capacities = true;
+    cfg.rounding_attempts = 3;
+    const auto r = omn::core::OverlayDesigner(cfg).design(inst);
+    ASSERT_TRUE(r.ok()) << "seed " << seed;
+    const double mult =
+        std::max(cfg.c * std::log(inst.num_sinks()), 1.0);
+    for (int i = 0; i < inst.num_reflectors(); ++i) {
+      double streams = 0.0;
+      for (int k = 0; k < inst.num_sources(); ++k) {
+        streams += r.design.y[omn::core::y_index(inst, k, i)];
+      }
+      EXPECT_LE(streams, mult * 1.0 + 1e-9) << "reflector " << i;
+    }
+    EXPECT_GE(r.evaluation.min_weight_ratio, 0.25 - 1e-9);
+  }
+}
+
+TEST(StreamCapacity, ValidateRejectsNonPositive) {
+  auto inst = capped_instance(7);
+  inst.reflector(0).stream_capacity = 0.0;
+  EXPECT_THROW(inst.validate(), std::invalid_argument);
+}
+
+TEST(StreamCapacity, SerializationRoundTrips) {
+  auto inst = capped_instance(9);
+  inst.reflector(1).stream_capacity.reset();  // mix capped and uncapped
+  const auto back = omn::net::from_text(omn::net::to_text(inst));
+  ASSERT_TRUE(back.reflector(0).stream_capacity.has_value());
+  EXPECT_DOUBLE_EQ(*back.reflector(0).stream_capacity, 1.0);
+  EXPECT_FALSE(back.reflector(1).stream_capacity.has_value());
+}
+
+TEST(StreamCapacity, TightCapsCanMakeLpInfeasible) {
+  // Three commodities, one reflector, cap 1: sinks of different streams
+  // cannot all be served.
+  omn::net::OverlayInstance inst;
+  for (int k = 0; k < 3; ++k) {
+    inst.add_source(omn::net::Source{"s" + std::to_string(k), 1.0});
+  }
+  omn::net::Reflector r{"r", 1.0, 9.0, 0, {}};
+  r.stream_capacity = 1.0;
+  inst.add_reflector(std::move(r));
+  for (int k = 0; k < 3; ++k) {
+    inst.add_source_reflector_edge(omn::net::SourceReflectorEdge{k, 0, 1.0, 0.01});
+    inst.add_sink(omn::net::Sink{"d" + std::to_string(k), k, 0.9});
+    inst.add_reflector_sink_edge(omn::net::ReflectorSinkEdge{0, k, 1.0, 0.01, {}});
+  }
+  omn::core::LpBuildOptions opts;
+  opts.reflector_stream_capacities = true;
+  const auto lp = omn::core::build_overlay_lp(inst, opts);
+  const auto sol = omn::lp::SimplexSolver().solve(lp.model);
+  EXPECT_EQ(sol.status, omn::lp::SolveStatus::kInfeasible);
+}
+
+}  // namespace

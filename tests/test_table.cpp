@@ -1,0 +1,73 @@
+// Unit tests for the report table renderer.
+#include "omn/util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace {
+
+using omn::util::Table;
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, CellTypesRender) {
+  Table t({"a", "b", "c", "d"});
+  t.row().cell("x").cell(1.23456, 2).cell(std::size_t{7}).cell(true);
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.at(0, 0), "x");
+  EXPECT_EQ(t.at(0, 1), "1.23");
+  EXPECT_EQ(t.at(0, 2), "7");
+  EXPECT_EQ(t.at(0, 3), "yes");
+}
+
+TEST(Table, TooManyCellsThrows) {
+  Table t({"only"});
+  t.row().cell("ok");
+  EXPECT_THROW(t.cell("overflow"), std::out_of_range);
+}
+
+TEST(Table, AddRowChecksWidth) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_THROW(t.add_row({"just-one"}), std::invalid_argument);
+}
+
+TEST(Table, AsciiAlignsColumns) {
+  Table t({"name", "v"});
+  t.add_row({"longer-name", "1"});
+  t.add_row({"x", "22"});
+  const std::string out = t.to_ascii("title");
+  EXPECT_NE(out.find("== title =="), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  // Header separator line present.
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t({"a", "b"});
+  t.add_row({"has,comma", "has\"quote"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, CsvRoundTripLineCount) {
+  Table t({"h"});
+  t.add_row({"r1"});
+  t.add_row({"r2"});
+  std::istringstream in(t.to_csv());
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, 3);  // header + 2 rows
+}
+
+TEST(FormatDouble, Precision) {
+  EXPECT_EQ(omn::util::format_double(3.14159, 3), "3.142");
+  EXPECT_EQ(omn::util::format_double(2.0, 0), "2");
+}
+
+}  // namespace

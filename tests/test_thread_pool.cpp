@@ -1,0 +1,95 @@
+// Unit tests for the thread pool used by the Monte Carlo simulator.
+#include "omn/util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace {
+
+using omn::util::ThreadPool;
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, SizeDefaultsToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  constexpr std::size_t kN = 10000;
+  std::vector<std::atomic<int>> touched(kN);
+  pool.parallel_for(kN, [&](std::size_t begin, std::size_t end, std::size_t) {
+    for (std::size_t i = begin; i < end; ++i) touched[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(touched[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForWorkerIndexInRange) {
+  ThreadPool pool(2);
+  std::atomic<bool> ok{true};
+  pool.parallel_for(1000, [&](std::size_t, std::size_t, std::size_t worker) {
+    if (worker > pool.size()) ok = false;
+  });
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(ThreadPool, ParallelForZeroCountIsNoop) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, [&](std::size_t, std::size_t, std::size_t) {
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, ParallelForSingleElement) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.parallel_for(1, [&](std::size_t begin, std::size_t end, std::size_t) {
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 1u);
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPool, ParallelSumMatchesSequential) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 100000;
+  std::vector<long long> partial(pool.size() + 1, 0);
+  pool.parallel_for(kN, [&](std::size_t begin, std::size_t end,
+                            std::size_t worker) {
+    long long acc = 0;
+    for (std::size_t i = begin; i < end; ++i) acc += static_cast<long long>(i);
+    partial[worker] += acc;
+  });
+  const long long total = std::accumulate(partial.begin(), partial.end(), 0ll);
+  EXPECT_EQ(total, static_cast<long long>(kN) * (kN - 1) / 2);
+}
+
+TEST(ThreadPool, ReusableAcrossCalls) {
+  ThreadPool pool(2);
+  for (int round = 0; round < 10; ++round) {
+    std::atomic<int> counter{0};
+    pool.parallel_for(100, [&](std::size_t begin, std::size_t end, std::size_t) {
+      counter.fetch_add(static_cast<int>(end - begin));
+    });
+    ASSERT_EQ(counter.load(), 100);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,216 @@
+// omn_design — command-line driver for the overlay design library.
+//
+// Subcommands:
+//   generate  --sinks N [--isps K] [--seed S] [--eu-heavy] --out inst.txt
+//   design    --instance inst.txt [--seed S] [--c C] [--colors]
+//             [--bandwidth] [--attempts A] [--out design.txt]
+//   evaluate  --instance inst.txt --design design.txt
+//   simulate  --instance inst.txt --design design.txt [--packets P]
+//             [--seed S] [--isp-outage-prob Q]
+//   failover  --instance inst.txt --design design.txt
+//
+// Typical session:
+//   omn_design generate --sinks 48 --isps 4 --seed 7 --out event.txt
+//   omn_design design   --instance event.txt --colors --out plan.txt
+//   omn_design evaluate --instance event.txt --design plan.txt
+//   omn_design failover --instance event.txt --design plan.txt
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "omn/core/design_io.hpp"
+#include "omn/core/designer.hpp"
+#include "omn/net/serialize.hpp"
+#include "omn/sim/failures.hpp"
+#include "omn/sim/packet_sim.hpp"
+#include "omn/topo/akamai.hpp"
+#include "omn/util/table.hpp"
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+  std::map<std::string, bool> flags;
+
+  std::string get(const std::string& key, const std::string& fallback) const {
+    auto it = options.find(key);
+    return it != options.end() ? it->second : fallback;
+  }
+  long get_long(const std::string& key, long fallback) const {
+    auto it = options.find(key);
+    return it != options.end() ? std::stol(it->second) : fallback;
+  }
+  double get_double(const std::string& key, double fallback) const {
+    auto it = options.find(key);
+    return it != options.end() ? std::stod(it->second) : fallback;
+  }
+  bool has(const std::string& key) const { return flags.count(key) > 0; }
+};
+
+Args parse(int argc, char** argv) {
+  Args args;
+  if (argc >= 2) args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) {
+      throw std::runtime_error("unexpected argument: " + token);
+    }
+    token = token.substr(2);
+    const bool value_follows =
+        i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0;
+    if (value_follows) {
+      args.options[token] = argv[++i];
+    } else {
+      args.flags[token] = true;
+    }
+  }
+  return args;
+}
+
+int usage() {
+  std::cerr <<
+      "usage: omn_design <command> [options]\n"
+      "  generate  --sinks N [--isps K] [--seed S] [--eu-heavy] --out F\n"
+      "  design    --instance F [--seed S] [--c C] [--colors] [--bandwidth]\n"
+      "            [--attempts A] [--out F]\n"
+      "  evaluate  --instance F --design F\n"
+      "  simulate  --instance F --design F [--packets P] [--seed S]\n"
+      "            [--isp-outage-prob Q]\n"
+      "  failover  --instance F --design F\n";
+  return 2;
+}
+
+int cmd_generate(const Args& args) {
+  const int sinks = static_cast<int>(args.get_long("sinks", 48));
+  const auto seed = static_cast<std::uint64_t>(args.get_long("seed", 1));
+  auto cfg = args.has("eu-heavy")
+                 ? omn::topo::eu_heavy_event_config(sinks, seed)
+                 : omn::topo::global_event_config(sinks, seed);
+  cfg.num_isps = static_cast<int>(args.get_long("isps", cfg.num_isps));
+  const auto inst = omn::topo::make_akamai_like(cfg);
+  const std::string out = args.get("out", "");
+  if (out.empty()) {
+    omn::net::save(inst, std::cout);
+  } else {
+    omn::net::save_file(inst, out);
+    std::printf("wrote %s: %d sources, %d reflectors, %d sinks, %zu+%zu edges\n",
+                out.c_str(), inst.num_sources(), inst.num_reflectors(),
+                inst.num_sinks(), inst.sr_edges().size(),
+                inst.rd_edges().size());
+  }
+  return 0;
+}
+
+int cmd_design(const Args& args) {
+  const auto inst = omn::net::load_file(args.get("instance", ""));
+  omn::core::DesignerConfig cfg;
+  cfg.seed = static_cast<std::uint64_t>(args.get_long("seed", 1));
+  cfg.c = args.get_double("c", cfg.c);
+  cfg.rounding_attempts = static_cast<int>(args.get_long("attempts", 3));
+  cfg.color_constraints = args.has("colors");
+  cfg.bandwidth_extension = args.has("bandwidth");
+  const auto result = omn::core::OverlayDesigner(cfg).design(inst);
+  if (!result.ok()) {
+    std::cerr << "design failed: " << omn::core::to_string(result.status)
+              << "\n";
+    return 1;
+  }
+  std::printf("cost $%.2f (LP bound $%.2f, ratio %.2f); %d reflectors; "
+              "min weight ratio %.2f\n",
+              result.evaluation.total_cost, result.lp_objective,
+              result.cost_ratio, result.evaluation.reflectors_built,
+              result.evaluation.min_weight_ratio);
+  const std::string out = args.get("out", "");
+  if (!out.empty()) {
+    omn::core::save_design_file(result.design, out);
+    std::printf("wrote %s\n", out.c_str());
+  }
+  return 0;
+}
+
+int cmd_evaluate(const Args& args) {
+  const auto inst = omn::net::load_file(args.get("instance", ""));
+  const auto design =
+      omn::core::load_design_file(args.get("design", ""), inst);
+  const auto ev = omn::core::evaluate(inst, design);
+  omn::util::Table table({"metric", "value"});
+  table.add_row({"total cost $", omn::util::format_double(ev.total_cost, 2)});
+  table.add_row({"reflector / SR / RD $",
+                 omn::util::format_double(ev.reflector_cost, 2) + " / " +
+                     omn::util::format_double(ev.sr_edge_cost, 2) + " / " +
+                     omn::util::format_double(ev.rd_edge_cost, 2)});
+  table.add_row({"reflectors built", std::to_string(ev.reflectors_built)});
+  table.add_row({"consistent", ev.consistent ? "yes" : "NO"});
+  table.add_row({"min / mean weight ratio",
+                 omn::util::format_double(ev.min_weight_ratio, 3) + " / " +
+                     omn::util::format_double(ev.mean_weight_ratio, 3)});
+  table.add_row({"sinks meeting full demand",
+                 std::to_string(ev.sinks_meeting_demand) + "/" +
+                     std::to_string(ev.sinks_total)});
+  table.add_row({"sinks meeting 1/4 guarantee",
+                 std::to_string(ev.sinks_meeting_quarter) + "/" +
+                     std::to_string(ev.sinks_total)});
+  table.add_row({"worst fanout utilization",
+                 omn::util::format_double(ev.max_fanout_utilization, 2)});
+  table.add_row({"max copies per (sink, ISP)",
+                 std::to_string(ev.max_color_copies)});
+  table.print(std::cout, "evaluation");
+  return 0;
+}
+
+int cmd_simulate(const Args& args) {
+  const auto inst = omn::net::load_file(args.get("instance", ""));
+  const auto design =
+      omn::core::load_design_file(args.get("design", ""), inst);
+  omn::sim::SimulationConfig cfg;
+  cfg.num_packets = args.get_long("packets", 100000);
+  cfg.seed = static_cast<std::uint64_t>(args.get_long("seed", 1));
+  cfg.isp_outage_probability = args.get_double("isp-outage-prob", 0.0);
+  const auto report = omn::sim::simulate(inst, design, cfg);
+  std::printf("%lld packets: %.1f%% of sinks meet their threshold, %.1f%% "
+              "meet the 1/4 guarantee\n",
+              static_cast<long long>(report.packets),
+              100.0 * report.fraction_meeting_threshold,
+              100.0 * report.fraction_meeting_quarter_guarantee);
+  return 0;
+}
+
+int cmd_failover(const Args& args) {
+  const auto inst = omn::net::load_file(args.get("instance", ""));
+  const auto design =
+      omn::core::load_design_file(args.get("design", ""), inst);
+  const auto sweep = omn::sim::color_failure_sweep(inst, design);
+  omn::util::Table table({"failed ISP", "served %", "meet threshold %",
+                          "meet 1/4 %", "mean P(deliver)"});
+  for (const auto& r : sweep) {
+    table.row()
+        .cell(r.color)
+        .cell(100.0 * r.fraction_served, 1)
+        .cell(100.0 * r.fraction_meeting_threshold, 1)
+        .cell(100.0 * r.fraction_meeting_quarter, 1)
+        .cell(r.mean_delivery_probability, 4);
+  }
+  table.print(std::cout, "single-ISP outage sweep");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args = parse(argc, argv);
+    if (args.command == "generate") return cmd_generate(args);
+    if (args.command == "design") return cmd_design(args);
+    if (args.command == "evaluate") return cmd_evaluate(args);
+    if (args.command == "simulate") return cmd_simulate(args);
+    if (args.command == "failover") return cmd_failover(args);
+    return usage();
+  } catch (const std::exception& ex) {
+    std::cerr << "error: " << ex.what() << "\n";
+    return 1;
+  }
+}
