@@ -1,0 +1,100 @@
+// Build smoke test: links against every omn:: library and runs the
+// quickstart pipeline end-to-end on the paper's Figure-3 topology plus a
+// small overlay instance.  Designed to finish in about a second; its job
+// is to prove the build wiring (include paths, link order, all eight
+// static libraries) is sound.
+
+#include <gtest/gtest.h>
+
+#include "omn/baseline/greedy.hpp"
+#include "omn/core/designer.hpp"
+#include "omn/flow/max_flow.hpp"
+#include "omn/lp/simplex.hpp"
+#include "omn/net/instance.hpp"
+#include "omn/sim/reliability.hpp"
+#include "omn/topo/figure3.hpp"
+#include "omn/util/rng.hpp"
+
+namespace {
+
+// The quickstart instance: one stream, three reflectors in two ISPs, four
+// edgeservers demanding 99% delivery.
+omn::net::OverlayInstance make_quickstart_instance() {
+  using namespace omn;
+  net::OverlayInstance inst;
+  inst.add_source(net::Source{"entrypoint-nyc", 1.0});
+  inst.add_reflector(net::Reflector{"refl-chi", 30.0, 3.0, 0, {}});
+  inst.add_reflector(net::Reflector{"refl-lon", 45.0, 3.0, 1, {}});
+  inst.add_reflector(net::Reflector{"refl-sjc", 25.0, 3.0, 0, {}});
+  inst.add_source_reflector_edge({0, 0, 2.0, 0.010, 0.0});
+  inst.add_source_reflector_edge({0, 1, 4.0, 0.030, 0.0});
+  inst.add_source_reflector_edge({0, 2, 2.5, 0.015, 0.0});
+  for (int j = 0; j < 4; ++j) {
+    inst.add_sink(net::Sink{"edge" + std::to_string(j), 0, 0.99});
+  }
+  inst.add_reflector_sink_edge({0, 0, 1.0, 0.020, {}, 0.0});
+  inst.add_reflector_sink_edge({1, 0, 1.5, 0.040, {}, 0.0});
+  inst.add_reflector_sink_edge({0, 1, 1.2, 0.030, {}, 0.0});
+  inst.add_reflector_sink_edge({2, 1, 0.8, 0.015, {}, 0.0});
+  inst.add_reflector_sink_edge({1, 2, 1.1, 0.025, {}, 0.0});
+  inst.add_reflector_sink_edge({2, 2, 0.9, 0.035, {}, 0.0});
+  inst.add_reflector_sink_edge({0, 3, 1.3, 0.020, {}, 0.0});
+  inst.add_reflector_sink_edge({1, 3, 1.0, 0.030, {}, 0.0});
+  inst.add_reflector_sink_edge({2, 3, 1.1, 0.025, {}, 0.0});
+  return inst;
+}
+
+TEST(BuildSmoke, Figure3FlowSubstrates) {
+  const omn::topo::Figure3Instance fig = omn::topo::make_figure3();
+  EXPECT_DOUBLE_EQ(omn::topo::figure3_unconstrained_max_flow(fig), 4.0);
+  EXPECT_DOUBLE_EQ(omn::topo::figure3_integral_max_flow(fig),
+                   fig.expected_integral_max_flow);
+}
+
+TEST(BuildSmoke, QuickstartPipelineEndToEnd) {
+  const omn::net::OverlayInstance inst = make_quickstart_instance();
+  inst.validate();
+
+  omn::core::DesignerConfig config;
+  config.seed = 7;
+  config.rounding_attempts = 5;
+  const omn::core::DesignResult result =
+      omn::core::OverlayDesigner(config).design(inst);
+
+  ASSERT_TRUE(result.ok()) << omn::core::to_string(result.status);
+  EXPECT_GT(result.lp_objective, 0.0);
+  EXPECT_GE(result.cost_ratio, 1.0 - 1e-9);
+  EXPECT_GE(result.evaluation.reflectors_built, 1);
+  EXPECT_TRUE(result.evaluation.consistent);
+
+  // Paper guarantees: every sink gets at least 1/4 of its demand weight
+  // and no reflector exceeds 4x its fanout.
+  EXPECT_GE(result.evaluation.min_weight_ratio, 0.25);
+  EXPECT_LE(result.evaluation.max_fanout_utilization, 4.0 + 1e-9);
+
+  // sim: the simulator's exact reliability must agree with the
+  // evaluator's closed form for every sink (independent substrates).
+  const std::vector<double> delivery =
+      omn::sim::exact_delivery_probability(inst, result.design);
+  ASSERT_EQ(delivery.size(), static_cast<std::size_t>(inst.num_sinks()));
+  for (int j = 0; j < inst.num_sinks(); ++j) {
+    EXPECT_NEAR(delivery[static_cast<std::size_t>(j)],
+                result.evaluation.sinks[static_cast<std::size_t>(j)]
+                    .delivery_probability,
+                1e-12)
+        << "sink " << j;
+  }
+
+  // baseline: greedy must also cover this easy instance, at a cost no
+  // better than the LP lower bound.
+  const omn::baseline::GreedyResult greedy = omn::baseline::greedy_design(inst);
+  EXPECT_TRUE(greedy.covered_all);
+  EXPECT_GE(greedy.design.cost(inst), result.lp_objective - 1e-6);
+}
+
+TEST(BuildSmoke, UtilRngIsDeterministic) {
+  omn::util::Rng a(42), b(42);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(a(), b());
+}
+
+}  // namespace

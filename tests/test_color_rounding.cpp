@@ -65,7 +65,9 @@ TEST(ColorRounding, SelectionSubsetOfPositiveXBar) {
   ColorRoundingOptions opt;
   const auto r = color_constrained_round(p.inst, p.lp, p.x_bar, opt);
   for (std::size_t id = 0; id < r.x.size(); ++id) {
-    if (r.x[id]) EXPECT_GT(p.x_bar[id], 0.0) << "edge " << id;
+    if (r.x[id]) {
+      EXPECT_GT(p.x_bar[id], 0.0) << "edge " << id;
+    }
   }
 }
 

@@ -1,0 +1,160 @@
+// Golden round-trip regression tests for the two text formats:
+//   net/serialize  (omn-instance v1)
+//   core/design_io (omn-design v1)
+//
+// Each golden file under tests/data/ was produced by the writers
+// themselves and committed; the tests check
+//   1. the golden text still loads,
+//   2. re-serializing the loaded value reproduces the golden text byte
+//      for byte (so any format change must update the goldens, i.e. is
+//      an explicit, reviewed decision), and
+//   3. write -> read round-trips deep-equal for a freshly built value.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "omn/core/design.hpp"
+#include "omn/core/design_io.hpp"
+#include "omn/net/instance.hpp"
+#include "omn/net/serialize.hpp"
+
+namespace {
+
+std::string data_path(const std::string& file) {
+  const char* dir = std::getenv("OMN_TEST_DATA_DIR");
+  return (dir != nullptr ? std::string(dir) : std::string("tests/data")) +
+         "/" + file;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+void expect_deep_equal(const omn::net::OverlayInstance& a,
+                       const omn::net::OverlayInstance& b) {
+  ASSERT_EQ(a.num_sources(), b.num_sources());
+  ASSERT_EQ(a.num_reflectors(), b.num_reflectors());
+  ASSERT_EQ(a.num_sinks(), b.num_sinks());
+  ASSERT_EQ(a.sr_edges().size(), b.sr_edges().size());
+  ASSERT_EQ(a.rd_edges().size(), b.rd_edges().size());
+  for (int k = 0; k < a.num_sources(); ++k) {
+    EXPECT_EQ(a.source(k).name, b.source(k).name);
+    EXPECT_DOUBLE_EQ(a.source(k).bandwidth, b.source(k).bandwidth);
+  }
+  for (int i = 0; i < a.num_reflectors(); ++i) {
+    EXPECT_EQ(a.reflector(i).name, b.reflector(i).name);
+    EXPECT_DOUBLE_EQ(a.reflector(i).build_cost, b.reflector(i).build_cost);
+    EXPECT_DOUBLE_EQ(a.reflector(i).fanout, b.reflector(i).fanout);
+    EXPECT_EQ(a.reflector(i).color, b.reflector(i).color);
+    EXPECT_EQ(a.reflector(i).stream_capacity.has_value(),
+              b.reflector(i).stream_capacity.has_value());
+    if (a.reflector(i).stream_capacity && b.reflector(i).stream_capacity) {
+      EXPECT_DOUBLE_EQ(*a.reflector(i).stream_capacity,
+                       *b.reflector(i).stream_capacity);
+    }
+  }
+  for (int j = 0; j < a.num_sinks(); ++j) {
+    EXPECT_EQ(a.sink(j).name, b.sink(j).name);
+    EXPECT_EQ(a.sink(j).commodity, b.sink(j).commodity);
+    EXPECT_DOUBLE_EQ(a.sink(j).threshold, b.sink(j).threshold);
+  }
+  for (std::size_t e = 0; e < a.sr_edges().size(); ++e) {
+    EXPECT_EQ(a.sr_edges()[e].source, b.sr_edges()[e].source);
+    EXPECT_EQ(a.sr_edges()[e].reflector, b.sr_edges()[e].reflector);
+    EXPECT_DOUBLE_EQ(a.sr_edges()[e].cost, b.sr_edges()[e].cost);
+    EXPECT_DOUBLE_EQ(a.sr_edges()[e].loss, b.sr_edges()[e].loss);
+  }
+  for (std::size_t e = 0; e < a.rd_edges().size(); ++e) {
+    EXPECT_EQ(a.rd_edges()[e].reflector, b.rd_edges()[e].reflector);
+    EXPECT_EQ(a.rd_edges()[e].sink, b.rd_edges()[e].sink);
+    EXPECT_DOUBLE_EQ(a.rd_edges()[e].cost, b.rd_edges()[e].cost);
+    EXPECT_DOUBLE_EQ(a.rd_edges()[e].loss, b.rd_edges()[e].loss);
+    EXPECT_EQ(a.rd_edges()[e].capacity.has_value(),
+              b.rd_edges()[e].capacity.has_value());
+    if (a.rd_edges()[e].capacity && b.rd_edges()[e].capacity) {
+      EXPECT_DOUBLE_EQ(*a.rd_edges()[e].capacity, *b.rd_edges()[e].capacity);
+    }
+  }
+}
+
+void expect_deep_equal(const omn::core::Design& a, const omn::core::Design& b) {
+  EXPECT_EQ(a.z, b.z);
+  EXPECT_EQ(a.y, b.y);
+  EXPECT_EQ(a.x, b.x);
+}
+
+omn::net::OverlayInstance make_sample_instance() {
+  using namespace omn;
+  net::OverlayInstance inst;
+  inst.add_source(net::Source{"src-a", 1.0});
+  inst.add_source(net::Source{"src-b", 2.5});
+  net::Reflector capped{"refl-capped", 12.0, 4.0, 1, {}};
+  capped.stream_capacity = 1.0;
+  inst.add_reflector(net::Reflector{"refl-open", 10.0, 6.0, 0, {}});
+  inst.add_reflector(capped);
+  inst.add_sink(net::Sink{"sink-0", 0, 0.95});
+  inst.add_sink(net::Sink{"sink-1", 1, 0.99});
+  inst.add_source_reflector_edge({0, 0, 1.5, 0.02, 0.0});
+  inst.add_source_reflector_edge({0, 1, 2.0, 0.01, 0.0});
+  inst.add_source_reflector_edge({1, 0, 1.0, 0.05, 0.0});
+  inst.add_source_reflector_edge({1, 1, 2.5, 0.03, 0.0});
+  net::ReflectorSinkEdge capped_edge{0, 1, 1.25, 0.04, {}, 0.0};
+  capped_edge.capacity = 2.0;
+  inst.add_reflector_sink_edge({0, 0, 0.75, 0.02, {}, 0.0});
+  inst.add_reflector_sink_edge({1, 0, 0.5, 0.03, {}, 0.0});
+  inst.add_reflector_sink_edge(capped_edge);
+  inst.add_reflector_sink_edge({1, 1, 1.0, 0.01, {}, 0.0});
+  return inst;
+}
+
+TEST(GoldenInstance, LoadsAndReserializesByteExact) {
+  const std::string golden = slurp(data_path("golden_instance.txt"));
+  ASSERT_FALSE(golden.empty());
+  const omn::net::OverlayInstance inst = omn::net::from_text(golden);
+  inst.validate();
+  EXPECT_EQ(omn::net::to_text(inst), golden);
+}
+
+TEST(GoldenInstance, GoldenMatchesProgrammaticSample) {
+  const omn::net::OverlayInstance golden =
+      omn::net::load_file(data_path("golden_instance.txt"));
+  expect_deep_equal(golden, make_sample_instance());
+}
+
+TEST(GoldenInstance, WriteReadDeepEqual) {
+  const omn::net::OverlayInstance inst = make_sample_instance();
+  const omn::net::OverlayInstance reloaded =
+      omn::net::from_text(omn::net::to_text(inst));
+  expect_deep_equal(inst, reloaded);
+}
+
+TEST(GoldenDesign, LoadsAndReserializesByteExact) {
+  const omn::net::OverlayInstance inst =
+      omn::net::load_file(data_path("golden_instance.txt"));
+  const std::string golden = slurp(data_path("golden_design.txt"));
+  ASSERT_FALSE(golden.empty());
+  const omn::core::Design design = omn::core::design_from_text(golden, inst);
+  EXPECT_EQ(omn::core::design_to_text(design), golden);
+}
+
+TEST(GoldenDesign, WriteReadDeepEqual) {
+  const omn::net::OverlayInstance inst = make_sample_instance();
+  omn::core::Design design = omn::core::Design::zeros(inst);
+  // Serve sink-0 via refl-open and sink-1 via refl-capped.
+  design.x[0] = 1;
+  design.x[3] = 1;
+  design.close_upward(inst);
+  const omn::core::Design reloaded =
+      omn::core::design_from_text(omn::core::design_to_text(design), inst);
+  expect_deep_equal(design, reloaded);
+}
+
+}  // namespace

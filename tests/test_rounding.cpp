@@ -99,10 +99,14 @@ TEST(Rounding, ZeroFractionStaysZero) {
     opt.seed = seed;
     const auto r = randomized_round(s.inst, s.lp, s.frac, opt);
     for (std::size_t i = 0; i < s.frac.z.size(); ++i) {
-      if (s.frac.z[i] <= 0.0) EXPECT_EQ(r.z[i], 0);
+      if (s.frac.z[i] <= 0.0) {
+        EXPECT_EQ(r.z[i], 0);
+      }
     }
     for (std::size_t id = 0; id < s.frac.x.size(); ++id) {
-      if (s.frac.x[id] <= 0.0) EXPECT_EQ(r.x[id], 0.0);
+      if (s.frac.x[id] <= 0.0) {
+        EXPECT_EQ(r.x[id], 0.0);
+      }
     }
   }
 }
