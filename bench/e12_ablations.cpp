@@ -8,9 +8,17 @@
 //      flips; we measure marginal value of attempts 1 -> 8;
 //  (c) prune_unused: dropping y/z not referenced by any x after the flow
 //      stage is a pure cost win; we quantify it.
+//
+// All three ablations share one DesignSweep grid (6 seed-instances x 8
+// configs).  The grid is run twice — serially and pool-backed — to report
+// the batch driver's wall-clock speedup; the cell results are identical
+// either way, so the tables are built from the parallel report.
 
+#include <cstdio>
 #include <iostream>
+#include <string>
 
+#include "omn/core/design_sweep.hpp"
 #include "omn/core/designer.hpp"
 #include "omn/topo/akamai.hpp"
 #include "omn/util/stats.hpp"
@@ -25,43 +33,94 @@ int main() {
   // default c = 8 the multiplier saturates and rounding is deterministic —
   // itself a finding, reported in EXPERIMENTS.md.)
   constexpr double kC = 0.5;
-  auto make_inst = [](int seed) {
+
+  core::DesignSweep sweep;
+  for (int seed = 1; seed <= kSeeds; ++seed) {
     auto cfg = topo::global_event_config(kSinks,
                                          static_cast<std::uint64_t>(seed));
     cfg.num_reflectors = 24;
     cfg.candidates_per_sink = 12;
-    return topo::make_akamai_like(cfg);
+    sweep.add_instance("seed" + std::to_string(seed),
+                       topo::make_akamai_like(cfg));
+  }
+
+  // Config axis (base seed 1; reseed_per_instance shifts it to the
+  // instance's seed).  The tables below address columns by these labels.
+  core::DesignerConfig base;
+  base.c = kC;
+  base.seed = 1;
+  base.rounding_attempts = 3;
+  sweep.add_config("cut", base);  // (a) cutting plane on, (c) prune on
+  core::DesignerConfig no_cut = base;
+  no_cut.cutting_plane = false;
+  sweep.add_config("no-cut", no_cut);  // (a) cutting plane off
+  for (int attempts : {1, 2, 4, 8}) {  // (b) retry ladder
+    core::DesignerConfig cfg = base;
+    cfg.rounding_attempts = attempts;
+    sweep.add_config("attempts" + std::to_string(attempts), cfg);
+  }
+  core::DesignerConfig no_prune = base;
+  no_prune.prune_unused = false;
+  sweep.add_config("no-prune", no_prune);  // (c) prune off
+
+  core::SweepOptions serial;
+  serial.threads = 1;
+  serial.reseed_per_instance = true;
+  core::SweepOptions parallel = serial;
+  parallel.threads = 0;  // all cores
+
+  const core::SweepReport serial_report = sweep.run(serial);
+  const core::SweepReport report = sweep.run(parallel);
+  std::printf(
+      "DesignSweep: %zu cells | serial %.2fs | parallel %.2fs | %.2fx\n\n",
+      sweep.num_cells(), serial_report.wall_seconds, report.wall_seconds,
+      report.wall_seconds > 0.0
+          ? serial_report.wall_seconds / report.wall_seconds
+          : 0.0);
+
+  // Aggregates one config column of the grid, addressed by its label (so
+  // reordering the add_config calls above cannot silently shift columns),
+  // across the seed instances.
+  struct ColumnStats {
+    util::RunningStats bound, pivots, cost, minw, reflectors;
+  };
+  const auto column = [&](const std::string& label) {
+    ColumnStats s;
+    std::size_t config_index = report.num_configs;
+    for (std::size_t c = 0; c < report.num_configs; ++c) {
+      if (report.cell(0, c).config_label == label) {
+        config_index = c;
+        break;
+      }
+    }
+    if (config_index == report.num_configs) {
+      std::cerr << "e12: no sweep config labelled '" << label << "'\n";
+      std::exit(1);
+    }
+    for (std::size_t i = 0; i < report.num_instances; ++i) {
+      const core::DesignResult& r = report.cell(i, config_index).result;
+      if (!r.ok()) continue;
+      s.bound.add(r.lp_objective);
+      s.pivots.add(r.lp_iterations);
+      s.cost.add(r.evaluation.total_cost);
+      s.minw.add(r.evaluation.min_weight_ratio);
+      s.reflectors.add(r.evaluation.reflectors_built);
+    }
+    return s;
   };
 
   // ---- (a) cutting plane ----------------------------------------------------
   {
     util::Table table({"cutting plane (4)", "LP bound mean", "LP pivots mean",
                        "design cost mean", "min w-ratio worst"});
-    for (bool cut : {true, false}) {
-      util::RunningStats bound;
-      util::RunningStats pivots;
-      util::RunningStats cost;
-      util::RunningStats minw;
-      for (int seed = 1; seed <= kSeeds; ++seed) {
-        const auto inst = make_inst(seed);
-        core::DesignerConfig cfg;
-        cfg.c = kC;
-        cfg.seed = static_cast<std::uint64_t>(seed);
-        cfg.cutting_plane = cut;
-        cfg.rounding_attempts = 3;
-        const auto r = core::OverlayDesigner(cfg).design(inst);
-        if (!r.ok()) continue;
-        bound.add(r.lp_objective);
-        pivots.add(r.lp_iterations);
-        cost.add(r.evaluation.total_cost);
-        minw.add(r.evaluation.min_weight_ratio);
-      }
+    for (const char* label : {"cut", "no-cut"}) {
+      const ColumnStats s = column(label);
       table.row()
-          .cell(cut)
-          .cell(bound.mean(), 2)
-          .cell(pivots.mean(), 0)
-          .cell(cost.mean(), 2)
-          .cell(minw.min(), 3);
+          .cell(std::string(label) == "cut")
+          .cell(s.bound.mean(), 2)
+          .cell(s.pivots.mean(), 0)
+          .cell(s.cost.mean(), 2)
+          .cell(s.minw.min(), 3);
     }
     table.print(std::cout, "E12a: constraint (4) cutting plane");
   }
@@ -71,24 +130,12 @@ int main() {
     util::Table table({"attempts", "min w-ratio worst", "min w-ratio mean",
                        "cost mean"});
     for (int attempts : {1, 2, 4, 8}) {
-      util::RunningStats minw;
-      util::RunningStats cost;
-      for (int seed = 1; seed <= kSeeds; ++seed) {
-        const auto inst = make_inst(seed);
-        core::DesignerConfig cfg;
-        cfg.c = kC;
-        cfg.seed = static_cast<std::uint64_t>(seed);
-        cfg.rounding_attempts = attempts;
-        const auto r = core::OverlayDesigner(cfg).design(inst);
-        if (!r.ok()) continue;
-        minw.add(r.evaluation.min_weight_ratio);
-        cost.add(r.evaluation.total_cost);
-      }
+      const ColumnStats s = column("attempts" + std::to_string(attempts));
       table.row()
           .cell(attempts)
-          .cell(minw.min(), 3)
-          .cell(minw.mean(), 3)
-          .cell(cost.mean(), 2);
+          .cell(s.minw.min(), 3)
+          .cell(s.minw.mean(), 3)
+          .cell(s.cost.mean(), 2);
     }
     table.print(std::cout, "E12b: value of rounding retries");
   }
@@ -96,22 +143,12 @@ int main() {
   // ---- (c) pruning ------------------------------------------------------------
   {
     util::Table table({"prune_unused", "cost mean", "reflectors mean"});
-    for (bool prune : {true, false}) {
-      util::RunningStats cost;
-      util::RunningStats reflectors;
-      for (int seed = 1; seed <= kSeeds; ++seed) {
-        const auto inst = make_inst(seed);
-        core::DesignerConfig cfg;
-        cfg.c = kC;
-        cfg.seed = static_cast<std::uint64_t>(seed);
-        cfg.prune_unused = prune;
-        cfg.rounding_attempts = 3;
-        const auto r = core::OverlayDesigner(cfg).design(inst);
-        if (!r.ok()) continue;
-        cost.add(r.evaluation.total_cost);
-        reflectors.add(r.evaluation.reflectors_built);
-      }
-      table.row().cell(prune).cell(cost.mean(), 2).cell(reflectors.mean(), 1);
+    for (const char* label : {"cut", "no-prune"}) {
+      const ColumnStats s = column(label);
+      table.row()
+          .cell(std::string(label) == "cut")
+          .cell(s.cost.mean(), 2)
+          .cell(s.reflectors.mean(), 1);
     }
     table.print(std::cout, "E12c: pruning unused y/z after the flow stage");
   }

@@ -3,21 +3,24 @@
 // constraints."
 //
 // google-benchmark harness: we scale the topology (|D| drives |R| in the
-// generator) and time (a) the LP solve alone and (b) the full pipeline.
-// The rounding stages should be a small constant fraction of the LP time,
-// confirming the paper's claim that the LP dominates.
+// generator) and time (a) the LP solve alone, (b) the full pipeline,
+// (c) the Monte Carlo rounding attempts serial vs pool-parallel, and
+// (d) a DesignSweep grid serial vs pool-parallel.  Compare the threads:1
+// and threads:0 rows of (c)/(d) for the wall-clock speedup; on a machine
+// with >= 4 cores, attempts >= 8 should show >= 2x.
 
 #include <benchmark/benchmark.h>
 
+#include "omn/core/design_sweep.hpp"
 #include "omn/core/designer.hpp"
 #include "omn/lp/simplex.hpp"
 #include "omn/topo/akamai.hpp"
 
 namespace {
 
-omn::net::OverlayInstance instance_for(int sinks) {
+omn::net::OverlayInstance instance_for(int sinks, std::uint64_t seed = 42) {
   return omn::topo::make_akamai_like(
-      omn::topo::global_event_config(sinks, 42));
+      omn::topo::global_event_config(sinks, seed));
 }
 
 void BM_LpSolveOnly(benchmark::State& state) {
@@ -70,6 +73,61 @@ void BM_RoundingStagesOnly(benchmark::State& state) {
 }
 BENCHMARK(BM_RoundingStagesOnly)->Arg(8)->Arg(16)->Arg(32)->Arg(64)
     ->Unit(benchmark::kMillisecond);
+
+// (c) Monte Carlo attempt parallelism: the LP is solved once, then the
+// rounding attempts run serially (threads:1) or on the pool (threads:0 =
+// all cores).  Both produce the bit-identical winning design; only the
+// wall clock differs.
+void BM_MonteCarloAttempts(benchmark::State& state) {
+  const auto inst = instance_for(32);
+  const auto lp = omn::core::build_overlay_lp(inst);
+  const auto sol = omn::lp::SimplexSolver().solve(lp.model);
+  omn::core::DesignerConfig cfg;
+  cfg.rounding_attempts = static_cast<int>(state.range(0));
+  cfg.threads = static_cast<int>(state.range(1));
+  cfg.c = 0.5;  // keep the coins genuinely random (see E12)
+  const omn::core::OverlayDesigner designer(cfg);
+  for (auto _ : state) {
+    const auto result = designer.design_from_lp(inst, lp, sol);
+    benchmark::DoNotOptimize(result.evaluation.total_cost);
+    if (!result.ok()) state.SkipWithError("design failed");
+  }
+}
+BENCHMARK(BM_MonteCarloAttempts)
+    ->ArgNames({"attempts", "threads"})
+    ->Args({8, 1})->Args({8, 0})
+    ->Args({32, 1})->Args({32, 0})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// (d) DesignSweep batch driver: a seeds x configs experiment grid run
+// serially vs pool-backed.  This is the shape every bench in bench/ uses.
+void BM_DesignSweepGrid(benchmark::State& state) {
+  omn::core::DesignSweep sweep;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    sweep.add_instance("seed" + std::to_string(seed),
+                       instance_for(16, seed));
+  }
+  omn::core::DesignerConfig base;
+  base.rounding_attempts = 2;
+  sweep.add_config("with-cut", base);
+  omn::core::DesignerConfig no_cut = base;
+  no_cut.cutting_plane = false;
+  sweep.add_config("no-cut", no_cut);
+
+  omn::core::SweepOptions options;
+  options.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const auto report = sweep.run(options);
+    benchmark::DoNotOptimize(report.wall_seconds);
+  }
+  state.counters["cells"] = static_cast<double>(sweep.num_cells());
+}
+BENCHMARK(BM_DesignSweepGrid)
+    ->ArgNames({"threads"})
+    ->Arg(1)->Arg(0)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 }  // namespace
 

@@ -1,0 +1,79 @@
+#pragma once
+// DesignSweep: pool-backed batch driver for experiment grids.
+//
+// Every bench in bench/ runs the same shape of loop: for each instance
+// (topology, seed, scale) × each designer configuration (ablation flag,
+// attempt count, c value), run the pipeline and tabulate the DesignResult.
+// DesignSweep owns that loop and runs the grid cells on a
+// util::ThreadPool, so a sweep uses every core while each cell stays
+// bit-identical to a serial run (cells are independent and the designer
+// itself is deterministic per seed).
+//
+// Cells are ordered instance-major, config-minor; report.cell(i, c) gives
+// random access.
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "omn/core/designer.hpp"
+#include "omn/net/instance.hpp"
+
+namespace omn::core {
+
+/// One (instance, config) grid cell and its design outcome.
+struct SweepCell {
+  std::size_t instance_index = 0;
+  std::size_t config_index = 0;
+  std::string instance_label;
+  std::string config_label;
+  DesignResult result;
+  /// Wall-clock seconds spent on this cell's design() call.
+  double seconds = 0.0;
+};
+
+struct SweepOptions {
+  /// Total threads running grid cells (the calling thread included):
+  /// 0 = hardware_concurrency(), 1 = serial.  Cell-internal rounding
+  /// attempts always run serially — the grid level owns the parallelism.
+  std::size_t threads = 0;
+  /// When true, each cell designs with seed = config.seed + instance_index
+  /// so Monte Carlo draws are independent across the instance axis (the
+  /// usual per-seed experiment shape, e.g. E12).
+  bool reseed_per_instance = false;
+};
+
+struct SweepReport {
+  /// Instance-major, config-minor: cells[i * num_configs + c].
+  std::vector<SweepCell> cells;
+  std::size_t num_instances = 0;
+  std::size_t num_configs = 0;
+  /// Wall-clock seconds for the whole grid (serial-vs-parallel speedup is
+  /// the ratio of two runs' wall_seconds).
+  double wall_seconds = 0.0;
+
+  const SweepCell& cell(std::size_t instance, std::size_t config) const {
+    return cells.at(instance * num_configs + config);
+  }
+};
+
+class DesignSweep {
+ public:
+  DesignSweep& add_instance(std::string label, net::OverlayInstance instance);
+  DesignSweep& add_config(std::string label, DesignerConfig config);
+
+  std::size_t num_instances() const { return instances_.size(); }
+  std::size_t num_configs() const { return configs_.size(); }
+  std::size_t num_cells() const { return instances_.size() * configs_.size(); }
+
+  /// Runs the full instance × config grid and returns the result table.
+  /// The report is identical for every thread count.
+  SweepReport run(const SweepOptions& options = {}) const;
+
+ private:
+  std::vector<std::pair<std::string, net::OverlayInstance>> instances_;
+  std::vector<std::pair<std::string, DesignerConfig>> configs_;
+};
+
+}  // namespace omn::core

@@ -35,6 +35,11 @@ struct DesignerConfig {
   std::uint64_t seed = 1;
   /// Number of independent rounding attempts; best design wins.
   int rounding_attempts = 3;
+  /// Total threads used to run the rounding attempts (the calling thread
+  /// included): 0 = hardware_concurrency(), 1 = serial.  Attempt seeds are
+  /// derived deterministically from `seed`, so the winning design is
+  /// bit-identical for every thread count.
+  int threads = 0;
   /// Enable the Section 6.4/6.5 color constraints.
   bool color_constraints = false;
   /// Enable the Section 6.1 bandwidth extension.
@@ -61,6 +66,13 @@ enum class DesignStatus {
 
 std::string to_string(DesignStatus status);
 
+/// Attempt quality order used to keep the best rounding attempt: higher min
+/// weight ratio wins, ties broken by more sinks meeting the full demand,
+/// then by lower cost.  The floating-point keys are compared with a
+/// relative tolerance so FMA / compiler / optimization differences in the
+/// last bits cannot flip the selection.  Exposed for tests.
+bool better_evaluation(const Evaluation& a, const Evaluation& b);
+
 struct DesignResult {
   DesignStatus status = DesignStatus::kOk;
 
@@ -80,7 +92,9 @@ struct DesignResult {
   int winning_attempt = 0;
   int attempts_made = 0;
 
-  /// Stage timings (seconds).
+  /// Stage timings (seconds), each measured independently.  lp_seconds
+  /// covers the LP build + simplex solve and stays 0 on the
+  /// design_from_lp() path, where the LP was solved by the caller.
   double lp_seconds = 0.0;
   double rounding_seconds = 0.0;
 

@@ -1,0 +1,70 @@
+#include "omn/core/design_sweep.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "omn/util/thread_pool.hpp"
+#include "omn/util/timer.hpp"
+
+namespace omn::core {
+
+DesignSweep& DesignSweep::add_instance(std::string label,
+                                       net::OverlayInstance instance) {
+  instances_.emplace_back(std::move(label), std::move(instance));
+  return *this;
+}
+
+DesignSweep& DesignSweep::add_config(std::string label, DesignerConfig config) {
+  configs_.emplace_back(std::move(label), std::move(config));
+  return *this;
+}
+
+SweepReport DesignSweep::run(const SweepOptions& options) const {
+  SweepReport report;
+  report.num_instances = instances_.size();
+  report.num_configs = configs_.size();
+  report.cells.resize(num_cells());
+
+  util::Timer wall;
+  const auto run_cell = [&](std::size_t index) {
+    const std::size_t i = index / configs_.size();
+    const std::size_t c = index % configs_.size();
+
+    SweepCell& cell = report.cells[index];
+    cell.instance_index = i;
+    cell.config_index = c;
+    cell.instance_label = instances_[i].first;
+    cell.config_label = configs_[c].first;
+
+    // The grid level owns the machine; a cell that also fanned out its
+    // rounding attempts would oversubscribe it.
+    DesignerConfig config = configs_[c].second;
+    config.threads = 1;
+    if (options.reseed_per_instance) {
+      config.seed += static_cast<std::uint64_t>(i);
+    }
+
+    util::Timer cell_timer;
+    cell.result = OverlayDesigner(config).design(instances_[i].second);
+    cell.seconds = cell_timer.seconds();
+  };
+
+  const std::size_t total_threads =
+      options.threads == 0
+          ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
+          : options.threads;
+  if (num_cells() > 1 && total_threads > 1) {
+    util::ThreadPool pool(
+        std::min<std::size_t>(total_threads - 1, num_cells() - 1));
+    pool.parallel_for(num_cells(),
+                      [&](std::size_t begin, std::size_t end, std::size_t) {
+                        for (std::size_t k = begin; k < end; ++k) run_cell(k);
+                      });
+  } else {
+    for (std::size_t k = 0; k < num_cells(); ++k) run_cell(k);
+  }
+  report.wall_seconds = wall.seconds();
+  return report;
+}
+
+}  // namespace omn::core

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
+#include <vector>
 
+#include "omn/util/thread_pool.hpp"
 #include "omn/util/timer.hpp"
 
 namespace omn::core {
@@ -18,19 +21,26 @@ std::string to_string(DesignStatus status) {
 
 namespace {
 
-/// Attempt quality: higher min weight ratio wins; ties by more sinks
-/// meeting the full demand; then by lower cost.
-bool better(const Evaluation& a, const Evaluation& b) {
-  if (a.min_weight_ratio != b.min_weight_ratio) {
+/// Relative-tolerance equality for the selection keys.  min_weight_ratio
+/// and total_cost are sums of products of LP values, so two attempts that
+/// are mathematically tied can differ in the last few ulps depending on
+/// FMA contraction and summation order.
+bool nearly_equal(double a, double b) {
+  const double scale = std::max({1.0, std::abs(a), std::abs(b)});
+  return std::abs(a - b) <= 1e-9 * scale;
+}
+
+}  // namespace
+
+bool better_evaluation(const Evaluation& a, const Evaluation& b) {
+  if (!nearly_equal(a.min_weight_ratio, b.min_weight_ratio)) {
     return a.min_weight_ratio > b.min_weight_ratio;
   }
   if (a.sinks_meeting_demand != b.sinks_meeting_demand) {
     return a.sinks_meeting_demand > b.sinks_meeting_demand;
   }
-  return a.total_cost < b.total_cost;
+  return a.total_cost < b.total_cost && !nearly_equal(a.total_cost, b.total_cost);
 }
-
-}  // namespace
 
 DesignResult OverlayDesigner::design(const net::OverlayInstance& inst) const {
   LpBuildOptions lp_options;
@@ -40,13 +50,17 @@ DesignResult OverlayDesigner::design(const net::OverlayInstance& inst) const {
   lp_options.reflector_stream_capacities = config_.reflector_stream_capacities;
   lp_options.color_constraints = config_.color_constraints;
 
+  // Time the LP stage on its own; design_from_lp times the rounding stage
+  // on its own.  (Subtracting one from the other mis-attributes and can
+  // even go negative under clock jitter.)
   util::Timer lp_timer;
   const OverlayLp lp = build_overlay_lp(inst, lp_options);
   const lp::Solution solution =
       lp::SimplexSolver().solve(lp.model, config_.lp_options);
+  const double lp_seconds = lp_timer.seconds();
 
   DesignResult result = design_from_lp(inst, lp, solution);
-  result.lp_seconds = lp_timer.seconds() - result.rounding_seconds;
+  result.lp_seconds = lp_seconds;
   return result;
 }
 
@@ -71,13 +85,18 @@ DesignResult OverlayDesigner::design_from_lp(
   result.lp_objective = lp_solution.objective;
 
   util::Timer rounding_timer;
-  bool have_best = false;
-  Design best_design;
-  Evaluation best_eval;
-  int best_attempt = 0;
-
   const int attempts = std::max(1, config_.rounding_attempts);
-  for (int attempt = 0; attempt < attempts; ++attempt) {
+
+  // Each Monte Carlo attempt is independent: its seed is derived from the
+  // configured seed and the attempt index alone, and the rounding stages
+  // share no mutable state.  Attempts therefore run in any order — or
+  // concurrently.
+  struct AttemptOutcome {
+    Design design;
+    Evaluation eval;
+  };
+
+  const auto compute_attempt = [&](int attempt) -> AttemptOutcome {
     const std::uint64_t seed =
         config_.seed + 0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(attempt);
 
@@ -107,18 +126,55 @@ DesignResult OverlayDesigner::design_from_lp(
     design.close_upward(inst);
     if (config_.prune_unused) design.prune_unused(inst);
 
-    Evaluation eval = evaluate(inst, design, config_.bandwidth_extension);
-    if (!have_best || better(eval, best_eval)) {
-      have_best = true;
-      best_design = std::move(design);
-      best_eval = std::move(eval);
-      best_attempt = attempt;
+    AttemptOutcome outcome;
+    outcome.eval = evaluate(inst, design, config_.bandwidth_extension);
+    outcome.design = std::move(design);
+    return outcome;
+  };
+
+  // Both paths pick the winner by scanning attempts in index order with
+  // the same comparator, so for a fixed seed the parallel path is
+  // bit-identical to the serial one.  The serial path keeps only the
+  // running best; the parallel path holds all attempts until the scan.
+  AttemptOutcome winner;
+  int best_attempt = 0;
+
+  const std::size_t total_threads =
+      config_.threads <= 0
+          ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
+          : static_cast<std::size_t>(config_.threads);
+  if (attempts > 1 && total_threads > 1) {
+    std::vector<AttemptOutcome> outcomes(static_cast<std::size_t>(attempts));
+    util::ThreadPool pool(std::min<std::size_t>(
+        total_threads - 1, static_cast<std::size_t>(attempts) - 1));
+    pool.parallel_for(static_cast<std::size_t>(attempts),
+                      [&](std::size_t begin, std::size_t end, std::size_t) {
+                        for (std::size_t i = begin; i < end; ++i) {
+                          outcomes[i] = compute_attempt(static_cast<int>(i));
+                        }
+                      });
+    for (int attempt = 1; attempt < attempts; ++attempt) {
+      if (better_evaluation(
+              outcomes[static_cast<std::size_t>(attempt)].eval,
+              outcomes[static_cast<std::size_t>(best_attempt)].eval)) {
+        best_attempt = attempt;
+      }
+    }
+    winner = std::move(outcomes[static_cast<std::size_t>(best_attempt)]);
+  } else {
+    winner = compute_attempt(0);
+    for (int attempt = 1; attempt < attempts; ++attempt) {
+      AttemptOutcome outcome = compute_attempt(attempt);
+      if (better_evaluation(outcome.eval, winner.eval)) {
+        winner = std::move(outcome);
+        best_attempt = attempt;
+      }
     }
   }
   result.rounding_seconds = rounding_timer.seconds();
 
-  result.design = std::move(best_design);
-  result.evaluation = std::move(best_eval);
+  result.design = std::move(winner.design);
+  result.evaluation = std::move(winner.eval);
   result.winning_attempt = best_attempt;
   result.attempts_made = attempts;
   result.cost_ratio = result.lp_objective > 0.0

@@ -1,21 +1,34 @@
 #pragma once
 // A small fixed-size thread pool used for embarrassingly parallel work:
-// Monte Carlo packet simulation batches and per-seed experiment sweeps.
+// Monte Carlo packet simulation batches, the designer's rounding attempts,
+// and per-seed experiment sweeps (core::DesignSweep).
 //
 // Design notes (following the hpc-parallel guides):
-//  - workers are created once and joined in the destructor (RAII);
+//  - workers are created once and joined in stop()/the destructor (RAII);
 //  - parallel_for hands each worker a contiguous index range, so shared
 //    inputs are read-only and each worker writes only to its own slot —
 //    no locks on the hot path;
+//  - every parallel_for call tracks completion through its own Batch, so
+//    overlapping calls from multiple threads (or nested calls from inside
+//    a task) never cross-talk: each waiter blocks only on its own chunks
+//    and help-runs queued tasks while it waits, which also makes nested
+//    parallel_for deadlock-free on a saturated pool;
+//  - task exceptions are captured and rethrown to the waiter
+//    (parallel_for / wait_idle / the future), never std::terminate;
 //  - the pool degrades gracefully to inline execution when hardware
 //    concurrency is 1 (as on single-core CI machines).
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
+#include <future>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace omn::util {
@@ -31,30 +44,79 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
-  /// Enqueues a task; tasks may not themselves block on the pool.
+  /// Enqueues a task; tasks may not themselves block on the pool (they may
+  /// call parallel_for, which help-runs instead of blocking).  If the task
+  /// throws, the first exception is rethrown by the next wait_idle().
+  /// Throws std::runtime_error if the pool has been stopped.
   void submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished.
+  /// Blocks until every submitted task has finished, then rethrows the
+  /// first exception any of them raised (if any).
   void wait_idle();
 
-  /// Splits [0, count) into roughly equal chunks, runs
-  /// body(begin, end, worker_index) on the pool, and waits.
-  /// worker_index is in [0, size()] — the calling thread participates and
-  /// uses index size().
+  /// Drains the queue, joins all workers, and rejects further submit()
+  /// and parallel_for() calls.  Idempotent; called by the destructor.
+  void stop();
+
+  /// Splits [0, count) into `parts = min(count, size() + 1)` contiguous
+  /// chunks and runs body(begin, end, chunk_index) with chunk_index in
+  /// [0, parts) — so scratch arrays may be sized by the chunk count.  The
+  /// calling thread runs the first chunk (as chunk_index parts - 1) and
+  /// help-runs queued tasks while waiting, so concurrent and nested calls
+  /// are safe.  Rethrows the first exception a chunk raised.
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t begin, std::size_t end,
-                                             std::size_t worker)>& body);
+                                             std::size_t chunk)>& body);
+
+  /// Schedules fn() on the pool and returns its future.  Exceptions thrown
+  /// by fn propagate through future::get().
+  template <typename Fn>
+  auto async(Fn fn) -> std::future<std::invoke_result_t<Fn&>> {
+    using R = std::invoke_result_t<Fn&>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::move(fn));
+    std::future<R> future = task->get_future();
+    submit([task] { (*task)(); });
+    return future;
+  }
+
+  /// parallel_map: schedules fn(i) for every i in [0, count) and returns
+  /// one future per element, in index order.
+  template <typename Fn>
+  auto parallel_map(std::size_t count, Fn fn)
+      -> std::vector<std::future<std::invoke_result_t<Fn&, std::size_t>>> {
+    using R = std::invoke_result_t<Fn&, std::size_t>;
+    std::vector<std::future<R>> futures;
+    futures.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      futures.push_back(async([fn, i]() mutable { return fn(i); }));
+    }
+    return futures;
+  }
 
  private:
+  /// Per-parallel_for completion state; lives on the waiter's stack and is
+  /// protected by mutex_.
+  struct Batch {
+    std::size_t pending = 0;
+    std::exception_ptr error;
+  };
+
   void worker_loop();
+  /// Runs one queued closure (queue must be non-empty; lock held on entry
+  /// and re-taken before returning).
+  void run_one(std::unique_lock<std::mutex>& lock);
+  /// Blocks until batch.pending == 0, executing queued tasks while waiting.
+  void help_until_done(Batch& batch);
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> queue_;
   std::mutex mutex_;
-  std::condition_variable cv_task_;
-  std::condition_variable cv_idle_;
+  std::condition_variable cv_task_;   // workers: queue non-empty or stopping
+  std::condition_variable cv_idle_;   // wait_idle: in_flight_ == 0
+  std::condition_variable cv_batch_;  // batch waiters: done or stealable work
   std::size_t in_flight_ = 0;
   bool stopping_ = false;
+  std::exception_ptr error_;  // first exception from a plain submit() task
 };
 
 }  // namespace omn::util

@@ -1,6 +1,7 @@
 #include "omn/util/thread_pool.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace omn::util {
 
@@ -14,64 +15,142 @@ ThreadPool::ThreadPool(std::size_t threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { stop(); }
+
+void ThreadPool::stop() {
   {
     std::lock_guard lock(mutex_);
+    if (stopping_) return;
     stopping_ = true;
   }
   cv_task_.notify_all();
   for (auto& worker : workers_) worker.join();
+  workers_.clear();
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  // The queued closure owns its whole lifecycle: run, capture the first
+  // exception for wait_idle(), and retire from the in-flight count.  That
+  // way worker_loop and help_until_done can execute any queued closure
+  // without knowing whether it came from submit() or parallel_for().
+  auto wrapped = [this, t = std::move(task)] {
+    std::exception_ptr err;
+    try {
+      t();
+    } catch (...) {
+      err = std::current_exception();
+    }
+    std::lock_guard lock(mutex_);
+    if (err && !error_) error_ = err;
+    --in_flight_;
+    if (in_flight_ == 0) cv_idle_.notify_all();
+  };
   {
     std::lock_guard lock(mutex_);
-    queue_.push(std::move(task));
+    if (stopping_) {
+      throw std::runtime_error("ThreadPool::submit called after stop()");
+    }
+    queue_.push(std::move(wrapped));
     ++in_flight_;
   }
   cv_task_.notify_one();
+  cv_batch_.notify_all();
 }
 
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mutex_);
   cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+  if (error_) {
+    std::exception_ptr err = std::exchange(error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
 }
 
 void ThreadPool::parallel_for(
     std::size_t count,
     const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
   if (count == 0) return;
-  const std::size_t parts = std::min(count, size() + 1);
-  const std::size_t chunk = (count + parts - 1) / parts;
-  // Dispatch all but the first chunk to the pool; run the first chunk on
-  // the calling thread so a single-threaded pool still makes progress while
-  // this thread would otherwise idle.
-  for (std::size_t p = 1; p < parts; ++p) {
-    const std::size_t begin = p * chunk;
-    const std::size_t end = std::min(count, begin + chunk);
-    if (begin >= end) break;
-    submit([&body, begin, end, p] { body(begin, end, p - 1); });
+  const std::size_t chunk =
+      (count + size()) / (size() + 1);  // ceil(count / (size() + 1))
+  const std::size_t parts = (count + chunk - 1) / chunk;  // non-empty chunks
+
+  Batch batch;
+  batch.pending = parts;
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_) {
+      throw std::runtime_error("ThreadPool::parallel_for called after stop()");
+    }
+    for (std::size_t p = 1; p < parts; ++p) {
+      const std::size_t begin = p * chunk;
+      const std::size_t end = std::min(count, begin + chunk);
+      queue_.push([this, &body, &batch, begin, end, p] {
+        std::exception_ptr err;
+        try {
+          body(begin, end, p - 1);
+        } catch (...) {
+          err = std::current_exception();
+        }
+        std::lock_guard inner(mutex_);
+        if (err && !batch.error) batch.error = err;
+        --batch.pending;
+        --in_flight_;
+        if (in_flight_ == 0) cv_idle_.notify_all();
+        cv_batch_.notify_all();
+      });
+      ++in_flight_;
+    }
   }
-  body(0, std::min(chunk, count), size());
-  wait_idle();
+  cv_task_.notify_all();
+  cv_batch_.notify_all();
+
+  // The calling thread runs the first chunk (as the last chunk index, so
+  // pool-side chunks keep the stable indices 0..parts-2), then helps drain
+  // the queue until its own batch has finished.
+  {
+    std::exception_ptr err;
+    try {
+      body(0, std::min(chunk, count), parts - 1);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    std::lock_guard lock(mutex_);
+    if (err && !batch.error) batch.error = err;
+    --batch.pending;
+  }
+  cv_batch_.notify_all();
+  help_until_done(batch);
+  if (batch.error) std::rethrow_exception(batch.error);
 }
 
 void ThreadPool::worker_loop() {
+  std::unique_lock lock(mutex_);
   for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock lock(mutex_);
-      cv_task_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping_ and drained
-      task = std::move(queue_.front());
-      queue_.pop();
+    cv_task_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // stopping_ and drained
+    run_one(lock);
+  }
+}
+
+void ThreadPool::run_one(std::unique_lock<std::mutex>& lock) {
+  std::function<void()> task = std::move(queue_.front());
+  queue_.pop();
+  lock.unlock();
+  task();  // self-contained: never throws, does its own accounting
+  lock.lock();
+}
+
+void ThreadPool::help_until_done(Batch& batch) {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    if (batch.pending == 0) return;
+    if (!queue_.empty()) {
+      run_one(lock);
+      continue;
     }
-    task();
-    {
-      std::lock_guard lock(mutex_);
-      --in_flight_;
-      if (in_flight_ == 0) cv_idle_.notify_all();
-    }
+    cv_batch_.wait(lock,
+                   [&] { return batch.pending == 0 || !queue_.empty(); });
   }
 }
 

@@ -1,0 +1,98 @@
+// Tests for the DesignSweep batch driver: grid shape/labels, cell access,
+// and bit-identical results for serial vs pool-backed execution.
+#include "omn/core/design_sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include "omn/topo/akamai.hpp"
+
+namespace {
+
+using omn::core::DesignerConfig;
+using omn::core::DesignSweep;
+using omn::core::SweepOptions;
+using omn::core::SweepReport;
+
+DesignSweep small_sweep() {
+  DesignSweep sweep;
+  for (std::uint64_t seed : {1u, 2u}) {
+    sweep.add_instance(
+        "seed" + std::to_string(seed),
+        omn::topo::make_akamai_like(omn::topo::global_event_config(
+            12, seed)));
+  }
+  DesignerConfig base;
+  base.seed = 3;
+  base.rounding_attempts = 2;
+  sweep.add_config("with-cut", base);
+  DesignerConfig no_cut = base;
+  no_cut.cutting_plane = false;
+  sweep.add_config("no-cut", no_cut);
+  DesignerConfig more_attempts = base;
+  more_attempts.rounding_attempts = 4;
+  sweep.add_config("attempts4", more_attempts);
+  return sweep;
+}
+
+TEST(DesignSweep, GridShapeAndLabels) {
+  const DesignSweep sweep = small_sweep();
+  EXPECT_EQ(sweep.num_instances(), 2u);
+  EXPECT_EQ(sweep.num_configs(), 3u);
+  EXPECT_EQ(sweep.num_cells(), 6u);
+
+  SweepOptions serial;
+  serial.threads = 1;
+  const SweepReport report = sweep.run(serial);
+  ASSERT_EQ(report.cells.size(), 6u);
+  EXPECT_EQ(report.num_instances, 2u);
+  EXPECT_EQ(report.num_configs, 3u);
+  EXPECT_GT(report.wall_seconds, 0.0);
+
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      const auto& cell = report.cell(i, c);
+      EXPECT_EQ(cell.instance_index, i);
+      EXPECT_EQ(cell.config_index, c);
+      EXPECT_EQ(cell.instance_label, "seed" + std::to_string(i + 1));
+      ASSERT_TRUE(cell.result.ok())
+          << cell.instance_label << " x " << cell.config_label;
+      EXPECT_GE(cell.seconds, 0.0);
+    }
+  }
+  EXPECT_EQ(report.cell(0, 0).config_label, "with-cut");
+  EXPECT_EQ(report.cell(0, 1).config_label, "no-cut");
+  EXPECT_EQ(report.cell(0, 2).config_label, "attempts4");
+}
+
+TEST(DesignSweep, ParallelRunMatchesSerialBitForBit) {
+  const DesignSweep sweep = small_sweep();
+  SweepOptions serial;
+  serial.threads = 1;
+  SweepOptions parallel;
+  parallel.threads = 4;
+  const SweepReport a = sweep.run(serial);
+  const SweepReport b = sweep.run(parallel);
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  for (std::size_t k = 0; k < a.cells.size(); ++k) {
+    EXPECT_EQ(a.cells[k].instance_label, b.cells[k].instance_label);
+    EXPECT_EQ(a.cells[k].config_label, b.cells[k].config_label);
+    EXPECT_EQ(a.cells[k].result.winning_attempt,
+              b.cells[k].result.winning_attempt);
+    EXPECT_EQ(a.cells[k].result.design.x, b.cells[k].result.design.x);
+    EXPECT_EQ(a.cells[k].result.design.y, b.cells[k].result.design.y);
+    EXPECT_EQ(a.cells[k].result.design.z, b.cells[k].result.design.z);
+    EXPECT_EQ(a.cells[k].result.evaluation.total_cost,
+              b.cells[k].result.evaluation.total_cost);
+    EXPECT_EQ(a.cells[k].result.lp_objective, b.cells[k].result.lp_objective);
+  }
+}
+
+TEST(DesignSweep, EmptyGridIsEmptyReport) {
+  DesignSweep sweep;
+  const SweepReport report = sweep.run();
+  EXPECT_TRUE(report.cells.empty());
+  EXPECT_EQ(report.num_instances, 0u);
+  EXPECT_EQ(report.num_configs, 0u);
+}
+
+}  // namespace

@@ -57,8 +57,88 @@ TEST(Designer, RetriesImproveOrKeepQuality) {
   const DesignResult b = OverlayDesigner(many).design(inst);
   ASSERT_TRUE(a.ok());
   ASSERT_TRUE(b.ok());
+  // Attempt selection compares ratios with a relative tolerance (so a
+  // tolerance-tied attempt with better cost may win); allow that slack.
   EXPECT_GE(b.evaluation.min_weight_ratio,
-            a.evaluation.min_weight_ratio - 1e-12);
+            a.evaluation.min_weight_ratio - 1e-8);
+}
+
+// The parallel attempt path must pick the same winner, bit for bit, as the
+// serial path: attempt seeds depend only on (config seed, attempt index)
+// and the winner scan runs in index order either way.
+TEST(Designer, ParallelAttemptsBitIdenticalToSerial) {
+  const auto inst =
+      omn::topo::make_akamai_like(omn::topo::global_event_config(24, 7));
+  DesignerConfig serial;
+  serial.seed = 21;
+  serial.rounding_attempts = 6;
+  serial.c = 0.5;  // keep the coins genuinely random (see E12)
+  serial.threads = 1;
+  DesignerConfig parallel = serial;
+  parallel.threads = 4;
+
+  const DesignResult s = OverlayDesigner(serial).design(inst);
+  const DesignResult p = OverlayDesigner(parallel).design(inst);
+  ASSERT_TRUE(s.ok());
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(s.winning_attempt, p.winning_attempt);
+  EXPECT_EQ(s.design.x, p.design.x);
+  EXPECT_EQ(s.design.y, p.design.y);
+  EXPECT_EQ(s.design.z, p.design.z);
+  EXPECT_EQ(s.evaluation.total_cost, p.evaluation.total_cost);
+  EXPECT_EQ(s.evaluation.min_weight_ratio, p.evaluation.min_weight_ratio);
+}
+
+TEST(Designer, ParallelAttemptsBitIdenticalWithColorConstraints) {
+  auto topo_cfg = omn::topo::global_event_config(20, 9);
+  topo_cfg.num_isps = 3;
+  const auto inst = omn::topo::make_akamai_like(topo_cfg);
+  DesignerConfig serial;
+  serial.seed = 5;
+  serial.rounding_attempts = 4;
+  serial.color_constraints = true;
+  serial.threads = 1;
+  DesignerConfig parallel = serial;
+  parallel.threads = 0;  // auto
+
+  const DesignResult s = OverlayDesigner(serial).design(inst);
+  const DesignResult p = OverlayDesigner(parallel).design(inst);
+  ASSERT_TRUE(s.ok());
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(s.winning_attempt, p.winning_attempt);
+  EXPECT_EQ(s.design.x, p.design.x);
+  EXPECT_EQ(s.evaluation.total_cost, p.evaluation.total_cost);
+}
+
+// Regression: better_evaluation used to compare min_weight_ratio with
+// exact !=, so an ulp of FMA noise could flip the winner across compilers.
+TEST(Designer, BetterEvaluationToleratesUlpNoise) {
+  omn::core::Evaluation a;
+  a.min_weight_ratio = 0.3;
+  a.sinks_meeting_demand = 5;
+  a.total_cost = 100.0;
+  omn::core::Evaluation b = a;
+  b.min_weight_ratio = 0.3 + 1e-13;  // ulp noise, not a real difference
+  b.sinks_meeting_demand = 4;
+
+  // a wins on the sink tie-break despite b's infinitesimally higher ratio.
+  EXPECT_TRUE(omn::core::better_evaluation(a, b));
+  EXPECT_FALSE(omn::core::better_evaluation(b, a));
+
+  // A genuine ratio difference still dominates everything else.
+  omn::core::Evaluation c = a;
+  c.min_weight_ratio = 0.4;
+  c.sinks_meeting_demand = 0;
+  c.total_cost = 1e9;
+  EXPECT_TRUE(omn::core::better_evaluation(c, a));
+  EXPECT_FALSE(omn::core::better_evaluation(a, c));
+
+  // Cost within tolerance is a tie: neither is better, so the serial scan
+  // keeps the earlier attempt deterministically.
+  omn::core::Evaluation d = a;
+  d.total_cost = 100.0 + 1e-10;
+  EXPECT_FALSE(omn::core::better_evaluation(a, d));
+  EXPECT_FALSE(omn::core::better_evaluation(d, a));
 }
 
 class DesignerEndToEnd
@@ -172,6 +252,29 @@ TEST(Designer, TimingsPopulated) {
   EXPECT_GE(r.lp_seconds, 0.0);
   EXPECT_GE(r.rounding_seconds, 0.0);
   EXPECT_GT(r.lp_iterations, 0);
+}
+
+// Each stage is timed independently: lp_seconds was once computed as
+// (total - rounding) and could go negative; the design_from_lp path must
+// report 0 LP seconds (the caller solved the LP), never garbage.
+TEST(Designer, StageTimingsAreIndependent) {
+  const auto inst =
+      omn::topo::make_akamai_like(omn::topo::global_event_config(16, 23));
+  const auto lp = omn::core::build_overlay_lp(inst);
+  const auto sol = omn::lp::SimplexSolver().solve(lp.model);
+
+  DesignerConfig cfg;
+  cfg.rounding_attempts = 2;
+  const DesignResult direct =
+      OverlayDesigner(cfg).design_from_lp(inst, lp, sol);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(direct.lp_seconds, 0.0);
+  EXPECT_GE(direct.rounding_seconds, 0.0);
+
+  const DesignResult full = OverlayDesigner(cfg).design(inst);
+  ASSERT_TRUE(full.ok());
+  EXPECT_GE(full.lp_seconds, 0.0);
+  EXPECT_GE(full.rounding_seconds, 0.0);
 }
 
 }  // namespace

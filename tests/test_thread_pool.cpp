@@ -1,10 +1,14 @@
-// Unit tests for the thread pool used by the Monte Carlo simulator.
+// Unit tests for the thread pool used by the Monte Carlo simulator, the
+// designer's rounding attempts, and DesignSweep.
 #include "omn/util/thread_pool.hpp"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace {
@@ -89,6 +93,154 @@ TEST(ThreadPool, ReusableAcrossCalls) {
       counter.fetch_add(static_cast<int>(end - begin));
     });
     ASSERT_EQ(counter.load(), 100);
+  }
+}
+
+// Regression: the calling thread used to receive chunk index size() even
+// when fewer chunks than size() + 1 exist, overflowing caller scratch
+// arrays sized by the chunk count.  Every index must stay below
+// min(count, size() + 1).
+TEST(ThreadPool, ChunkIndexStaysBelowChunkCount) {
+  ThreadPool pool(4);
+  for (std::size_t count : {1u, 2u, 3u, 4u, 5u, 9u, 100u}) {
+    const std::size_t bound = std::min(count, pool.size() + 1);
+    std::vector<std::atomic<int>> hits_per_chunk(bound);
+    std::atomic<std::size_t> max_seen{0};
+    pool.parallel_for(count, [&](std::size_t begin, std::size_t end,
+                                 std::size_t chunk) {
+      std::size_t prev = max_seen.load();
+      while (chunk > prev && !max_seen.compare_exchange_weak(prev, chunk)) {
+      }
+      if (chunk < bound) {
+        hits_per_chunk[chunk].fetch_add(static_cast<int>(end - begin));
+      }
+    });
+    EXPECT_LT(max_seen.load(), bound) << "count " << count;
+    int covered = 0;
+    for (auto& h : hits_per_chunk) covered += h.load();
+    EXPECT_EQ(covered, static_cast<int>(count)) << "count " << count;
+  }
+}
+
+TEST(ThreadPool, SubmitExceptionPropagatesToWaitIdle) {
+  ThreadPool pool(2);
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([i] {
+      if (i == 3) throw std::runtime_error("task failed");
+    });
+  }
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The error is consumed; the pool stays usable.
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForRethrowsChunkException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [](std::size_t begin, std::size_t, std::size_t) {
+                          if (begin == 0) throw std::invalid_argument("chunk 0");
+                        }),
+      std::invalid_argument);
+  // A failed batch leaves the pool healthy for the next one.
+  std::atomic<int> counter{0};
+  pool.parallel_for(50, [&](std::size_t begin, std::size_t end, std::size_t) {
+    counter.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(counter.load(), 50);
+}
+
+// Two threads issue parallel_for on the same pool at once; each batch must
+// wait only for its own chunks (the old pool waited on *all* in-flight
+// tasks, so overlapping batches cross-talked).
+TEST(ThreadPool, OverlappingBatchesFromMultipleThreads) {
+  ThreadPool pool(3);
+  constexpr std::size_t kN = 20000;
+  for (int round = 0; round < 5; ++round) {
+    std::vector<std::atomic<int>> a(kN), b(kN);
+    std::thread other([&] {
+      pool.parallel_for(kN, [&](std::size_t begin, std::size_t end,
+                                std::size_t) {
+        for (std::size_t i = begin; i < end; ++i) a[i].fetch_add(1);
+      });
+    });
+    pool.parallel_for(kN, [&](std::size_t begin, std::size_t end,
+                              std::size_t) {
+      for (std::size_t i = begin; i < end; ++i) b[i].fetch_add(1);
+    });
+    other.join();
+    for (std::size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(a[i].load(), 1) << "a index " << i;
+      ASSERT_EQ(b[i].load(), 1) << "b index " << i;
+    }
+  }
+}
+
+// A chunk body may itself call parallel_for on the same pool; the waiter
+// help-runs queued tasks, so this completes even when every worker is busy
+// with outer chunks.
+TEST(ThreadPool, NestedParallelForCompletes) {
+  ThreadPool pool(2);
+  constexpr std::size_t kOuter = 6;
+  constexpr std::size_t kInner = 500;
+  std::vector<std::atomic<int>> counts(kOuter * kInner);
+  pool.parallel_for(kOuter, [&](std::size_t obegin, std::size_t oend,
+                                std::size_t) {
+    for (std::size_t o = obegin; o < oend; ++o) {
+      pool.parallel_for(kInner, [&, o](std::size_t begin, std::size_t end,
+                                       std::size_t) {
+        for (std::size_t i = begin; i < end; ++i) {
+          counts[o * kInner + i].fetch_add(1);
+        }
+      });
+    }
+  });
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    ASSERT_EQ(counts[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, SubmitAfterStopThrows) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.stop();
+  // stop() drains the queue before joining.
+  EXPECT_EQ(counter.load(), 20);
+  EXPECT_THROW(pool.submit([] {}), std::runtime_error);
+  EXPECT_THROW(
+      pool.parallel_for(10, [](std::size_t, std::size_t, std::size_t) {}),
+      std::runtime_error);
+  pool.stop();  // idempotent
+}
+
+TEST(ThreadPool, AsyncReturnsValue) {
+  ThreadPool pool(2);
+  auto future = pool.async([] { return 6 * 7; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPool, AsyncPropagatesExceptionThroughFuture) {
+  ThreadPool pool(2);
+  auto future =
+      pool.async([]() -> int { throw std::runtime_error("async failed"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+  // Future-carried exceptions do not leak into wait_idle().
+  pool.wait_idle();
+}
+
+TEST(ThreadPool, ParallelMapReturnsFuturesInOrder) {
+  ThreadPool pool(3);
+  auto futures =
+      pool.parallel_map(16, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(futures.size(), 16u);
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    EXPECT_EQ(futures[i].get(), i * i);
   }
 }
 
