@@ -1,0 +1,85 @@
+#pragma once
+// Shared scaffolding for the experiment binaries in bench/.
+//
+// Every converted bench runs the same skeleton: parse the common flags,
+// build a core::DesignSweep grid, run it on the shared execution context,
+// print one standard summary line (cells, LP solves, wall clock), then
+// tabulate.  This header dedupes that skeleton so the benches contain only
+// their experiment-specific grid and tables.
+//
+// Flags (every converted bench accepts both):
+//   --threads N   sweep + designer parallelism: 0 = all cores (default),
+//                 1 = serial (use two runs to measure the speedup)
+//   --smoke       shrink the grid to a tiny configuration; used by the CI
+//                 bench smoke job (ctest -C Bench -L bench)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "omn/core/design_sweep.hpp"
+#include "omn/util/table.hpp"
+
+namespace omn::bench {
+
+struct BenchArgs {
+  std::size_t threads = 0;
+  bool smoke = false;
+};
+
+inline BenchArgs parse_args(int argc, char** argv, const char* bench_name) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      args.smoke = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      const char* value = argv[++i];
+      char* end = nullptr;
+      const unsigned long parsed = std::strtoul(value, &end, 10);
+      // Reject anything but a plain non-negative integer: a typo must not
+      // silently become 0 = "all cores" (which would invert a serial run).
+      if (*value == '\0' || *value == '-' || end == value || *end != '\0') {
+        std::fprintf(stderr, "%s: bad --threads value '%s'\n", bench_name,
+                     value);
+        std::exit(2);
+      }
+      args.threads = static_cast<std::size_t>(parsed);
+    } else {
+      std::fprintf(stderr, "usage: %s [--threads N] [--smoke]\n", bench_name);
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+/// Shrinks a grid dimension for --smoke runs.
+inline int smoke_scaled(const BenchArgs& args, int full, int tiny) {
+  return args.smoke ? tiny : full;
+}
+
+/// Runs the sweep with the bench's options (threads overridden from the
+/// command line) and prints the standard one-line summary.
+inline core::SweepReport run_sweep(const core::DesignSweep& sweep,
+                                   core::SweepOptions options,
+                                   const BenchArgs& args, const char* label) {
+  options.threads = args.threads;
+  const core::SweepReport report = sweep.run(options);
+  std::printf(
+      "%s: %zu cells | %zu LP solves (%zu distinct LP configs) | %.2fs "
+      "(threads=%zu%s)\n\n",
+      label, report.cells.size(), report.lp_solves, report.lp_configs,
+      report.wall_seconds, args.threads, args.threads == 0 ? " = all" : "");
+  return report;
+}
+
+/// Prints a table with the bench's standard layout: title, then an
+/// "Expected:"-style footer paragraph.
+inline void print_table(util::Table& table, const std::string& title,
+                        const std::string& footer) {
+  table.print(std::cout, title);
+  if (!footer.empty()) std::cout << "\n" << footer << "\n";
+}
+
+}  // namespace omn::bench

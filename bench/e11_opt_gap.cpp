@@ -4,99 +4,124 @@
 // LP <= OPT.  On small instances the exact branch-and-bound solver
 // certifies OPT, so here we report cost / OPT directly, plus the
 // integrality gap OPT / LP of the Section-2 relaxation itself.
+//
+// Both stages are parallel: the exact solves fan out over the shared
+// ExecutionContext (each branch-and-bound run is independent), and the
+// approximation designs run as one DesignSweep over all families.
 
-#include <iostream>
+#include <string>
+#include <vector>
 
-#include "omn/core/designer.hpp"
+#include "bench_common.hpp"
+#include "omn/core/design_sweep.hpp"
 #include "omn/core/exact.hpp"
 #include "omn/topo/akamai.hpp"
 #include "omn/topo/synthetic.hpp"
+#include "omn/util/execution_context.hpp"
 #include "omn/util/stats.hpp"
 #include "omn/util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace omn;
-  constexpr int kSeeds = 6;
+  const auto args = bench::parse_args(argc, argv, "e11_opt_gap");
+  const int seeds = bench::smoke_scaled(args, 6, 2);
 
   struct Family {
+    std::string name;
+    std::vector<std::size_t> instance_indices;
+  };
+  std::vector<Family> families;
+  core::DesignSweep sweep;
+  const auto add = [&](Family& family, const std::string& label,
+                       net::OverlayInstance inst) {
+    family.instance_indices.push_back(sweep.num_instances());
+    sweep.add_instance(label, std::move(inst));
+  };
+
+  struct AkamaiFamily {
     const char* name;
     int sinks;
     int reflectors;
   };
-  const std::vector<Family> families{
-      {"akamai-like small", 6, 4},
-      {"akamai-like medium", 10, 5},
-  };
-
-  util::Table table({"family", "OPT/LP gap mean", "algo cost/OPT mean",
-                     "algo cost/OPT max", "greedy-style wins", "solved"});
-  for (const Family& f : families) {
-    util::RunningStats ip_gap;
-    util::RunningStats ratio;
-    int solved = 0;
-    for (int seed = 1; seed <= kSeeds; ++seed) {
+  for (const AkamaiFamily& f : {AkamaiFamily{"akamai-like small", 6, 4},
+                                AkamaiFamily{"akamai-like medium", 10, 5}}) {
+    Family family{f.name, {}};
+    for (int seed = 1; seed <= seeds; ++seed) {
       auto cfg = topo::global_event_config(f.sinks,
                                            static_cast<std::uint64_t>(seed));
       cfg.num_reflectors = f.reflectors;
       cfg.candidates_per_sink = 4;
-      const auto inst = topo::make_akamai_like(cfg);
-      const auto exact = core::solve_exact(inst);
-      if (!exact.optimal()) continue;
-      core::DesignerConfig dcfg;
-      dcfg.seed = static_cast<std::uint64_t>(seed);
-      dcfg.rounding_attempts = 4;
-      const auto approx = core::OverlayDesigner(dcfg).design(inst);
+      add(family, family.name + "-s" + std::to_string(seed),
+          topo::make_akamai_like(cfg));
+    }
+    families.push_back(std::move(family));
+  }
+  {
+    // Set-cover family: the hardness source of the paper's log n bound.
+    Family family{"random set cover (10 elems)", {}};
+    for (int seed = 1; seed <= seeds; ++seed) {
+      add(family, "set-cover-s" + std::to_string(seed),
+          topo::make_random_set_cover(10, 6, 0.3,
+                                      static_cast<std::uint64_t>(seed))
+              .network);
+    }
+    families.push_back(std::move(family));
+  }
+
+  // Certify OPT per instance: independent branch-and-bound runs, fanned
+  // out dynamically so an expensive family does not straggle the grid.
+  // --threads 1 must be a genuinely pool-free serial baseline.
+  const util::ExecutionContext context =
+      args.threads == 1 ? util::ExecutionContext::serial()
+                        : util::ExecutionContext::global();
+  std::vector<core::ExactResult> exact(sweep.num_instances());
+  context.parallel_for(
+      exact.size(),
+      [&](std::size_t i) { exact[i] = core::solve_exact(sweep.instance(i)); },
+      {.max_parallelism = args.threads});
+
+  core::DesignerConfig dcfg;
+  dcfg.seed = 1;
+  dcfg.rounding_attempts = 4;
+  sweep.add_config("lp-rounding", dcfg);
+  core::SweepOptions options;
+  options.reseed_per_instance = true;
+  const core::SweepReport report =
+      bench::run_sweep(sweep, options, args, "E11 sweep");
+
+  util::Table table({"family", "OPT/LP gap mean", "algo cost/OPT mean",
+                     "algo cost/OPT max", "greedy-style wins", "solved"});
+  for (const Family& family : families) {
+    util::RunningStats ip_gap;
+    util::RunningStats ratio;
+    int solved = 0;
+    for (std::size_t i : family.instance_indices) {
+      if (!exact[i].optimal()) continue;
+      const core::DesignResult& approx = report.cell(i, 0).result;
       if (!approx.ok()) continue;
       ++solved;
       if (approx.lp_objective > 0) {
-        ip_gap.add(exact.objective / approx.lp_objective);
+        ip_gap.add(exact[i].objective / approx.lp_objective);
       }
-      if (exact.objective > 0) {
-        ratio.add(approx.evaluation.total_cost / exact.objective);
+      if (exact[i].objective > 0) {
+        ratio.add(approx.evaluation.total_cost / exact[i].objective);
       }
     }
     table.row()
-        .cell(f.name)
+        .cell(family.name)
         .cell(ip_gap.mean(), 3)
         .cell(ratio.mean(), 3)
         .cell(ratio.max(), 3)
         .cell("-")
-        .cell(std::to_string(solved) + "/" + std::to_string(kSeeds));
+        .cell(std::to_string(solved) + "/" + std::to_string(seeds));
   }
 
-  // Set-cover family: the hardness source of the paper's log n bound.
-  util::RunningStats sc_ratio;
-  util::RunningStats sc_gap;
-  int sc_solved = 0;
-  for (int seed = 1; seed <= kSeeds; ++seed) {
-    const auto sc = topo::make_random_set_cover(
-        10, 6, 0.3, static_cast<std::uint64_t>(seed));
-    const auto exact = core::solve_exact(sc.network);
-    if (!exact.optimal()) continue;
-    core::DesignerConfig dcfg;
-    dcfg.seed = static_cast<std::uint64_t>(seed);
-    dcfg.rounding_attempts = 4;
-    const auto approx = core::OverlayDesigner(dcfg).design(sc.network);
-    if (!approx.ok()) continue;
-    ++sc_solved;
-    if (approx.lp_objective > 0) sc_gap.add(exact.objective / approx.lp_objective);
-    if (exact.objective > 0) {
-      sc_ratio.add(approx.evaluation.total_cost / exact.objective);
-    }
-  }
-  table.row()
-      .cell("random set cover (10 elems)")
-      .cell(sc_gap.mean(), 3)
-      .cell(sc_ratio.mean(), 3)
-      .cell(sc_ratio.max(), 3)
-      .cell("-")
-      .cell(std::to_string(sc_solved) + "/" + std::to_string(kSeeds));
-
-  table.print(std::cout, "E11: true approximation ratio vs certified OPT");
-  std::cout << "\nOPT/LP near 1 means the LP bound used in E2 is tight on\n"
-               "these families; cost/OPT is the algorithm's real ratio\n"
-               "(paper guarantee: O(log n)).  Ratios BELOW 1 are legitimate:\n"
-               "the algorithm is bicriteria — it may deliver only W/4 of the\n"
-               "demand weight, while OPT pays for full coverage.\n";
+  bench::print_table(
+      table, "E11: true approximation ratio vs certified OPT",
+      "OPT/LP near 1 means the LP bound used in E2 is tight on\n"
+      "these families; cost/OPT is the algorithm's real ratio\n"
+      "(paper guarantee: O(log n)).  Ratios BELOW 1 are legitimate:\n"
+      "the algorithm is bicriteria — it may deliver only W/4 of the\n"
+      "demand weight, while OPT pays for full coverage.");
   return 0;
 }

@@ -18,16 +18,18 @@
 #include <iostream>
 #include <string>
 
+#include "bench_common.hpp"
 #include "omn/core/design_sweep.hpp"
 #include "omn/core/designer.hpp"
 #include "omn/topo/akamai.hpp"
 #include "omn/util/stats.hpp"
 #include "omn/util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace omn;
-  constexpr int kSinks = 40;
-  constexpr int kSeeds = 6;
+  const auto args = bench::parse_args(argc, argv, "e12_ablations");
+  const int kSinks = bench::smoke_scaled(args, 40, 20);
+  const int kSeeds = bench::smoke_scaled(args, 6, 2);
   // Small multiplier + redundant reflector pool: c ln n stays near 1, so
   // the z/y coins genuinely flip and the ablations are visible.  (With the
   // default c = 8 the multiplier saturates and rounding is deterministic —
@@ -67,13 +69,15 @@ int main() {
   serial.threads = 1;
   serial.reseed_per_instance = true;
   core::SweepOptions parallel = serial;
-  parallel.threads = 0;  // all cores
+  parallel.threads = args.threads;  // 0 = all cores
 
   const core::SweepReport serial_report = sweep.run(serial);
   const core::SweepReport report = sweep.run(parallel);
   std::printf(
-      "DesignSweep: %zu cells | serial %.2fs | parallel %.2fs | %.2fx\n\n",
-      sweep.num_cells(), serial_report.wall_seconds, report.wall_seconds,
+      "DesignSweep: %zu cells | %zu LP solves (%zu distinct LP configs) | "
+      "serial %.2fs | parallel %.2fs | %.2fx\n\n",
+      sweep.num_cells(), report.lp_solves, report.lp_configs,
+      serial_report.wall_seconds, report.wall_seconds,
       report.wall_seconds > 0.0
           ? serial_report.wall_seconds / report.wall_seconds
           : 0.0);

@@ -6,35 +6,58 @@
 // seeds, and report measured cost / LP-bound against the c ln n envelope.
 // The measured ratio should (a) stay below the envelope with a wide
 // margin and (b) grow much more slowly than log n in practice.
+//
+// The (n, seed) grid runs as one pool-backed DesignSweep; every instance
+// is distinct so each needs its own LP solve, but all cells share the one
+// process-wide pool.
 
 #include <cmath>
-#include <iostream>
+#include <string>
+#include <vector>
 
-#include "omn/core/designer.hpp"
+#include "bench_common.hpp"
+#include "omn/core/design_sweep.hpp"
 #include "omn/topo/akamai.hpp"
 #include "omn/util/stats.hpp"
 #include "omn/util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace omn;
+  const auto args = bench::parse_args(argc, argv, "e2_cost_ratio");
   constexpr double kC = 8.0;
-  const std::vector<int> sink_counts{8, 16, 32, 64, 96};
-  constexpr int kSeeds = 5;
+  const std::vector<int> sink_counts =
+      args.smoke ? std::vector<int>{8, 16} : std::vector<int>{8, 16, 32, 64, 96};
+  const int seeds = bench::smoke_scaled(args, 5, 2);
+
+  core::DesignSweep sweep;
+  for (int n : sink_counts) {
+    for (int seed = 1; seed <= seeds; ++seed) {
+      sweep.add_instance(
+          "n" + std::to_string(n) + "-s" + std::to_string(seed),
+          topo::make_akamai_like(
+              topo::global_event_config(n, static_cast<std::uint64_t>(seed))));
+    }
+  }
+  core::DesignerConfig cfg;
+  cfg.c = kC;
+  cfg.seed = 1;
+  cfg.rounding_attempts = 3;
+  sweep.add_config("c8", cfg);
+
+  core::SweepOptions options;
+  options.reseed_per_instance = true;
+  const core::SweepReport report =
+      bench::run_sweep(sweep, options, args, "E2 sweep");
 
   util::Table table({"sinks n", "ratio mean", "ratio max", "c*ln(n) envelope",
                      "headroom x", "lp $ mean", "design $ mean"});
+  std::size_t instance = 0;
   for (int n : sink_counts) {
     util::RunningStats ratio;
     util::RunningStats lp_cost;
     util::RunningStats design_cost;
-    for (int seed = 1; seed <= kSeeds; ++seed) {
-      const auto inst = topo::make_akamai_like(
-          topo::global_event_config(n, static_cast<std::uint64_t>(seed)));
-      core::DesignerConfig cfg;
-      cfg.c = kC;
-      cfg.seed = static_cast<std::uint64_t>(seed);
-      cfg.rounding_attempts = 3;
-      const auto result = core::OverlayDesigner(cfg).design(inst);
+    for (int seed = 1; seed <= seeds; ++seed, ++instance) {
+      const core::DesignResult& result = report.cell(instance, 0).result;
       if (!result.ok()) continue;
       ratio.add(result.cost_ratio);
       lp_cost.add(result.lp_objective);
@@ -50,8 +73,11 @@ int main() {
         .cell(lp_cost.mean(), 1)
         .cell(design_cost.mean(), 1);
   }
-  table.print(std::cout, "E2: cost vs LP lower bound (c = 8, 5 seeds each)");
-  std::cout << "\nPaper guarantee: ratio <= c ln n. Measured ratios should sit\n"
-               "far below the envelope and grow sub-logarithmically.\n";
+  bench::print_table(
+      table,
+      "E2: cost vs LP lower bound (c = 8, " + std::to_string(seeds) +
+          " seeds each)",
+      "Paper guarantee: ratio <= c ln n. Measured ratios should sit\n"
+      "far below the envelope and grow sub-logarithmically.");
   return 0;
 }

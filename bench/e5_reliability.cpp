@@ -3,32 +3,45 @@
 // guarantee", i.e. the guaranteed post-reconstruction failure is the 4th
 // root of the demanded failure).
 //
-// We design an overlay, compute exact per-sink delivery probabilities
-// (closed form, valid because 3-level paths are independent), validate
-// them with the Monte Carlo packet simulator, and report how sinks sit
-// relative to the full demand and the 4th-root guarantee.
+// We design an overlay (a 1x1 DesignSweep cell, so the design runs on the
+// shared pool like every other bench), compute exact per-sink delivery
+// probabilities (closed form, valid because 3-level paths are
+// independent), validate them with the Monte Carlo packet simulator, and
+// report how sinks sit relative to the full demand and the 4th-root
+// guarantee.
 
 #include <algorithm>
 #include <cmath>
 #include <iostream>
+#include <string>
+#include <vector>
 
-#include "omn/core/designer.hpp"
+#include "bench_common.hpp"
+#include "omn/core/design_sweep.hpp"
 #include "omn/sim/packet_sim.hpp"
 #include "omn/sim/reliability.hpp"
 #include "omn/topo/akamai.hpp"
 #include "omn/util/stats.hpp"
 #include "omn/util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace omn;
-  constexpr int kSinks = 48;
+  const auto args = bench::parse_args(argc, argv, "e5_reliability");
+  const int sinks = bench::smoke_scaled(args, 48, 20);
+  const long packets = args.smoke ? 40000 : 200000;
   constexpr std::uint64_t kSeed = 5;
   const auto inst =
-      topo::make_akamai_like(topo::global_event_config(kSinks, kSeed));
+      topo::make_akamai_like(topo::global_event_config(sinks, kSeed));
+
+  core::DesignSweep sweep;
+  sweep.add_instance("event", inst);
   core::DesignerConfig cfg;
   cfg.seed = kSeed;
   cfg.rounding_attempts = 5;
-  const auto result = core::OverlayDesigner(cfg).design(inst);
+  sweep.add_config("default", cfg);
+  const core::SweepReport sweep_report =
+      bench::run_sweep(sweep, {}, args, "E5 design");
+  const core::DesignResult& result = sweep_report.cell(0, 0).result;
   if (!result.ok()) {
     std::cerr << "design failed\n";
     return 1;
@@ -36,7 +49,7 @@ int main() {
 
   const auto exact = sim::exact_delivery_probability(inst, result.design);
   sim::SimulationConfig sim_cfg;
-  sim_cfg.num_packets = 200000;
+  sim_cfg.num_packets = packets;
   sim_cfg.seed = kSeed;
   const auto mc = sim::simulate(inst, result.design, sim_cfg);
 
@@ -57,11 +70,11 @@ int main() {
   table.row()
       .cell("sinks meeting full demand Phi")
       .cell("most (not guaranteed)")
-      .cell(util::format_double(100.0 * meet_full / kSinks, 1) + "%");
+      .cell(util::format_double(100.0 * meet_full / sinks, 1) + "%");
   table.row()
       .cell("sinks within 4th-root guarantee")
       .cell("100%")
-      .cell(util::format_double(100.0 * meet_quarter / kSinks, 1) + "%");
+      .cell(util::format_double(100.0 * meet_quarter / sinks, 1) + "%");
   table.row()
       .cell("MC vs exact loss, mean |err|")
       .cell("~ sqrt(p/N) ~ 1e-3")
@@ -75,7 +88,8 @@ int main() {
       .cell("100%")
       .cell(util::format_double(
                 100.0 * mc.fraction_meeting_quarter_guarantee, 1) + "%");
-  table.print(std::cout, "E5: reliability — exact product form vs Monte Carlo");
+  bench::print_table(table,
+                     "E5: reliability — exact product form vs Monte Carlo", "");
 
   // Per-sink detail for the five most demanding sinks.
   util::Table detail({"sink", "threshold", "copies", "exact P(deliver)",
@@ -99,7 +113,7 @@ int main() {
         .cell(mc.sink_loss_rate[static_cast<std::size_t>(j)], 5)
         .cell(1.0 - exact[static_cast<std::size_t>(j)], 5);
   }
-  detail.print(std::cout, "five most demanding sinks");
+  bench::print_table(detail, "five most demanding sinks", "");
 
   // Deadline model (paper Section 1.2: late packets are useless).  Sweep
   // the playback deadline and watch effective loss rise as long-haul paths
@@ -108,7 +122,7 @@ int main() {
                         "% meeting 1/4 guarantee"});
   for (double dl : {0.0, 250.0, 150.0, 80.0, 40.0}) {
     sim::SimulationConfig dcfg;
-    dcfg.num_packets = 50000;
+    dcfg.num_packets = args.smoke ? 10000 : 50000;
     dcfg.seed = kSeed;
     dcfg.deadline_ms = dl;
     dcfg.jitter_sigma_ms = dl > 0.0 ? 15.0 : 0.0;
@@ -119,6 +133,7 @@ int main() {
         .cell(100.0 * r.fraction_meeting_threshold, 1)
         .cell(100.0 * r.fraction_meeting_quarter_guarantee, 1);
   }
-  deadline.print(std::cout, "playback-deadline sweep (Section 1.2 model)");
+  bench::print_table(deadline, "playback-deadline sweep (Section 1.2 model)",
+                     "");
   return 0;
 }

@@ -4,29 +4,52 @@
 // while greedy is the natural practical competitor.
 //
 // We compare three designers on identical instances:
-//   - the paper's two-stage LP rounding,
+//   - the paper's two-stage LP rounding (a pool-backed DesignSweep),
 //   - the capacitated greedy (full coverage, no guarantee on cost),
 //   - the random feasible heuristic (cost floor ceiling).
 // All costs are normalized by the LP lower bound, the only certified
 // yardstick for OPT.
 
-#include <iostream>
+#include <string>
+#include <vector>
 
+#include "bench_common.hpp"
 #include "omn/baseline/greedy.hpp"
 #include "omn/baseline/random_heuristic.hpp"
-#include "omn/core/designer.hpp"
+#include "omn/core/design_sweep.hpp"
 #include "omn/topo/akamai.hpp"
-#include "omn/topo/synthetic.hpp"
 #include "omn/util/stats.hpp"
 #include "omn/util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace omn;
-  const std::vector<int> sink_counts{16, 32, 64};
-  constexpr int kSeeds = 6;
+  const auto args = bench::parse_args(argc, argv, "e9_vs_greedy");
+  const std::vector<int> sink_counts =
+      args.smoke ? std::vector<int>{16} : std::vector<int>{16, 32, 64};
+  const int seeds = bench::smoke_scaled(args, 6, 2);
+
+  core::DesignSweep sweep;
+  for (int n : sink_counts) {
+    for (int seed = 1; seed <= seeds; ++seed) {
+      sweep.add_instance(
+          "n" + std::to_string(n) + "-s" + std::to_string(seed),
+          topo::make_akamai_like(
+              topo::global_event_config(n, static_cast<std::uint64_t>(seed))));
+    }
+  }
+  core::DesignerConfig cfg;
+  cfg.seed = 1;
+  cfg.rounding_attempts = 4;
+  sweep.add_config("lp-rounding", cfg);
+
+  core::SweepOptions options;
+  options.reseed_per_instance = true;
+  const core::SweepReport report =
+      bench::run_sweep(sweep, options, args, "E9 sweep");
 
   util::Table table({"sinks", "designer", "cost/LP mean", "cost/LP max",
                      "min w-ratio", "wins vs greedy"});
+  std::size_t instance = 0;
   for (int n : sink_counts) {
     util::RunningStats algo_ratio;
     util::RunningStats greedy_ratio;
@@ -35,14 +58,10 @@ int main() {
     util::RunningStats greedy_minw;
     int algo_wins = 0;
     int comparisons = 0;
-    for (int seed = 1; seed <= kSeeds; ++seed) {
-      const auto inst = topo::make_akamai_like(
-          topo::global_event_config(n, static_cast<std::uint64_t>(seed)));
-      core::DesignerConfig cfg;
-      cfg.seed = static_cast<std::uint64_t>(seed);
-      cfg.rounding_attempts = 4;
-      const auto algo = core::OverlayDesigner(cfg).design(inst);
+    for (int seed = 1; seed <= seeds; ++seed, ++instance) {
+      const core::DesignResult& algo = report.cell(instance, 0).result;
       if (!algo.ok() || algo.lp_objective <= 0) continue;
+      const net::OverlayInstance& inst = sweep.instance(instance);
       const auto greedy = baseline::greedy_design(inst);
       const auto random = baseline::random_design(
           inst, static_cast<std::uint64_t>(seed) * 31 + 1);
@@ -71,10 +90,13 @@ int main() {
         .cell(random_ratio.mean(), 2).cell(random_ratio.max(), 2)
         .cell("-").cell("-");
   }
-  table.print(std::cout, "E9: LP rounding vs greedy vs random (6 seeds/size)");
-  std::cout << "\nNote: greedy covers the FULL demand (w-ratio >= 1) while the\n"
-               "algorithm guarantees >= 1/4 at lower cost; the fair comparison\n"
-               "is cost at the coverage each method achieves.  'wins' counts\n"
-               "instances where the algorithm's cost is lower outright.\n";
+  bench::print_table(
+      table,
+      "E9: LP rounding vs greedy vs random (" + std::to_string(seeds) +
+          " seeds/size)",
+      "Note: greedy covers the FULL demand (w-ratio >= 1) while the\n"
+      "algorithm guarantees >= 1/4 at lower cost; the fair comparison\n"
+      "is cost at the coverage each method achieves.  'wins' counts\n"
+      "instances where the algorithm's cost is lower outright.");
   return 0;
 }

@@ -8,6 +8,11 @@
 // strategy re-runs the designer on the fresh measurements every epoch and
 // stays healthy.
 //
+// The per-epoch redesign is the motivating case for the shared
+// ExecutionContext: one pool serves every design() call across epochs
+// instead of starting (and joining) hardware_concurrency threads per
+// redesign.
+//
 //   $ ./examples/adaptive_redesign [epochs] [seed]
 
 #include <algorithm>
@@ -19,6 +24,7 @@
 #include "omn/core/designer.hpp"
 #include "omn/sim/reliability.hpp"
 #include "omn/topo/akamai.hpp"
+#include "omn/util/execution_context.hpp"
 #include "omn/util/rng.hpp"
 #include "omn/util/table.hpp"
 
@@ -69,7 +75,11 @@ int main(int argc, char** argv) {
   cfg.rounding_attempts = 3;
   core::OverlayDesigner designer(cfg);
 
-  const auto initial = designer.design(inst);
+  // One scheduler handle for the whole event: every epoch's redesign runs
+  // its rounding attempts on this shared pool.
+  const util::ExecutionContext& context = util::ExecutionContext::global();
+
+  const auto initial = designer.design(inst, context);
   if (!initial.ok()) {
     std::cerr << "initial design failed\n";
     return 1;
@@ -89,8 +99,8 @@ int main(int argc, char** argv) {
     drift_losses(inst, rng);
     // Static design is evaluated against the *new* network conditions.
     const double static_ok = fraction_meeting_quarter(inst, static_design);
-    // Adaptive: re-run the algorithm on fresh measurements.
-    const auto redesigned = designer.design(inst);
+    // Adaptive: re-run the algorithm on fresh measurements (same pool).
+    const auto redesigned = designer.design(inst, context);
     if (!redesigned.ok()) {
       std::cerr << "redesign failed at epoch " << epoch << "\n";
       return 1;

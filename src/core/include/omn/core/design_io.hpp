@@ -5,10 +5,12 @@
 //
 // Format:
 //   omn-design v1
+//   meta <key> <value>   (zero or more; optional provenance block)
 //   z <R>   <bits...>
 //   y <S*R> <bits...>
 //   x <E>   <bits...>
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
@@ -17,16 +19,44 @@
 
 namespace omn::core {
 
+/// Optional provenance saved alongside a design: the designer knobs the
+/// run used and its per-stage timings, so a loaded plan can report how it
+/// was produced.  Serialized as `meta <key> <value>` lines after the
+/// header; files written without metadata are byte-identical to the
+/// original v1 format, and unknown keys are ignored on load (forward
+/// compatibility).
+struct DesignMeta {
+  std::uint64_t seed = 0;
+  double c = 0.0;
+  int rounding_attempts = 0;
+  int threads = 0;
+  double lp_seconds = 0.0;
+  double rounding_seconds = 0.0;
+
+  bool operator==(const DesignMeta&) const = default;
+};
+
 void save_design(const Design& design, std::ostream& os);
-/// Loads and validates slot counts against `instance`.
+void save_design(const Design& design, std::ostream& os,
+                 const DesignMeta& meta);
+/// Loads and validates slot counts against `instance`.  The overload with
+/// `meta` fills in any `meta` lines present in the stream (fields absent
+/// from the file keep their zero defaults).
 Design load_design(std::istream& is, const net::OverlayInstance& instance);
+Design load_design(std::istream& is, const net::OverlayInstance& instance,
+                   DesignMeta* meta);
 
 std::string design_to_text(const Design& design);
 Design design_from_text(const std::string& text,
                         const net::OverlayInstance& instance);
 
 void save_design_file(const Design& design, const std::string& path);
+void save_design_file(const Design& design, const std::string& path,
+                      const DesignMeta& meta);
 Design load_design_file(const std::string& path,
                         const net::OverlayInstance& instance);
+Design load_design_file(const std::string& path,
+                        const net::OverlayInstance& instance,
+                        DesignMeta* meta);
 
 }  // namespace omn::core

@@ -1,13 +1,22 @@
 #pragma once
-// DesignSweep: pool-backed batch driver for experiment grids.
+// DesignSweep: batch driver for experiment grids, with LP reuse.
 //
 // Every bench in bench/ runs the same shape of loop: for each instance
 // (topology, seed, scale) × each designer configuration (ablation flag,
 // attempt count, c value), run the pipeline and tabulate the DesignResult.
-// DesignSweep owns that loop and runs the grid cells on a
-// util::ThreadPool, so a sweep uses every core while each cell stays
+// DesignSweep owns that loop and runs the grid cells on a shared
+// util::ExecutionContext, so a sweep uses every core while each cell stays
 // bit-identical to a serial run (cells are independent and the designer
 // itself is deterministic per seed).
+//
+// LP-reuse planner: configurations that differ only in rounding knobs
+// (seed, c, attempt count, prune flag, ...) share the same LP relaxation.
+// The planner groups configs by their exact (LpBuildOptions, SolveOptions)
+// key, solves each distinct LP once per instance, and fans the rounding
+// cells out via design_from_lp — so an E8-style grid (one instance × k
+// rounding-only configs) performs exactly one LP solve.  Because the LP
+// build and the simplex solve are deterministic, the grouped report is
+// bit-identical to the ungrouped one in everything but wall-clock fields.
 //
 // Cells are ordered instance-major, config-minor; report.cell(i, c) gives
 // random access.
@@ -19,6 +28,7 @@
 
 #include "omn/core/designer.hpp"
 #include "omn/net/instance.hpp"
+#include "omn/util/execution_context.hpp"
 
 namespace omn::core {
 
@@ -29,19 +39,29 @@ struct SweepCell {
   std::string instance_label;
   std::string config_label;
   DesignResult result;
-  /// Wall-clock seconds spent on this cell's design() call.
+  /// Wall-clock seconds spent on this cell's rounding/design work.  When
+  /// the LP was reused, result.lp_seconds holds the *shared* solve's time
+  /// (amortized over every cell of the group), not a per-cell cost.
   double seconds = 0.0;
 };
 
 struct SweepOptions {
-  /// Total threads running grid cells (the calling thread included):
-  /// 0 = hardware_concurrency(), 1 = serial.  Cell-internal rounding
-  /// attempts always run serially — the grid level owns the parallelism.
+  /// Cap on the TOTAL threads the sweep may use (the calling thread
+  /// included): 0 = the execution context's full concurrency, 1 = serial.
+  /// With an explicit cap, each cell's nested rounding attempts run
+  /// inline so the budget holds; with 0, cells and their attempts share
+  /// the context's pool at both levels.  Either way there is one pool and
+  /// no configuration oversubscribes the machine.
   std::size_t threads = 0;
   /// When true, each cell designs with seed = config.seed + instance_index
   /// so Monte Carlo draws are independent across the instance axis (the
   /// usual per-seed experiment shape, e.g. E12).
   bool reseed_per_instance = false;
+  /// Solve each distinct LP once per instance and share it across the
+  /// configs that only differ in rounding knobs.  Disabling re-solves the
+  /// LP per cell; the report is bit-identical either way (timing fields
+  /// excepted) — the knob exists for measurement and tests.
+  bool reuse_lp = true;
 };
 
 struct SweepReport {
@@ -49,6 +69,12 @@ struct SweepReport {
   std::vector<SweepCell> cells;
   std::size_t num_instances = 0;
   std::size_t num_configs = 0;
+  /// Number of distinct LP configurations among the sweep's configs
+  /// (groups of configs differing only in rounding knobs).
+  std::size_t lp_configs = 0;
+  /// LP solves actually performed: num_instances * lp_configs when the
+  /// planner reused solves, num_cells when reuse_lp was off.
+  std::size_t lp_solves = 0;
   /// Wall-clock seconds for the whole grid (serial-vs-parallel speedup is
   /// the ratio of two runs' wall_seconds).
   double wall_seconds = 0.0;
@@ -67,9 +93,21 @@ class DesignSweep {
   std::size_t num_configs() const { return configs_.size(); }
   std::size_t num_cells() const { return instances_.size() * configs_.size(); }
 
+  /// The instance added i-th, in cell order — post-pass analyses (e.g. a
+  /// bench scanning the winning designs) index it with
+  /// SweepCell::instance_index instead of keeping their own copy.
+  const net::OverlayInstance& instance(std::size_t i) const {
+    return instances_.at(i).second;
+  }
+
   /// Runs the full instance × config grid and returns the result table.
-  /// The report is identical for every thread count.
+  /// The report is identical (timing fields excepted) for every thread
+  /// count, execution context, and reuse_lp setting.  The overload without
+  /// a context uses ExecutionContext::global() (or runs inline for
+  /// threads == 1); pass a caller-owned context to share its pool instead.
   SweepReport run(const SweepOptions& options = {}) const;
+  SweepReport run(const SweepOptions& options,
+                  const util::ExecutionContext& context) const;
 
  private:
   std::vector<std::pair<std::string, net::OverlayInstance>> instances_;

@@ -26,6 +26,7 @@
 #include "omn/core/rounding.hpp"
 #include "omn/lp/simplex.hpp"
 #include "omn/net/instance.hpp"
+#include "omn/util/execution_context.hpp"
 
 namespace omn::core {
 
@@ -35,10 +36,11 @@ struct DesignerConfig {
   std::uint64_t seed = 1;
   /// Number of independent rounding attempts; best design wins.
   int rounding_attempts = 3;
-  /// Total threads used to run the rounding attempts (the calling thread
-  /// included): 0 = hardware_concurrency(), 1 = serial.  Attempt seeds are
-  /// derived deterministically from `seed`, so the winning design is
-  /// bit-identical for every thread count.
+  /// Cap on the threads concurrently running rounding attempts (the
+  /// calling thread included): 0 = the execution context's full
+  /// concurrency, 1 = serial.  Attempt seeds are derived deterministically
+  /// from `seed`, so the winning design is bit-identical for every thread
+  /// count and execution context.
   int threads = 0;
   /// Enable the Section 6.4/6.5 color constraints.
   bool color_constraints = false;
@@ -101,18 +103,32 @@ struct DesignResult {
   bool ok() const { return status == DesignStatus::kOk; }
 };
 
+/// The LP relaxation options implied by a designer configuration.  Configs
+/// with equal build options (and equal `lp_options`) share the same LP
+/// relaxation and solution — the key DesignSweep memoizes solves by.
+LpBuildOptions lp_build_options(const DesignerConfig& config);
+
 class OverlayDesigner {
  public:
   explicit OverlayDesigner(DesignerConfig config = {}) : config_(config) {}
 
-  /// Runs the full pipeline on `instance`.
+  /// Runs the full pipeline on `instance`.  Rounding attempts run on
+  /// `context`'s shared pool (capped by `config.threads`); the overload
+  /// without a context uses ExecutionContext::global(), or runs inline
+  /// when the config is serial.  No pools are constructed per call.
   DesignResult design(const net::OverlayInstance& instance) const;
+  DesignResult design(const net::OverlayInstance& instance,
+                      const util::ExecutionContext& context) const;
 
   /// Reuses a pre-built LP and its solution (for sweeps that vary only the
   /// rounding configuration, e.g. the c trade-off experiment E8).
   DesignResult design_from_lp(const net::OverlayInstance& instance,
                               const OverlayLp& lp,
                               const lp::Solution& lp_solution) const;
+  DesignResult design_from_lp(const net::OverlayInstance& instance,
+                              const OverlayLp& lp,
+                              const lp::Solution& lp_solution,
+                              const util::ExecutionContext& context) const;
 
   const DesignerConfig& config() const { return config_; }
 

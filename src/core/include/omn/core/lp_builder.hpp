@@ -41,6 +41,10 @@ struct LpBuildOptions {
   bool reflector_stream_capacities = false;
   /// Extension 6.4: at most one copy per (sink, ISP color).
   bool color_constraints = false;
+
+  /// Equal build options produce the same LP for a given instance — the
+  /// property DesignSweep's LP-reuse planner keys on.
+  bool operator==(const LpBuildOptions&) const = default;
 };
 
 /// The compiled LP plus index maps back to the design's slots.

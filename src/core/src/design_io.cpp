@@ -18,12 +18,14 @@ void emit(std::ostream& os, const char* tag,
   os << '\n';
 }
 
-std::vector<std::uint8_t> read_bits(std::istream& is, const char* tag,
-                                    std::size_t expected) {
-  std::string got;
+/// Reads one bit section.  `got` is the section tag when the caller
+/// already consumed it (scanning past the meta block); empty otherwise.
+std::vector<std::uint8_t> read_bits(std::istream& is, std::string got,
+                                    const char* tag, std::size_t expected) {
+  if (got.empty()) is >> got;
   std::size_t count = 0;
   std::string bits;
-  if (!(is >> got >> count >> bits) || got != tag) {
+  if (!(is >> count >> bits) || got != tag) {
     throw std::runtime_error(std::string("load_design: expected section ") +
                              tag);
   }
@@ -41,6 +43,28 @@ std::vector<std::uint8_t> read_bits(std::istream& is, const char* tag,
   return out;
 }
 
+void apply_meta(DesignMeta& meta, const std::string& key,
+                const std::string& value) {
+  try {
+    if (key == "seed") {
+      meta.seed = std::stoull(value);
+    } else if (key == "c") {
+      meta.c = std::stod(value);
+    } else if (key == "attempts") {
+      meta.rounding_attempts = std::stoi(value);
+    } else if (key == "threads") {
+      meta.threads = std::stoi(value);
+    } else if (key == "lp_seconds") {
+      meta.lp_seconds = std::stod(value);
+    } else if (key == "rounding_seconds") {
+      meta.rounding_seconds = std::stod(value);
+    }
+    // Unknown keys are ignored: newer writers may add fields.
+  } catch (const std::exception&) {
+    throw std::runtime_error("load_design: bad meta value for '" + key + "'");
+  }
+}
+
 }  // namespace
 
 void save_design(const Design& design, std::ostream& os) {
@@ -50,18 +74,52 @@ void save_design(const Design& design, std::ostream& os) {
   emit(os, "x", design.x);
 }
 
+void save_design(const Design& design, std::ostream& os,
+                 const DesignMeta& meta) {
+  os << kMagic << ' ' << kVersion << '\n';
+  std::ostringstream m;
+  m.precision(17);  // doubles round-trip exactly
+  m << "meta seed " << meta.seed << '\n'
+    << "meta c " << meta.c << '\n'
+    << "meta attempts " << meta.rounding_attempts << '\n'
+    << "meta threads " << meta.threads << '\n'
+    << "meta lp_seconds " << meta.lp_seconds << '\n'
+    << "meta rounding_seconds " << meta.rounding_seconds << '\n';
+  os << m.str();
+  emit(os, "z", design.z);
+  emit(os, "y", design.y);
+  emit(os, "x", design.x);
+}
+
 Design load_design(std::istream& is, const net::OverlayInstance& inst) {
+  return load_design(is, inst, nullptr);
+}
+
+Design load_design(std::istream& is, const net::OverlayInstance& inst,
+                   DesignMeta* meta) {
   std::string magic;
   std::string version;
   if (!(is >> magic >> version) || magic != kMagic || version != kVersion) {
     throw std::runtime_error("load_design: bad header");
   }
+  std::string tag;
+  if (!(is >> tag)) throw std::runtime_error("load_design: truncated file");
+  while (tag == "meta") {
+    std::string key;
+    std::string value;
+    if (!(is >> key >> value)) {
+      throw std::runtime_error("load_design: truncated meta line");
+    }
+    if (meta != nullptr) apply_meta(*meta, key, value);
+    if (!(is >> tag)) throw std::runtime_error("load_design: truncated file");
+  }
   Design d;
-  d.z = read_bits(is, "z", static_cast<std::size_t>(inst.num_reflectors()));
-  d.y = read_bits(is, "y",
+  d.z = read_bits(is, tag, "z",
+                  static_cast<std::size_t>(inst.num_reflectors()));
+  d.y = read_bits(is, {}, "y",
                   static_cast<std::size_t>(inst.num_sources()) *
                       static_cast<std::size_t>(inst.num_reflectors()));
-  d.x = read_bits(is, "x", inst.rd_edges().size());
+  d.x = read_bits(is, {}, "x", inst.rd_edges().size());
   return d;
 }
 
@@ -83,11 +141,23 @@ void save_design_file(const Design& design, const std::string& path) {
   save_design(design, os);
 }
 
+void save_design_file(const Design& design, const std::string& path,
+                      const DesignMeta& meta) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("save_design: cannot open " + path);
+  save_design(design, os, meta);
+}
+
 Design load_design_file(const std::string& path,
                         const net::OverlayInstance& inst) {
+  return load_design_file(path, inst, nullptr);
+}
+
+Design load_design_file(const std::string& path,
+                        const net::OverlayInstance& inst, DesignMeta* meta) {
   std::ifstream is(path);
   if (!is) throw std::runtime_error("load_design: cannot open " + path);
-  return load_design(is, inst);
+  return load_design(is, inst, meta);
 }
 
 }  // namespace omn::core

@@ -1,9 +1,7 @@
 #include "omn/core/design_sweep.hpp"
 
-#include <algorithm>
-#include <thread>
+#include <cstdint>
 
-#include "omn/util/thread_pool.hpp"
 #include "omn/util/timer.hpp"
 
 namespace omn::core {
@@ -20,49 +18,125 @@ DesignSweep& DesignSweep::add_config(std::string label, DesignerConfig config) {
 }
 
 SweepReport DesignSweep::run(const SweepOptions& options) const {
+  // Avoid constructing the global pool for explicitly serial sweeps.
+  return run(options, options.threads == 1 ? util::ExecutionContext::serial()
+                                           : util::ExecutionContext::global());
+}
+
+SweepReport DesignSweep::run(const SweepOptions& options,
+                             const util::ExecutionContext& context) const {
   SweepReport report;
   report.num_instances = instances_.size();
   report.num_configs = configs_.size();
   report.cells.resize(num_cells());
 
   util::Timer wall;
-  const auto run_cell = [&](std::size_t index) {
-    const std::size_t i = index / configs_.size();
-    const std::size_t c = index % configs_.size();
+  const util::ExecutionContext::ForOptions fan{.max_parallelism =
+                                                   options.threads};
 
-    SweepCell& cell = report.cells[index];
-    cell.instance_index = i;
-    cell.config_index = c;
-    cell.instance_label = instances_[i].first;
-    cell.config_label = configs_[c].first;
+  // --- LP-reuse planner ----------------------------------------------------
+  // Group configs by the exact options that shape the LP relaxation and
+  // its solve; everything else (seed, c, attempts, pruning, ...) only
+  // affects rounding, so configs in one group share a solve per instance.
+  struct LpKey {
+    LpBuildOptions build;
+    lp::SolveOptions solve;
+    bool operator==(const LpKey&) const = default;
+  };
+  std::vector<LpKey> groups;
+  std::vector<std::size_t> group_of_config(configs_.size(), 0);
+  for (std::size_t c = 0; c < configs_.size(); ++c) {
+    const LpKey key{lp_build_options(configs_[c].second),
+                    configs_[c].second.lp_options};
+    std::size_t g = 0;
+    while (g < groups.size() && !(groups[g] == key)) ++g;
+    if (g == groups.size()) groups.push_back(key);
+    group_of_config[c] = g;
+  }
+  report.lp_configs = groups.size();
 
-    // The grid level owns the machine; a cell that also fanned out its
-    // rounding attempts would oversubscribe it.
+  const auto config_for_cell = [&](std::size_t i, std::size_t c) {
     DesignerConfig config = configs_[c].second;
-    config.threads = 1;
     if (options.reseed_per_instance) {
       config.seed += static_cast<std::uint64_t>(i);
     }
-
-    util::Timer cell_timer;
-    cell.result = OverlayDesigner(config).design(instances_[i].second);
-    cell.seconds = cell_timer.seconds();
+    // An explicit sweep-level cap is a budget on TOTAL threads, so nested
+    // rounding attempts must not fan out past it: grid claimants are
+    // bounded by max_parallelism, and each cell runs its attempts inline.
+    // Uncapped sweeps (threads == 0) share the context's pool at both
+    // levels — one pool, work-stealing, no oversubscription.  The design
+    // is bit-identical either way.
+    if (options.threads != 0) config.threads = 1;
+    return config;
+  };
+  const auto fill_cell_labels = [&](std::size_t index) -> SweepCell& {
+    SweepCell& cell = report.cells[index];
+    cell.instance_index = index / configs_.size();
+    cell.config_index = index % configs_.size();
+    cell.instance_label = instances_[cell.instance_index].first;
+    cell.config_label = configs_[cell.config_index].first;
+    return cell;
   };
 
-  const std::size_t total_threads =
-      options.threads == 0
-          ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
-          : options.threads;
-  if (num_cells() > 1 && total_threads > 1) {
-    util::ThreadPool pool(
-        std::min<std::size_t>(total_threads - 1, num_cells() - 1));
-    pool.parallel_for(num_cells(),
-                      [&](std::size_t begin, std::size_t end, std::size_t) {
-                        for (std::size_t k = begin; k < end; ++k) run_cell(k);
-                      });
-  } else {
-    for (std::size_t k = 0; k < num_cells(); ++k) run_cell(k);
+  if (!options.reuse_lp) {
+    // Ungrouped: every cell builds and solves its own LP (the pre-planner
+    // behaviour, kept for measurement and bit-identity tests).
+    context.parallel_for(
+        num_cells(),
+        [&](std::size_t index) {
+          SweepCell& cell = fill_cell_labels(index);
+          const DesignerConfig config =
+              config_for_cell(cell.instance_index, cell.config_index);
+          util::Timer cell_timer;
+          cell.result = OverlayDesigner(config).design(
+              instances_[cell.instance_index].second, context);
+          cell.seconds = cell_timer.seconds();
+        },
+        fan);
+    report.lp_solves = num_cells();
+    report.wall_seconds = wall.seconds();
+    return report;
   }
+
+  // Phase 1: one LP build + solve per (instance, distinct LP config).
+  struct SolvedLp {
+    OverlayLp lp;
+    lp::Solution solution;
+    double seconds = 0.0;
+  };
+  std::vector<SolvedLp> solved(instances_.size() * groups.size());
+  context.parallel_for(
+      solved.size(),
+      [&](std::size_t t) {
+        const std::size_t i = t / groups.size();
+        const std::size_t g = t % groups.size();
+        util::Timer timer;
+        SolvedLp& s = solved[t];
+        s.lp = build_overlay_lp(instances_[i].second, groups[g].build);
+        s.solution = lp::SimplexSolver().solve(s.lp.model, groups[g].solve);
+        s.seconds = timer.seconds();
+      },
+      fan);
+  report.lp_solves = solved.size();
+
+  // Phase 2: fan the rounding cells out over the shared solves.  Nested
+  // rounding attempts reuse the same context (and pool), so a sweep never
+  // oversubscribes the machine.
+  context.parallel_for(
+      num_cells(),
+      [&](std::size_t index) {
+        SweepCell& cell = fill_cell_labels(index);
+        const std::size_t i = cell.instance_index;
+        const std::size_t c = cell.config_index;
+        const DesignerConfig config = config_for_cell(i, c);
+        const SolvedLp& s = solved[i * groups.size() + group_of_config[c]];
+        util::Timer cell_timer;
+        cell.result = OverlayDesigner(config).design_from_lp(
+            instances_[i].second, s.lp, s.solution, context);
+        cell.result.lp_seconds = s.seconds;
+        cell.seconds = cell_timer.seconds();
+      },
+      fan);
   report.wall_seconds = wall.seconds();
   return report;
 }

@@ -5,7 +5,7 @@
 #include <cstddef>
 #include <vector>
 
-#include "omn/util/thread_pool.hpp"
+#include "omn/util/execution_context.hpp"
 #include "omn/util/timer.hpp"
 
 namespace omn::core {
@@ -30,6 +30,16 @@ bool nearly_equal(double a, double b) {
   return std::abs(a - b) <= 1e-9 * scale;
 }
 
+/// The context the no-context overloads run on: inline when the config
+/// cannot use parallelism anyway (avoids constructing the global pool for
+/// serial runs), otherwise the shared process-wide context.
+util::ExecutionContext default_context(const DesignerConfig& config) {
+  if (config.threads == 1 || config.rounding_attempts <= 1) {
+    return util::ExecutionContext::serial();
+  }
+  return util::ExecutionContext::global();
+}
+
 }  // namespace
 
 bool better_evaluation(const Evaluation& a, const Evaluation& b) {
@@ -42,24 +52,33 @@ bool better_evaluation(const Evaluation& a, const Evaluation& b) {
   return a.total_cost < b.total_cost && !nearly_equal(a.total_cost, b.total_cost);
 }
 
-DesignResult OverlayDesigner::design(const net::OverlayInstance& inst) const {
-  LpBuildOptions lp_options;
-  lp_options.cutting_plane = config_.cutting_plane;
-  lp_options.bandwidth_extension = config_.bandwidth_extension;
-  lp_options.rd_capacities = config_.rd_capacities;
-  lp_options.reflector_stream_capacities = config_.reflector_stream_capacities;
-  lp_options.color_constraints = config_.color_constraints;
+LpBuildOptions lp_build_options(const DesignerConfig& config) {
+  LpBuildOptions options;
+  options.cutting_plane = config.cutting_plane;
+  options.bandwidth_extension = config.bandwidth_extension;
+  options.rd_capacities = config.rd_capacities;
+  options.reflector_stream_capacities = config.reflector_stream_capacities;
+  options.color_constraints = config.color_constraints;
+  return options;
+}
 
+DesignResult OverlayDesigner::design(const net::OverlayInstance& inst) const {
+  return design(inst, default_context(config_));
+}
+
+DesignResult OverlayDesigner::design(
+    const net::OverlayInstance& inst,
+    const util::ExecutionContext& context) const {
   // Time the LP stage on its own; design_from_lp times the rounding stage
   // on its own.  (Subtracting one from the other mis-attributes and can
   // even go negative under clock jitter.)
   util::Timer lp_timer;
-  const OverlayLp lp = build_overlay_lp(inst, lp_options);
+  const OverlayLp lp = build_overlay_lp(inst, lp_build_options(config_));
   const lp::Solution solution =
       lp::SimplexSolver().solve(lp.model, config_.lp_options);
   const double lp_seconds = lp_timer.seconds();
 
-  DesignResult result = design_from_lp(inst, lp, solution);
+  DesignResult result = design_from_lp(inst, lp, solution, context);
   result.lp_seconds = lp_seconds;
   return result;
 }
@@ -67,6 +86,13 @@ DesignResult OverlayDesigner::design(const net::OverlayInstance& inst) const {
 DesignResult OverlayDesigner::design_from_lp(
     const net::OverlayInstance& inst, const OverlayLp& lp,
     const lp::Solution& lp_solution) const {
+  return design_from_lp(inst, lp, lp_solution, default_context(config_));
+}
+
+DesignResult OverlayDesigner::design_from_lp(
+    const net::OverlayInstance& inst, const OverlayLp& lp,
+    const lp::Solution& lp_solution,
+    const util::ExecutionContext& context) const {
   DesignResult result;
   result.lp_iterations = lp_solution.iterations;
 
@@ -139,20 +165,14 @@ DesignResult OverlayDesigner::design_from_lp(
   AttemptOutcome winner;
   int best_attempt = 0;
 
-  const std::size_t total_threads =
-      config_.threads <= 0
-          ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
-          : static_cast<std::size_t>(config_.threads);
-  if (attempts > 1 && total_threads > 1) {
+  const std::size_t cap =
+      config_.threads > 0 ? static_cast<std::size_t>(config_.threads) : 0;
+  if (attempts > 1 && cap != 1 && context.concurrency() > 1) {
     std::vector<AttemptOutcome> outcomes(static_cast<std::size_t>(attempts));
-    util::ThreadPool pool(std::min<std::size_t>(
-        total_threads - 1, static_cast<std::size_t>(attempts) - 1));
-    pool.parallel_for(static_cast<std::size_t>(attempts),
-                      [&](std::size_t begin, std::size_t end, std::size_t) {
-                        for (std::size_t i = begin; i < end; ++i) {
-                          outcomes[i] = compute_attempt(static_cast<int>(i));
-                        }
-                      });
+    context.parallel_for(
+        static_cast<std::size_t>(attempts),
+        [&](std::size_t i) { outcomes[i] = compute_attempt(static_cast<int>(i)); },
+        {.max_parallelism = cap});
     for (int attempt = 1; attempt < attempts; ++attempt) {
       if (better_evaluation(
               outcomes[static_cast<std::size_t>(attempt)].eval,

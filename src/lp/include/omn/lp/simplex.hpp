@@ -45,6 +45,10 @@ struct SolveOptions {
   double pivot_tol = 1e-8;
   /// Consecutive degenerate pivots before switching to Bland's rule.
   int degenerate_switch = 64;
+
+  /// The solver is deterministic, so equal options (and an equal model)
+  /// produce the same Solution — used by LP-memoizing callers.
+  bool operator==(const SolveOptions&) const = default;
 };
 
 struct Solution {

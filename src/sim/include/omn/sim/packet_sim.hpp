@@ -15,22 +15,29 @@
 // an entire ISP drop a packet with a common-mode probability, on top of
 // the per-link losses.
 //
-// Batches of packets run on a util::ThreadPool; each worker owns a forked
-// RNG stream and a private loss-counter array, merged at the end (no
-// locking on the hot path).
+// Batches of packets run on a shared util::ExecutionContext; each batch
+// owns a forked RNG stream and a private loss-counter array, merged at the
+// end (no locking on the hot path).  The packet -> batch partition is a
+// pure function of (num_packets, batch width): with threads > 0 the width
+// is fixed by the config, so the report is identical no matter which
+// context executes it; with threads == 0 the width is the executing
+// context's concurrency, so the report is reproducible per context but
+// varies across contexts (and machines) of different widths.
 
 #include <cstdint>
 #include <vector>
 
 #include "omn/core/design.hpp"
 #include "omn/net/instance.hpp"
+#include "omn/util/execution_context.hpp"
 
 namespace omn::sim {
 
 struct SimulationConfig {
   std::int64_t num_packets = 100000;
   std::uint64_t seed = 1;
-  /// 0 = one batch per hardware thread.
+  /// Batch width: the packets are split into min(num_packets, width)
+  /// deterministic batches.  0 = the execution context's concurrency.
   int threads = 0;
   /// Common-mode probability that an entire ISP (color) drops a packet.
   /// 0 disables the correlated model.
@@ -57,8 +64,14 @@ struct SimulationReport {
   std::int64_t packets = 0;
 };
 
+/// The overload without a context runs on ExecutionContext::global();
+/// pass a caller-owned context to share its pool instead.
 SimulationReport simulate(const net::OverlayInstance& instance,
                           const core::Design& design,
                           const SimulationConfig& config);
+SimulationReport simulate(const net::OverlayInstance& instance,
+                          const core::Design& design,
+                          const SimulationConfig& config,
+                          const util::ExecutionContext& context);
 
 }  // namespace omn::sim

@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "omn/util/execution_context.hpp"
 #include "omn/util/rng.hpp"
-#include "omn/util/thread_pool.hpp"
 
 namespace omn::sim {
 
@@ -67,30 +67,49 @@ CompiledDesign compile(const net::OverlayInstance& inst,
 SimulationReport simulate(const net::OverlayInstance& inst,
                           const core::Design& design,
                           const SimulationConfig& config) {
+  // Mirror the designer's default_context(): a config that can only ever
+  // use one batch must not construct the process-wide pool.
+  if (config.threads == 1 || config.num_packets <= 1) {
+    return simulate(inst, design, config, util::ExecutionContext::serial());
+  }
+  return simulate(inst, design, config, util::ExecutionContext::global());
+}
+
+SimulationReport simulate(const net::OverlayInstance& inst,
+                          const core::Design& design,
+                          const SimulationConfig& config,
+                          const util::ExecutionContext& context) {
   const CompiledDesign compiled = compile(inst, design);
   const auto D = static_cast<std::size_t>(inst.num_sinks());
   const int colors = std::max(1, inst.num_colors());
 
-  util::ThreadPool pool(static_cast<std::size_t>(std::max(config.threads, 0)));
-  const std::size_t workers = pool.size() + 1;
-  std::vector<std::vector<std::int64_t>> lost_per_worker(
-      workers, std::vector<std::int64_t>(D, 0));
+  // Batches run on the shared context's pool.  The packet -> batch
+  // partition (and hence the RNG stream consumed by each packet) is a pure
+  // function of (num_packets, width) — never of how the chunks get
+  // scheduled — so a run is reproducible for a fixed width.  threads > 0
+  // pins the width (context-independent reports); threads == 0 takes the
+  // width from the executing context.
+  const std::size_t width = config.threads > 0
+                                ? static_cast<std::size_t>(config.threads)
+                                : context.concurrency();
+  const auto packets = static_cast<std::size_t>(config.num_packets);
+  const std::size_t batches = util::ExecutionContext::chunk_count(packets, width);
+  std::vector<std::vector<std::int64_t>> lost_per_batch(
+      batches, std::vector<std::int64_t>(D, 0));
 
-  // Fork one RNG stream per worker up front (deterministic given the seed).
+  // Fork one RNG stream per batch up front (deterministic given the seed).
   util::Rng master(config.seed);
   std::vector<util::Rng> streams;
-  streams.reserve(workers);
-  for (std::size_t w = 0; w < workers; ++w) streams.push_back(master.fork());
+  streams.reserve(batches);
+  for (std::size_t b = 0; b < batches; ++b) streams.push_back(master.fork());
 
-  const auto packets = static_cast<std::size_t>(config.num_packets);
-  pool.parallel_for(packets, [&](std::size_t begin, std::size_t end,
-                                 std::size_t worker) {
-    util::Rng rng = streams[worker % workers];
-    // Decorrelate the work ranges (parallel_for hands contiguous chunks;
-    // each worker already has an independent stream).
+  context.parallel_for_chunks(packets, width, [&](std::size_t begin,
+                                                  std::size_t end,
+                                                  std::size_t batch) {
+    util::Rng rng = streams[batch];
     std::vector<char> sr_dropped(compiled.sr_loss.size(), 0);
     std::vector<char> isp_down(static_cast<std::size_t>(colors), 0);
-    auto& lost = lost_per_worker[worker % workers];
+    auto& lost = lost_per_batch[batch];
 
     for (std::size_t packet = begin; packet < end; ++packet) {
       // Correlated ISP outages for this packet.
@@ -139,7 +158,7 @@ SimulationReport simulate(const net::OverlayInstance& inst,
   report.sink_loss_rate.assign(D, 0.0);
   for (std::size_t j = 0; j < D; ++j) {
     std::int64_t lost = 0;
-    for (const auto& worker : lost_per_worker) lost += worker[j];
+    for (const auto& batch : lost_per_batch) lost += batch[j];
     report.sink_loss_rate[j] =
         static_cast<double>(lost) / static_cast<double>(config.num_packets);
   }

@@ -1,0 +1,112 @@
+#pragma once
+// ExecutionContext: the process's one scheduler handle.
+//
+// Every parallel stage of the pipeline — the designer's Monte Carlo
+// rounding attempts, DesignSweep experiment grids, the packet simulator's
+// batches — used to construct its own ThreadPool per call.  That wastes
+// thread startup on hot loops (adaptive_redesign re-designs every epoch)
+// and oversubscribes the machine when stages nest (a sweep cell fanning
+// out its own attempts).  An ExecutionContext fixes both: it is a cheap,
+// copyable handle to one shared ThreadPool that callers pass down through
+// the layers, so nested parallel stages feed the same queue instead of
+// spawning rival pools.
+//
+// Ownership rules:
+//  - `ExecutionContext::global()` is the process-wide default (hardware
+//    concurrency), constructed race-free on first use and reused by every
+//    caller that does not inject its own context;
+//  - `ExecutionContext(n)` owns a fresh pool of n - 1 workers; copies of
+//    the handle share it, and the pool is joined when the last copy dies;
+//  - `ExecutionContext::serial()` has no pool at all — every parallel_for
+//    runs inline on the calling thread (useful for baselines and tests).
+//
+// Scheduling: parallel_for uses *dynamic* chunking — claimants pull
+// `grain` indices at a time off a shared atomic counter — so skewed
+// per-item workloads (e.g. color-constrained design cells next to plain
+// ones) balance instead of straggling behind a static partition.  For
+// callers whose determinism depends on the partition itself (the packet
+// simulator assigns one RNG stream per chunk), parallel_for_chunks fixes
+// the partition as a pure function of (count, width) and only the
+// *execution order* of chunks is dynamic.
+//
+// Nested and concurrent calls are safe: the underlying ThreadPool batches
+// track their own completion and waiters help-run queued work, so an item
+// body may itself call parallel_for on the same context.
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+#include "omn/util/thread_pool.hpp"
+
+namespace omn::util {
+
+class ExecutionContext {
+ public:
+  /// `threads` is the total number of threads the context may use, the
+  /// calling thread included: 0 = hardware_concurrency(), 1 = serial
+  /// (no pool).  A context constructed with n > 1 owns a pool of n - 1
+  /// workers shared by all copies of the handle.
+  explicit ExecutionContext(std::size_t threads = 0);
+
+  /// The process-wide default context (hardware concurrency).  The
+  /// underlying pool is constructed on first use (thread-safe, C++ magic
+  /// static) and lives for the rest of the process.
+  static ExecutionContext& global();
+
+  /// A context with no pool: all work runs inline on the calling thread.
+  static ExecutionContext serial();
+
+  /// Total threads available to this context, calling thread included.
+  std::size_t concurrency() const { return pool_ ? pool_->size() + 1 : 1; }
+
+  struct ForOptions {
+    /// Cap on the number of threads concurrently claiming items
+    /// (0 = the context's full concurrency).  The cap bounds *this call's*
+    /// claimants only; the shared pool is never resized.
+    std::size_t max_parallelism = 0;
+    /// Indices claimed per grab from the shared counter.  Larger grains
+    /// amortize the atomic per item; 1 (the default) balances best.
+    std::size_t grain = 1;
+  };
+
+  /// Runs body(i) for every i in [0, count) with dynamic chunking:
+  /// claimants pull `grain` indices at a time from an atomic counter, so
+  /// expensive items never straggle behind a static partition.  The
+  /// calling thread participates and help-runs unrelated queued work while
+  /// waiting; nested and concurrent calls are safe.  Rethrows the first
+  /// exception a body raised (remaining unclaimed items are abandoned).
+  /// Item execution order is unspecified — bodies must be independent.
+  /// (Two overloads instead of a defaulted ForOptions argument: a nested
+  /// class with member initializers cannot be defaulted in-class.)
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t index)>& body) const;
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t index)>& body,
+                    ForOptions options) const;
+
+  /// Splits [0, count) into chunk_count(count, width) contiguous chunks —
+  /// a pure function of (count, width), never of the pool size — and runs
+  /// body(begin, end, chunk) once per chunk, dynamically scheduled.  Use
+  /// this when per-chunk state (e.g. one RNG stream per chunk) must stay
+  /// deterministic for a given width while still sharing the pool.
+  /// `width` = 0 selects concurrency().
+  void parallel_for_chunks(
+      std::size_t count, std::size_t width,
+      const std::function<void(std::size_t begin, std::size_t end,
+                               std::size_t chunk)>& body) const;
+
+  /// Number of chunks parallel_for_chunks uses for (count, width): at most
+  /// min(count, width), every chunk non-empty, 0 when count == 0.
+  static std::size_t chunk_count(std::size_t count, std::size_t width);
+
+  /// The wrapped pool, or nullptr for a serial context.  Exposed for
+  /// callers that need submit()/async()/parallel_map() directly.
+  ThreadPool* pool() const { return pool_.get(); }
+
+ private:
+  /// nullptr = serial context.
+  std::shared_ptr<ThreadPool> pool_;
+};
+
+}  // namespace omn::util

@@ -1,7 +1,10 @@
 #pragma once
 // A small fixed-size thread pool used for embarrassingly parallel work:
 // Monte Carlo packet simulation batches, the designer's rounding attempts,
-// and per-seed experiment sweeps (core::DesignSweep).
+// and per-seed experiment sweeps (core::DesignSweep).  Library code
+// normally reaches the pool through a util::ExecutionContext handle (one
+// shared pool per process, dynamic chunking) rather than constructing
+// pools directly.
 //
 // Design notes (following the hpc-parallel guides):
 //  - workers are created once and joined in stop()/the destructor (RAII);

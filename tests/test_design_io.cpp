@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <sstream>
 
 #include "omn/core/designer.hpp"
 #include "omn/topo/akamai.hpp"
@@ -58,6 +59,62 @@ TEST(DesignIo, MissingFileThrows) {
       omn::topo::make_akamai_like(omn::topo::global_event_config(8, 9));
   EXPECT_THROW(omn::core::load_design_file("/nonexistent/d.txt", inst),
                std::runtime_error);
+}
+
+TEST(DesignIo, MetaRoundTripsThroughFile) {
+  const auto inst =
+      omn::topo::make_akamai_like(omn::topo::global_event_config(12, 5));
+  const auto result = omn::core::OverlayDesigner().design(inst);
+  ASSERT_TRUE(result.ok());
+  omn::core::DesignMeta meta;
+  meta.seed = 77;
+  meta.c = 0.125;
+  meta.rounding_attempts = 4;
+  meta.threads = 3;
+  meta.lp_seconds = 0.1234567891234;  // full double precision must survive
+  meta.rounding_seconds = 9.87e-5;
+  const std::string path = ::testing::TempDir() + "omn_design_meta.txt";
+  omn::core::save_design_file(result.design, path, meta);
+  omn::core::DesignMeta back;
+  const auto design = omn::core::load_design_file(path, inst, &back);
+  EXPECT_EQ(back, meta);
+  EXPECT_EQ(design.x, result.design.x);
+  EXPECT_EQ(design.y, result.design.y);
+  EXPECT_EQ(design.z, result.design.z);
+  std::remove(path.c_str());
+}
+
+TEST(DesignIo, MetaLinesAreOptionalAndIgnorable) {
+  const auto inst =
+      omn::topo::make_akamai_like(omn::topo::global_event_config(12, 5));
+  const auto result = omn::core::OverlayDesigner().design(inst);
+  ASSERT_TRUE(result.ok());
+
+  // A file without meta loads with zeroed meta (old v1 files keep working).
+  const std::string plain = omn::core::design_to_text(result.design);
+  EXPECT_EQ(plain.find("meta"), std::string::npos);
+  std::istringstream plain_in(plain);
+  omn::core::DesignMeta absent;
+  omn::core::load_design(plain_in, inst, &absent);
+  EXPECT_EQ(absent, omn::core::DesignMeta{});
+
+  // A file with meta loads fine through the meta-less API too, and
+  // unknown keys are skipped (forward compatibility).
+  omn::core::DesignMeta meta;
+  meta.seed = 5;
+  meta.rounding_attempts = 2;
+  std::ostringstream with_meta;
+  omn::core::save_design(result.design, with_meta, meta);
+  std::string text = with_meta.str();
+  const std::string header = "omn-design v1\n";
+  text.insert(header.size(), "meta future_knob 42\n");
+  const auto back = omn::core::design_from_text(text, inst);
+  EXPECT_EQ(back.x, result.design.x);
+  std::istringstream meta_in(text);
+  omn::core::DesignMeta parsed;
+  omn::core::load_design(meta_in, inst, &parsed);
+  EXPECT_EQ(parsed.seed, 5u);
+  EXPECT_EQ(parsed.rounding_attempts, 2);
 }
 
 }  // namespace

@@ -1,10 +1,15 @@
 // Tests for the DesignSweep batch driver: grid shape/labels, cell access,
-// and bit-identical results for serial vs pool-backed execution.
+// bit-identical results for serial vs pool-backed execution, and the
+// LP-reuse planner (grouped solves must be bit-identical to per-cell
+// solves, with the solve count equal to instances x distinct LP configs).
 #include "omn/core/design_sweep.hpp"
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "omn/topo/akamai.hpp"
+#include "omn/util/execution_context.hpp"
 
 namespace {
 
@@ -12,6 +17,29 @@ using omn::core::DesignerConfig;
 using omn::core::DesignSweep;
 using omn::core::SweepOptions;
 using omn::core::SweepReport;
+
+/// Everything except wall-clock fields must match bit for bit.
+void expect_reports_bit_identical(const SweepReport& a, const SweepReport& b) {
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  for (std::size_t k = 0; k < a.cells.size(); ++k) {
+    SCOPED_TRACE("cell " + std::to_string(k));
+    EXPECT_EQ(a.cells[k].instance_label, b.cells[k].instance_label);
+    EXPECT_EQ(a.cells[k].config_label, b.cells[k].config_label);
+    EXPECT_EQ(a.cells[k].result.status, b.cells[k].result.status);
+    EXPECT_EQ(a.cells[k].result.winning_attempt,
+              b.cells[k].result.winning_attempt);
+    EXPECT_EQ(a.cells[k].result.lp_iterations, b.cells[k].result.lp_iterations);
+    EXPECT_EQ(a.cells[k].result.lp_objective, b.cells[k].result.lp_objective);
+    EXPECT_EQ(a.cells[k].result.cost_ratio, b.cells[k].result.cost_ratio);
+    EXPECT_EQ(a.cells[k].result.design.x, b.cells[k].result.design.x);
+    EXPECT_EQ(a.cells[k].result.design.y, b.cells[k].result.design.y);
+    EXPECT_EQ(a.cells[k].result.design.z, b.cells[k].result.design.z);
+    EXPECT_EQ(a.cells[k].result.evaluation.total_cost,
+              b.cells[k].result.evaluation.total_cost);
+    EXPECT_EQ(a.cells[k].result.evaluation.min_weight_ratio,
+              b.cells[k].result.evaluation.min_weight_ratio);
+  }
+}
 
 DesignSweep small_sweep() {
   DesignSweep sweep;
@@ -72,19 +100,7 @@ TEST(DesignSweep, ParallelRunMatchesSerialBitForBit) {
   parallel.threads = 4;
   const SweepReport a = sweep.run(serial);
   const SweepReport b = sweep.run(parallel);
-  ASSERT_EQ(a.cells.size(), b.cells.size());
-  for (std::size_t k = 0; k < a.cells.size(); ++k) {
-    EXPECT_EQ(a.cells[k].instance_label, b.cells[k].instance_label);
-    EXPECT_EQ(a.cells[k].config_label, b.cells[k].config_label);
-    EXPECT_EQ(a.cells[k].result.winning_attempt,
-              b.cells[k].result.winning_attempt);
-    EXPECT_EQ(a.cells[k].result.design.x, b.cells[k].result.design.x);
-    EXPECT_EQ(a.cells[k].result.design.y, b.cells[k].result.design.y);
-    EXPECT_EQ(a.cells[k].result.design.z, b.cells[k].result.design.z);
-    EXPECT_EQ(a.cells[k].result.evaluation.total_cost,
-              b.cells[k].result.evaluation.total_cost);
-    EXPECT_EQ(a.cells[k].result.lp_objective, b.cells[k].result.lp_objective);
-  }
+  expect_reports_bit_identical(a, b);
 }
 
 TEST(DesignSweep, EmptyGridIsEmptyReport) {
@@ -93,6 +109,91 @@ TEST(DesignSweep, EmptyGridIsEmptyReport) {
   EXPECT_TRUE(report.cells.empty());
   EXPECT_EQ(report.num_instances, 0u);
   EXPECT_EQ(report.num_configs, 0u);
+  EXPECT_EQ(report.lp_solves, 0u);
+}
+
+// The acceptance shape of the LP-reuse planner: 1 instance × k configs
+// that differ only in rounding knobs (seed, c, attempts, pruning) must
+// perform exactly ONE LP solve.
+TEST(DesignSweep, RoundingOnlyGridPerformsExactlyOneLpSolve) {
+  DesignSweep sweep;
+  sweep.add_instance("event",
+                     omn::topo::make_akamai_like(
+                         omn::topo::global_event_config(12, 2)));
+  for (int k = 0; k < 5; ++k) {
+    DesignerConfig cfg;
+    cfg.seed = static_cast<std::uint64_t>(k) * 101 + 7;
+    cfg.c = 0.5 + k;
+    cfg.rounding_attempts = 1 + k % 3;
+    cfg.prune_unused = (k % 2 == 0);
+    sweep.add_config("round" + std::to_string(k), cfg);
+  }
+  const SweepReport report = sweep.run();
+  EXPECT_EQ(report.lp_configs, 1u);
+  EXPECT_EQ(report.lp_solves, 1u);
+  for (const auto& cell : report.cells) {
+    EXPECT_TRUE(cell.result.ok()) << cell.config_label;
+  }
+}
+
+// The solve count is instances × distinct LP configs: configs that change
+// the LP (cutting plane off, a different iteration limit) get their own
+// group, rounding-only variants share one.
+TEST(DesignSweep, LpSolveCountEqualsInstancesTimesDistinctLpConfigs) {
+  DesignSweep sweep;
+  for (std::uint64_t seed : {1u, 2u}) {
+    sweep.add_instance("seed" + std::to_string(seed),
+                       omn::topo::make_akamai_like(
+                           omn::topo::global_event_config(12, seed)));
+  }
+  DesignerConfig base;
+  base.seed = 3;
+  base.rounding_attempts = 2;
+  sweep.add_config("base", base);
+  DesignerConfig reseeded = base;  // rounding-only twin of base
+  reseeded.seed = 99;
+  sweep.add_config("reseeded", reseeded);
+  DesignerConfig no_cut = base;  // changes the LP relaxation
+  no_cut.cutting_plane = false;
+  sweep.add_config("no-cut", no_cut);
+  DesignerConfig tight = base;  // changes the solve options
+  tight.lp_options.max_iterations = 12345;
+  sweep.add_config("tight-iters", tight);
+
+  const SweepReport grouped = sweep.run();
+  EXPECT_EQ(grouped.lp_configs, 3u);  // {base, reseeded} | {no-cut} | {tight}
+  EXPECT_EQ(grouped.lp_solves, 2u * 3u);
+
+  SweepOptions ungrouped;
+  ungrouped.reuse_lp = false;
+  const SweepReport per_cell = sweep.run(ungrouped);
+  EXPECT_EQ(per_cell.lp_solves, sweep.num_cells());
+}
+
+// Grouped (shared-LP) and ungrouped (per-cell LP) sweeps must produce
+// bit-identical reports: the LP build and simplex solve are deterministic,
+// so reuse may only change the wall clock.
+TEST(DesignSweep, GroupedMatchesUngroupedBitForBit) {
+  const DesignSweep sweep = small_sweep();
+  SweepOptions grouped;
+  grouped.reuse_lp = true;
+  grouped.reseed_per_instance = true;
+  SweepOptions ungrouped = grouped;
+  ungrouped.reuse_lp = false;
+  const SweepReport a = sweep.run(grouped);
+  const SweepReport b = sweep.run(ungrouped);
+  EXPECT_LT(a.lp_solves, b.lp_solves);
+  expect_reports_bit_identical(a, b);
+}
+
+// A caller-owned context must work end to end and reproduce the global
+// context's report bit for bit (no hidden dependence on which pool ran).
+TEST(DesignSweep, InjectedContextMatchesGlobalBitForBit) {
+  const DesignSweep sweep = small_sweep();
+  const omn::util::ExecutionContext own(2);
+  const SweepReport a = sweep.run({}, own);
+  const SweepReport b = sweep.run({});
+  expect_reports_bit_identical(a, b);
 }
 
 }  // namespace

@@ -110,6 +110,31 @@ TEST(Designer, ParallelAttemptsBitIdenticalWithColorConstraints) {
   EXPECT_EQ(s.evaluation.total_cost, p.evaluation.total_cost);
 }
 
+// The winner must not depend on which execution context ran the attempts:
+// a caller-owned pool, the global context, and an inline serial context
+// all produce the bit-identical design.
+TEST(Designer, InjectedContextBitIdenticalAcrossContexts) {
+  const auto inst =
+      omn::topo::make_akamai_like(omn::topo::global_event_config(20, 31));
+  DesignerConfig cfg;
+  cfg.seed = 17;
+  cfg.rounding_attempts = 5;
+  cfg.c = 0.5;
+  const OverlayDesigner designer(cfg);
+
+  const omn::util::ExecutionContext own(3);
+  const DesignResult a = designer.design(inst, own);
+  const DesignResult b = designer.design(inst, omn::util::ExecutionContext::global());
+  const DesignResult c = designer.design(inst, omn::util::ExecutionContext::serial());
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a.winning_attempt, b.winning_attempt);
+  EXPECT_EQ(a.winning_attempt, c.winning_attempt);
+  EXPECT_EQ(a.design.x, b.design.x);
+  EXPECT_EQ(a.design.x, c.design.x);
+  EXPECT_EQ(a.evaluation.total_cost, b.evaluation.total_cost);
+  EXPECT_EQ(a.evaluation.total_cost, c.evaluation.total_cost);
+}
+
 // Regression: better_evaluation used to compare min_weight_ratio with
 // exact !=, so an ulp of FMA noise could flip the winner across compilers.
 TEST(Designer, BetterEvaluationToleratesUlpNoise) {

@@ -3,7 +3,9 @@
 // Subcommands:
 //   generate  --sinks N [--isps K] [--seed S] [--eu-heavy] --out inst.txt
 //   design    --instance inst.txt [--seed S] [--c C] [--colors]
-//             [--bandwidth] [--attempts A] [--out design.txt]
+//             [--bandwidth] [--attempts A] [--threads T] [--out design.txt]
+//   sweep     --instance inst.txt [--c C1,C2,...] [--seeds K]
+//             [--attempts A] [--threads T] [--no-reuse-lp]
 //   evaluate  --instance inst.txt --design design.txt
 //   simulate  --instance inst.txt --design design.txt [--packets P]
 //             [--seed S] [--isp-outage-prob Q]
@@ -12,16 +14,26 @@
 // Typical session:
 //   omn_design generate --sinks 48 --isps 4 --seed 7 --out event.txt
 //   omn_design design   --instance event.txt --colors --out plan.txt
+//   omn_design sweep    --instance event.txt --c 0.5,2,8 --seeds 4
 //   omn_design evaluate --instance event.txt --design plan.txt
 //   omn_design failover --instance event.txt --design plan.txt
+//
+// Design runs execute on the process-wide ExecutionContext; --threads T
+// caps the parallelism (0 = all cores, 1 = serial) without changing the
+// result — attempt seeds are deterministic, so the design is bit-identical
+// for every thread count.  `design --out` records the knobs and per-stage
+// timings as `meta` lines in the design file; `evaluate` reports them back.
 
 #include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "omn/core/design_io.hpp"
+#include "omn/core/design_sweep.hpp"
 #include "omn/core/designer.hpp"
 #include "omn/net/serialize.hpp"
 #include "omn/sim/failures.hpp"
@@ -76,7 +88,9 @@ int usage() {
       "usage: omn_design <command> [options]\n"
       "  generate  --sinks N [--isps K] [--seed S] [--eu-heavy] --out F\n"
       "  design    --instance F [--seed S] [--c C] [--colors] [--bandwidth]\n"
-      "            [--attempts A] [--out F]\n"
+      "            [--attempts A] [--threads T] [--out F]\n"
+      "  sweep     --instance F [--c C1,C2,...] [--seeds K] [--attempts A]\n"
+      "            [--threads T] [--no-reuse-lp]\n"
       "  evaluate  --instance F --design F\n"
       "  simulate  --instance F --design F [--packets P] [--seed S]\n"
       "            [--isp-outage-prob Q]\n"
@@ -111,6 +125,7 @@ int cmd_design(const Args& args) {
   cfg.seed = static_cast<std::uint64_t>(args.get_long("seed", 1));
   cfg.c = args.get_double("c", cfg.c);
   cfg.rounding_attempts = static_cast<int>(args.get_long("attempts", 3));
+  cfg.threads = static_cast<int>(args.get_long("threads", 0));
   cfg.color_constraints = args.has("colors");
   cfg.bandwidth_extension = args.has("bandwidth");
   const auto result = omn::core::OverlayDesigner(cfg).design(inst);
@@ -124,18 +139,107 @@ int cmd_design(const Args& args) {
               result.evaluation.total_cost, result.lp_objective,
               result.cost_ratio, result.evaluation.reflectors_built,
               result.evaluation.min_weight_ratio);
+  const std::string threads_label =
+      cfg.threads == 0 ? "all" : std::to_string(cfg.threads);
+  std::printf("timings: lp_seconds %.3f | rounding_seconds %.3f "
+              "(attempts %d, threads %s)\n",
+              result.lp_seconds, result.rounding_seconds,
+              result.attempts_made, threads_label.c_str());
   const std::string out = args.get("out", "");
   if (!out.empty()) {
-    omn::core::save_design_file(result.design, out);
+    omn::core::DesignMeta meta;
+    meta.seed = cfg.seed;
+    meta.c = cfg.c;
+    // The attempts actually run (the designer clamps to >= 1), so the
+    // provenance is truthful and always nonzero for files we write —
+    // which is what cmd_evaluate's presence check keys on.
+    meta.rounding_attempts = result.attempts_made;
+    meta.threads = cfg.threads;
+    meta.lp_seconds = result.lp_seconds;
+    meta.rounding_seconds = result.rounding_seconds;
+    omn::core::save_design_file(result.design, out, meta);
     std::printf("wrote %s\n", out.c_str());
   }
   return 0;
 }
 
+int cmd_sweep(const Args& args) {
+  const auto inst = omn::net::load_file(args.get("instance", ""));
+  const int seeds = static_cast<int>(args.get_long("seeds", 3));
+  const int attempts = static_cast<int>(args.get_long("attempts", 1));
+
+  std::vector<double> cs;
+  std::stringstream list(args.get("c", "0.5,2,8"));
+  for (std::string item; std::getline(list, item, ',');) {
+    if (item.empty()) continue;
+    std::size_t used = 0;
+    const double value = std::stod(item, &used);  // throws on non-numeric
+    if (used != item.size()) {
+      throw std::runtime_error("bad --c value: " + item);
+    }
+    cs.push_back(value);
+  }
+
+  // All configs differ only in rounding knobs (c, seed), so the LP-reuse
+  // planner solves the instance's LP exactly once for the whole grid.
+  omn::core::DesignSweep sweep;
+  sweep.add_instance("instance", inst);
+  for (double c : cs) {
+    for (int seed = 1; seed <= seeds; ++seed) {
+      omn::core::DesignerConfig cfg;
+      cfg.c = c;
+      cfg.seed = static_cast<std::uint64_t>(seed);
+      cfg.rounding_attempts = attempts;
+      sweep.add_config("c" + omn::util::format_double(c, 2) + "-s" +
+                           std::to_string(seed),
+                       cfg);
+    }
+  }
+  omn::core::SweepOptions options;
+  options.threads = static_cast<std::size_t>(args.get_long("threads", 0));
+  options.reuse_lp = !args.has("no-reuse-lp");
+  const omn::core::SweepReport report = sweep.run(options);
+
+  omn::util::Table table({"config", "cost $", "cost/LP", "min w-ratio",
+                          "winning attempt", "rounding s"});
+  for (const omn::core::SweepCell& cell : report.cells) {
+    if (!cell.result.ok()) {
+      table.row().cell(cell.config_label)
+          .cell(omn::core::to_string(cell.result.status))
+          .cell("-").cell("-").cell("-").cell("-");
+      continue;
+    }
+    table.row()
+        .cell(cell.config_label)
+        .cell(cell.result.evaluation.total_cost, 2)
+        .cell(cell.result.cost_ratio, 3)
+        .cell(cell.result.evaluation.min_weight_ratio, 3)
+        .cell(cell.result.winning_attempt)
+        .cell(cell.result.rounding_seconds, 3);
+  }
+  table.print(std::cout, "sweep: " + std::to_string(cs.size()) + " c values x " +
+                             std::to_string(seeds) + " seeds");
+  std::printf("\n%zu cells | %zu LP solves (%zu distinct LP configs) | "
+              "%.2fs wall\n",
+              report.cells.size(), report.lp_solves, report.lp_configs,
+              report.wall_seconds);
+  return 0;
+}
+
 int cmd_evaluate(const Args& args) {
   const auto inst = omn::net::load_file(args.get("instance", ""));
+  omn::core::DesignMeta meta;
   const auto design =
-      omn::core::load_design_file(args.get("design", ""), inst);
+      omn::core::load_design_file(args.get("design", ""), inst, &meta);
+  if (meta.rounding_attempts > 0) {
+    const std::string threads_label =
+        meta.threads == 0 ? "all" : std::to_string(meta.threads);
+    std::printf("designed with seed %llu, c %.2f, %d attempts, threads %s; "
+                "lp_seconds %.3f, rounding_seconds %.3f\n",
+                static_cast<unsigned long long>(meta.seed), meta.c,
+                meta.rounding_attempts, threads_label.c_str(),
+                meta.lp_seconds, meta.rounding_seconds);
+  }
   const auto ev = omn::core::evaluate(inst, design);
   omn::util::Table table({"metric", "value"});
   table.add_row({"total cost $", omn::util::format_double(ev.total_cost, 2)});
@@ -205,6 +309,7 @@ int main(int argc, char** argv) {
     const Args args = parse(argc, argv);
     if (args.command == "generate") return cmd_generate(args);
     if (args.command == "design") return cmd_design(args);
+    if (args.command == "sweep") return cmd_sweep(args);
     if (args.command == "evaluate") return cmd_evaluate(args);
     if (args.command == "simulate") return cmd_simulate(args);
     if (args.command == "failover") return cmd_failover(args);
