@@ -3,23 +3,30 @@
 //
 // Every converted bench runs the same skeleton: parse the common flags,
 // build a core::DesignSweep grid, run it on the shared execution context,
-// print one standard summary line (cells, LP solves, wall clock), then
-// tabulate.  This header dedupes that skeleton so the benches contain only
-// their experiment-specific grid and tables.
+// print one standard summary line (cells, LP solves vs grid size, cache
+// traffic, wall clock), then tabulate.  This header dedupes that skeleton
+// so the benches contain only their experiment-specific grid and tables.
 //
-// Flags (every converted bench accepts both):
-//   --threads N   sweep + designer parallelism: 0 = all cores (default),
-//                 1 = serial (use two runs to measure the speedup)
-//   --smoke       shrink the grid to a tiny configuration; used by the CI
-//                 bench smoke job (ctest -C Bench -L bench)
+// Flags (every converted bench accepts all three):
+//   --threads N     sweep + designer parallelism: 0 = all cores (default),
+//                   1 = serial (use two runs to measure the speedup)
+//   --smoke         shrink the grid to a tiny configuration; used by the CI
+//                   bench smoke job (ctest -C Bench -L bench)
+//   --lp-cache DIR  install a core::LpCache over DIR on the global
+//                   execution context: a re-run of the same bench serves
+//                   every LP solve from the cache (the summary line shows
+//                   the hit/miss traffic)
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "omn/core/design_sweep.hpp"
+#include "omn/core/lp_cache.hpp"
+#include "omn/util/execution_context.hpp"
 #include "omn/util/table.hpp"
 
 namespace omn::bench {
@@ -27,6 +34,8 @@ namespace omn::bench {
 struct BenchArgs {
   std::size_t threads = 0;
   bool smoke = false;
+  /// Cache directory from --lp-cache, empty = no cache.
+  std::string lp_cache_dir;
 };
 
 inline BenchArgs parse_args(int argc, char** argv, const char* bench_name) {
@@ -46,8 +55,15 @@ inline BenchArgs parse_args(int argc, char** argv, const char* bench_name) {
         std::exit(2);
       }
       args.threads = static_cast<std::size_t>(parsed);
+    } else if (std::strcmp(argv[i], "--lp-cache") == 0 && i + 1 < argc) {
+      args.lp_cache_dir = argv[++i];
+      if (args.lp_cache_dir.empty()) {
+        std::fprintf(stderr, "%s: --lp-cache needs a directory\n", bench_name);
+        std::exit(2);
+      }
     } else {
-      std::fprintf(stderr, "usage: %s [--threads N] [--smoke]\n", bench_name);
+      std::fprintf(stderr, "usage: %s [--threads N] [--smoke] [--lp-cache DIR]\n",
+                   bench_name);
       std::exit(2);
     }
   }
@@ -60,17 +76,30 @@ inline int smoke_scaled(const BenchArgs& args, int full, int tiny) {
 }
 
 /// Runs the sweep with the bench's options (threads overridden from the
-/// command line) and prints the standard one-line summary.
+/// command line, the --lp-cache cache installed on the context) and prints
+/// the standard summary: LP solves against the grid size, so the effect of
+/// the reuse planner and the cache is visible in every bench run, not just
+/// where a bench asserts on it.
 inline core::SweepReport run_sweep(const core::DesignSweep& sweep,
                                    core::SweepOptions options,
                                    const BenchArgs& args, const char* label) {
   options.threads = args.threads;
-  const core::SweepReport report = sweep.run(options);
-  std::printf(
-      "%s: %zu cells | %zu LP solves (%zu distinct LP configs) | %.2fs "
-      "(threads=%zu%s)\n\n",
-      label, report.cells.size(), report.lp_solves, report.lp_configs,
-      report.wall_seconds, args.threads, args.threads == 0 ? " = all" : "");
+  util::ExecutionContext context = core::DesignSweep::default_context(options);
+  if (!args.lp_cache_dir.empty()) {
+    context.set_service(std::make_shared<core::LpCache>(args.lp_cache_dir));
+  }
+  const core::SweepReport report = sweep.run(options, context);
+  const std::size_t cells = report.cells.size();
+  std::printf("%s: %zu cells | %zu LP solves for %zu cells "
+              "(%zu distinct LP configs, %zu saved by reuse",
+              label, cells, report.lp_solves, cells, report.lp_configs,
+              cells - report.lp_solves - report.lp_cache_hits);
+  if (!args.lp_cache_dir.empty()) {
+    std::printf(", cache %zu hits / %zu misses", report.lp_cache_hits,
+                report.lp_cache_misses);
+  }
+  std::printf(") | %.2fs (threads=%zu%s)\n\n", report.wall_seconds,
+              args.threads, args.threads == 0 ? " = all" : "");
   return report;
 }
 

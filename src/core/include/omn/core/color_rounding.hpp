@@ -34,6 +34,7 @@
 
 namespace omn::core {
 
+/// Knobs for the Srinivasan-Teo-style color-constrained rounding.
 struct ColorRoundingOptions {
   /// Scaled (x2) per-(sink,color) capacity of the entangled sets.  The
   /// default 2 is the strict constraint (9) (u = 1 stream copy per color,
@@ -49,7 +50,11 @@ struct ColorRoundingOptions {
   lp::SolveOptions lp_options;
 };
 
+/// Outcome of the color rounding: the integral x plus diagnostics on
+/// how far the capacities had to be relaxed and what the cost filter
+/// dropped (experiment E6 reports all of these).
 struct ColorRoundResult {
+  /// Integral x per rd-edge id.
   std::vector<std::uint8_t> x;
   /// Final color capacity that made the network LP feasible.
   std::int64_t color_capacity_used = 0;
@@ -62,6 +67,11 @@ struct ColorRoundResult {
   int pairs_dropped_by_cost = 0;
 };
 
+/// Rounds the fractional x-bar under the color constraints (9): builds
+/// the box network, drops pairs costlier than cost_drop_factor * X,
+/// solves the entangled network LP, and samples one feeder per box
+/// (dependent rounding).  Falls back to the plain GAP flow when even the
+/// relaxed capacities are infeasible (color_lp_feasible = false).
 ColorRoundResult color_constrained_round(const net::OverlayInstance& instance,
                                          const OverlayLp& lp,
                                          const std::vector<double>& x_bar,

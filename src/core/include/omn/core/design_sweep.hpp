@@ -18,6 +18,14 @@
 // build and the simplex solve are deterministic, the grouped report is
 // bit-identical to the ungrouped one in everything but wall-clock fields.
 //
+// LP cache: when a core::LpCache service is installed on the execution
+// context (context.set_service(...)), the planner consults it before
+// solving, so repeated sweeps over the same topology — across run()
+// calls, benches, or processes sharing a cache directory — skip the LP
+// work entirely; SweepReport::lp_cache_hits/misses make that observable,
+// and a warm cache drives lp_solves to 0.  Designs stay bit-identical
+// with the cache on or off.
+//
 // Cells are ordered instance-major, config-minor; report.cell(i, c) gives
 // random access.
 
@@ -72,9 +80,16 @@ struct SweepReport {
   /// Number of distinct LP configurations among the sweep's configs
   /// (groups of configs differing only in rounding knobs).
   std::size_t lp_configs = 0;
-  /// LP solves actually performed: num_instances * lp_configs when the
-  /// planner reused solves, num_cells when reuse_lp was off.
+  /// Simplex solves actually performed: num_instances * lp_configs when
+  /// the planner reused solves (num_cells with reuse_lp off), minus any
+  /// solves served by the LP cache.  A fully warm cache makes this 0.
   std::size_t lp_solves = 0;
+  /// LP cache traffic, when a core::LpCache service is installed on the
+  /// execution context (both stay 0 otherwise).  Hits + misses equals the
+  /// planner's distinct (instance, LP config) solves — or num_cells with
+  /// reuse_lp off — and lp_solves == lp_cache_misses when a cache is on.
+  std::size_t lp_cache_hits = 0;
+  std::size_t lp_cache_misses = 0;
   /// Wall-clock seconds for the whole grid (serial-vs-parallel speedup is
   /// the ratio of two runs' wall_seconds).
   double wall_seconds = 0.0;
@@ -108,6 +123,13 @@ class DesignSweep {
   SweepReport run(const SweepOptions& options = {}) const;
   SweepReport run(const SweepOptions& options,
                   const util::ExecutionContext& context) const;
+
+  /// The context run(options) uses: serial() for explicitly serial sweeps
+  /// (avoids constructing the global pool), ExecutionContext::global()
+  /// otherwise.  Exposed so callers that must install a service first
+  /// (e.g. an LpCache) pick the same context — the CLI and bench_common
+  /// use this instead of restating the policy.
+  static util::ExecutionContext default_context(const SweepOptions& options);
 
  private:
   std::vector<std::pair<std::string, net::OverlayInstance>> instances_;

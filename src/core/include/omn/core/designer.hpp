@@ -100,6 +100,11 @@ struct DesignResult {
   double lp_seconds = 0.0;
   double rounding_seconds = 0.0;
 
+  /// True when the LP solve was served by a core::LpCache installed on
+  /// the execution context (lp_seconds then covers only the model
+  /// rebuild + cache load).  Always false without a cache service.
+  bool lp_cache_hit = false;
+
   bool ok() const { return status == DesignStatus::kOk; }
 };
 
@@ -119,6 +124,13 @@ class OverlayDesigner {
   DesignResult design(const net::OverlayInstance& instance) const;
   DesignResult design(const net::OverlayInstance& instance,
                       const util::ExecutionContext& context) const;
+
+  /// The context the no-context overloads run on: serial() when the
+  /// config cannot use parallelism anyway (avoids constructing the global
+  /// pool), ExecutionContext::global() otherwise.  Exposed so callers
+  /// that must install a service first (e.g. an LpCache) can pick the
+  /// same context the designer would — the policy lives here only.
+  static util::ExecutionContext default_context(const DesignerConfig& config);
 
   /// Reuses a pre-built LP and its solution (for sweeps that vary only the
   /// rounding configuration, e.g. the c trade-off experiment E8).

@@ -12,7 +12,10 @@
 
 namespace omn::core {
 
+/// Per-sink view of a design: delivered weight vs demand, exact delivery
+/// probability, and per-ISP copy counts.
 struct SinkEvaluation {
+  /// Index of the sink this row describes.
   int sink = 0;
   /// W_j (demand weight) and the sum of clamped weights actually delivered.
   double demand_weight = 0.0;
@@ -31,7 +34,11 @@ struct SinkEvaluation {
   std::vector<int> copies_per_color;
 };
 
+/// Full scorecard of a 0/1 design: dollar costs by component, fanout
+/// utilization, weight-ratio statistics against the paper's guarantees,
+/// color multiplicities, and structural consistency.
 struct Evaluation {
+  /// Dollar cost: reflector_cost + sr_edge_cost + rd_edge_cost.
   double total_cost = 0.0;
   double reflector_cost = 0.0;
   double sr_edge_cost = 0.0;
@@ -63,6 +70,9 @@ struct Evaluation {
   std::vector<SinkEvaluation> sinks;
 };
 
+/// Scores `design` against `instance`.  With bandwidth_extension, fanout
+/// usage is weighted by each stream's bandwidth (Section 6.1), matching
+/// the LP the design was produced from.
 Evaluation evaluate(const net::OverlayInstance& instance, const Design& design,
                     bool bandwidth_extension = false);
 

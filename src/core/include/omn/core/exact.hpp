@@ -20,6 +20,7 @@
 
 namespace omn::core {
 
+/// Knobs for the branch-and-bound search.
 struct ExactOptions {
   /// Give up after this many branch-and-bound nodes (0 = unlimited).
   std::int64_t max_nodes = 200000;
@@ -28,14 +29,19 @@ struct ExactOptions {
   LpBuildOptions lp_options;
 };
 
+/// Outcome of an exact solve: the search status, the best design found
+/// (when any), and how much of the tree was explored.
 struct ExactResult {
+  /// Terminal state of the search.
   enum class Status {
     kOptimal,      // proven optimal design found
     kInfeasible,   // the IP has no feasible design
     kNodeLimit,    // search truncated; `design` holds the incumbent if any
   };
   Status status = Status::kNodeLimit;
+  /// The best (for kOptimal: provably optimal) design found.
   Design design;
+  /// Dollar cost of `design` (meaningful only when has_design).
   double objective = 0.0;
   /// True when `design` is populated (kOptimal, or kNodeLimit with an
   /// incumbent).

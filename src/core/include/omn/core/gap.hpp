@@ -62,6 +62,8 @@ struct BoxNetwork {
   std::int64_t demand() const { return static_cast<std::int64_t>(boxes.size()); }
 };
 
+/// Knobs for the box-network construction (shared by the plain GAP
+/// rounding and the Section-6.5 color rounding built on top of it).
 struct BoxNetworkOptions {
   /// Paper: always eliminate the last box.  When a sink produced exactly
   /// one (partial) box, eliminating it would leave the sink unserved, so
@@ -79,6 +81,8 @@ BoxNetwork build_box_network(const net::OverlayInstance& instance,
                              const std::vector<double>& x_bar,
                              const BoxNetworkOptions& options = {});
 
+/// Outcome of the min-cost-flow rounding: the integral x plus the flow
+/// diagnostics tests assert on.
 struct GapResult {
   /// Integral x per rd-edge id.
   std::vector<std::uint8_t> x;

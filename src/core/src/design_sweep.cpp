@@ -1,7 +1,10 @@
 #include "omn/core/design_sweep.hpp"
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 
+#include "omn/core/lp_cache.hpp"
 #include "omn/util/timer.hpp"
 
 namespace omn::core {
@@ -17,10 +20,15 @@ DesignSweep& DesignSweep::add_config(std::string label, DesignerConfig config) {
   return *this;
 }
 
-SweepReport DesignSweep::run(const SweepOptions& options) const {
+util::ExecutionContext DesignSweep::default_context(
+    const SweepOptions& options) {
   // Avoid constructing the global pool for explicitly serial sweeps.
-  return run(options, options.threads == 1 ? util::ExecutionContext::serial()
-                                           : util::ExecutionContext::global());
+  return options.threads == 1 ? util::ExecutionContext::serial()
+                              : util::ExecutionContext::global();
+}
+
+SweepReport DesignSweep::run(const SweepOptions& options) const {
+  return run(options, default_context(options));
 }
 
 SweepReport DesignSweep::run(const SweepOptions& options,
@@ -78,9 +86,16 @@ SweepReport DesignSweep::run(const SweepOptions& options,
     return cell;
   };
 
+  // The cross-run LP cache, when the caller installed one on the context.
+  // Both paths route their solves through solve_overlay_lp_cached, so a
+  // warm cache removes every simplex run from the sweep.
+  const std::shared_ptr<LpCache> cache = context.find_service<LpCache>();
+
   if (!options.reuse_lp) {
     // Ungrouped: every cell builds and solves its own LP (the pre-planner
-    // behaviour, kept for measurement and bit-identity tests).
+    // behaviour, kept for measurement and bit-identity tests).  The
+    // designer consults the context's cache itself; the per-cell outcome
+    // lands in result.lp_cache_hit, tallied below.
     context.parallel_for(
         num_cells(),
         [&](std::size_t index) {
@@ -93,18 +108,29 @@ SweepReport DesignSweep::run(const SweepOptions& options,
           cell.seconds = cell_timer.seconds();
         },
         fan);
-    report.lp_solves = num_cells();
+    for (const SweepCell& cell : report.cells) {
+      if (cell.result.lp_cache_hit) {
+        ++report.lp_cache_hits;
+      } else {
+        ++report.lp_solves;
+        if (cache != nullptr) ++report.lp_cache_misses;
+      }
+    }
     report.wall_seconds = wall.seconds();
     return report;
   }
 
-  // Phase 1: one LP build + solve per (instance, distinct LP config).
+  // Phase 1: one LP build per (instance, distinct LP config), with the
+  // solve served from the cache when possible.
   struct SolvedLp {
     OverlayLp lp;
     lp::Solution solution;
+    bool cache_hit = false;
     double seconds = 0.0;
   };
   std::vector<SolvedLp> solved(instances_.size() * groups.size());
+  std::atomic<std::size_t> solves{0};
+  std::atomic<std::size_t> cache_hits{0};
   context.parallel_for(
       solved.size(),
       [&](std::size_t t) {
@@ -112,12 +138,23 @@ SweepReport DesignSweep::run(const SweepOptions& options,
         const std::size_t g = t % groups.size();
         util::Timer timer;
         SolvedLp& s = solved[t];
-        s.lp = build_overlay_lp(instances_[i].second, groups[g].build);
-        s.solution = lp::SimplexSolver().solve(s.lp.model, groups[g].solve);
+        CachedLp cached = solve_overlay_lp_cached(
+            instances_[i].second, groups[g].build, groups[g].solve,
+            cache.get());
+        s.lp = std::move(cached.lp);
+        s.solution = std::move(cached.solution);
+        s.cache_hit = cached.cache_hit;
         s.seconds = timer.seconds();
+        if (s.cache_hit) {
+          cache_hits.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          solves.fetch_add(1, std::memory_order_relaxed);
+        }
       },
       fan);
-  report.lp_solves = solved.size();
+  report.lp_solves = solves.load();
+  report.lp_cache_hits = cache_hits.load();
+  if (cache != nullptr) report.lp_cache_misses = report.lp_solves;
 
   // Phase 2: fan the rounding cells out over the shared solves.  Nested
   // rounding attempts reuse the same context (and pool), so a sweep never
@@ -134,6 +171,7 @@ SweepReport DesignSweep::run(const SweepOptions& options,
         cell.result = OverlayDesigner(config).design_from_lp(
             instances_[i].second, s.lp, s.solution, context);
         cell.result.lp_seconds = s.seconds;
+        cell.result.lp_cache_hit = s.cache_hit;
         cell.seconds = cell_timer.seconds();
       },
       fan);

@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "omn/core/lp_cache.hpp"
 #include "omn/util/execution_context.hpp"
 #include "omn/util/timer.hpp"
 
@@ -30,17 +31,15 @@ bool nearly_equal(double a, double b) {
   return std::abs(a - b) <= 1e-9 * scale;
 }
 
-/// The context the no-context overloads run on: inline when the config
-/// cannot use parallelism anyway (avoids constructing the global pool for
-/// serial runs), otherwise the shared process-wide context.
-util::ExecutionContext default_context(const DesignerConfig& config) {
+}  // namespace
+
+util::ExecutionContext OverlayDesigner::default_context(
+    const DesignerConfig& config) {
   if (config.threads == 1 || config.rounding_attempts <= 1) {
     return util::ExecutionContext::serial();
   }
   return util::ExecutionContext::global();
 }
-
-}  // namespace
 
 bool better_evaluation(const Evaluation& a, const Evaluation& b) {
   if (!nearly_equal(a.min_weight_ratio, b.min_weight_ratio)) {
@@ -73,13 +72,17 @@ DesignResult OverlayDesigner::design(
   // on its own.  (Subtracting one from the other mis-attributes and can
   // even go negative under clock jitter.)
   util::Timer lp_timer;
-  const OverlayLp lp = build_overlay_lp(inst, lp_build_options(config_));
-  const lp::Solution solution =
-      lp::SimplexSolver().solve(lp.model, config_.lp_options);
+  // The LP solve goes through the context's LpCache service when one is
+  // installed; the solver is deterministic, so a cached point yields a
+  // bit-identical design.  Without a cache this is a plain build + solve.
+  const std::shared_ptr<LpCache> cache = context.find_service<LpCache>();
+  CachedLp solved = solve_overlay_lp_cached(
+      inst, lp_build_options(config_), config_.lp_options, cache.get());
   const double lp_seconds = lp_timer.seconds();
 
-  DesignResult result = design_from_lp(inst, lp, solution, context);
+  DesignResult result = design_from_lp(inst, solved.lp, solved.solution, context);
   result.lp_seconds = lp_seconds;
+  result.lp_cache_hit = solved.cache_hit;
   return result;
 }
 

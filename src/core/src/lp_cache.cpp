@@ -1,0 +1,378 @@
+#include "omn/core/lp_cache.hpp"
+
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+namespace omn::core {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4F4C5043u;
+
+// ---- fixed-width little-endian (de)serialization --------------------------
+// The entry format must be byte-identical across platforms (the directory
+// tier is shared between processes and potentially machines), so every
+// field goes through these explicit encoders, never through raw struct
+// writes.
+
+class ByteWriter {
+ public:
+  void u32(std::uint32_t v) {
+    for (int n = 0; n < 4; ++n) buf_.push_back(static_cast<char>(v >> (8 * n)));
+  }
+  void u64(std::uint64_t v) {
+    for (int n = 0; n < 8; ++n) buf_.push_back(static_cast<char>(v >> (8 * n)));
+  }
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  /// Exact bit pattern — round-tripping must preserve -0.0 and NaN bits.
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+  const std::string& bytes() const { return buf_; }
+
+ private:
+  std::string buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  bool u32(std::uint32_t& v) {
+    if (pos_ + 4 > data_.size()) return false;
+    v = 0;
+    for (int n = 0; n < 4; ++n) {
+      v |= static_cast<std::uint32_t>(
+               static_cast<unsigned char>(data_[pos_ + static_cast<std::size_t>(n)]))
+           << (8 * n);
+    }
+    pos_ += 4;
+    return true;
+  }
+  bool u64(std::uint64_t& v) {
+    if (pos_ + 8 > data_.size()) return false;
+    v = 0;
+    for (int n = 0; n < 8; ++n) {
+      v |= static_cast<std::uint64_t>(
+               static_cast<unsigned char>(data_[pos_ + static_cast<std::size_t>(n)]))
+           << (8 * n);
+    }
+    pos_ += 8;
+    return true;
+  }
+  bool i32(std::int32_t& v) {
+    std::uint32_t raw = 0;
+    if (!u32(raw)) return false;
+    v = static_cast<std::int32_t>(raw);
+    return true;
+  }
+  bool f64(double& v) {
+    std::uint64_t raw = 0;
+    if (!u64(raw)) return false;
+    v = std::bit_cast<double>(raw);
+    return true;
+  }
+
+  std::size_t position() const { return pos_; }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+std::uint64_t payload_checksum(std::string_view payload) {
+  util::Hasher hasher;
+  hasher.bytes(payload.data(), payload.size());
+  return hasher.digest().lo;
+}
+
+void hash_build_options(util::Hasher& h, const LpBuildOptions& o) {
+  h.boolean(o.cutting_plane);
+  h.boolean(o.bandwidth_extension);
+  h.boolean(o.rd_capacities);
+  h.boolean(o.reflector_stream_capacities);
+  h.boolean(o.color_constraints);
+}
+
+void hash_solve_options(util::Hasher& h, const lp::SolveOptions& o) {
+  h.i32(o.max_iterations);
+  h.f64(o.optimality_tol);
+  h.f64(o.feasibility_tol);
+  h.f64(o.pivot_tol);
+  h.i32(o.degenerate_switch);
+}
+
+/// A name unique across threads and processes for the temp-then-rename
+/// protocol; collisions would corrupt a concurrent writer's entry.
+std::string unique_suffix() {
+  static std::atomic<std::uint64_t> counter{0};
+  util::Hasher h;
+  h.u64(static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count()));
+  h.u64(std::hash<std::thread::id>{}(std::this_thread::get_id()));
+  h.u64(counter.fetch_add(1, std::memory_order_relaxed));
+  return h.digest().hex().substr(0, 16);
+}
+
+}  // namespace
+
+util::Digest128 lp_instance_digest(const net::OverlayInstance& instance) {
+  util::Hasher h;
+  h.str("omn-lp-instance-v1");
+  h.i32(instance.num_sources());
+  h.i32(instance.num_reflectors());
+  h.i32(instance.num_sinks());
+  h.u64(instance.sr_edges().size());
+  h.u64(instance.rd_edges().size());
+  for (int k = 0; k < instance.num_sources(); ++k) {
+    h.f64(instance.source(k).bandwidth);
+  }
+  for (int i = 0; i < instance.num_reflectors(); ++i) {
+    const net::Reflector& r = instance.reflector(i);
+    h.f64(r.build_cost);
+    h.f64(r.fanout);
+    h.i32(r.color);
+    h.opt_f64(r.stream_capacity);
+  }
+  for (int j = 0; j < instance.num_sinks(); ++j) {
+    const net::Sink& s = instance.sink(j);
+    h.i32(s.commodity);
+    h.f64(s.threshold);
+  }
+  // Edge lists in id order: the order defines the LP's variable indexing,
+  // so it is part of the content.  delay_ms is sim-only, never hashed.
+  for (const net::SourceReflectorEdge& e : instance.sr_edges()) {
+    h.i32(e.source);
+    h.i32(e.reflector);
+    h.f64(e.cost);
+    h.f64(e.loss);
+  }
+  for (const net::ReflectorSinkEdge& e : instance.rd_edges()) {
+    h.i32(e.reflector);
+    h.i32(e.sink);
+    h.f64(e.cost);
+    h.f64(e.loss);
+    h.opt_f64(e.capacity);
+  }
+  return h.digest();
+}
+
+util::Digest128 LpCache::key(const net::OverlayInstance& instance,
+                             const LpBuildOptions& build,
+                             const lp::SolveOptions& solve) {
+  util::Hasher h;
+  h.str("omn-lp-solve-v1");
+  const util::Digest128 inst = lp_instance_digest(instance);
+  h.u64(inst.hi);
+  h.u64(inst.lo);
+  hash_build_options(h, build);
+  hash_solve_options(h, solve);
+  return h.digest();
+}
+
+LpCache::LpCache(std::string directory) : directory_(std::move(directory)) {
+  fs::create_directories(directory_);
+}
+
+std::optional<lp::Solution> LpCache::find(const util::Digest128& key) {
+  {
+    const std::scoped_lock lock(mutex_);
+    const auto it = memory_.find(key);
+    if (it != memory_.end()) {
+      ++stats_.hits;
+      ++stats_.memory_hits;
+      return it->second;
+    }
+  }
+  if (directory_.empty()) {
+    const std::scoped_lock lock(mutex_);
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  return load_from_disk(key);
+}
+
+void LpCache::insert(const util::Digest128& key, const lp::Solution& solution) {
+  {
+    const std::scoped_lock lock(mutex_);
+    memory_[key] = solution;
+    ++stats_.insertions;
+  }
+  if (!directory_.empty()) store_to_disk(key, solution);
+}
+
+LpCacheStats LpCache::stats() const {
+  const std::scoped_lock lock(mutex_);
+  return stats_;
+}
+
+std::string LpCache::path_for(const util::Digest128& key) const {
+  return (fs::path(directory_) / (key.hex() + ".lpsol")).string();
+}
+
+std::optional<lp::Solution> LpCache::load_from_disk(
+    const util::Digest128& key) {
+  std::optional<lp::Solution> entry;
+  bool rejected = false;
+  {
+    std::ifstream in(path_for(key), std::ios::binary);
+    if (in.good()) {
+      entry = read_entry(in, key);
+      // An unreadable-but-present file is a corrupt entry, not a miss.
+      rejected = !entry.has_value();
+    }
+  }
+  const std::scoped_lock lock(mutex_);
+  if (!entry.has_value()) {
+    ++stats_.misses;
+    if (rejected) ++stats_.rejected;
+    return std::nullopt;
+  }
+  memory_[key] = *entry;  // promote: later finds skip the disk
+  ++stats_.hits;
+  ++stats_.disk_hits;
+  return entry;
+}
+
+void LpCache::store_to_disk(const util::Digest128& key,
+                            const lp::Solution& solution) {
+  // Serialize fully in memory, write to a unique temp file, then rename
+  // into place: readers (this process or another sharing the directory)
+  // only ever observe complete entries.  Any failure leaves the cache
+  // merely cold, so errors are swallowed after cleaning up the temp file.
+  try {
+    const fs::path final_path = path_for(key);
+    const fs::path temp_path =
+        final_path.string() + ".tmp-" + unique_suffix();
+    {
+      std::ofstream out(temp_path, std::ios::binary | std::ios::trunc);
+      write_entry(out, key, solution);
+      // close() flushes and sets failbit on failure (e.g. ENOSPC at
+      // flush) — checking good() before the flush would let a truncated
+      // temp file slip through to the rename below.
+      out.close();
+      if (out.fail()) {
+        std::error_code ignored;
+        fs::remove(temp_path, ignored);
+        return;
+      }
+    }
+    std::error_code ec;
+    fs::rename(temp_path, final_path, ec);
+    if (ec) {
+      // E.g. a platform where rename cannot replace an existing file: a
+      // concurrent writer beat us to an identical entry; drop ours.
+      std::error_code ignored;
+      fs::remove(temp_path, ignored);
+    }
+  } catch (const fs::filesystem_error&) {
+    // Advisory tier: a failed store must never fail the solve.
+  }
+}
+
+void LpCache::write_entry(std::ostream& os, const util::Digest128& key,
+                          const lp::Solution& solution) {
+  ByteWriter w;
+  w.u32(kMagic);
+  w.u32(kFormatVersion);
+  w.u64(key.hi);
+  w.u64(key.lo);
+  w.u32(static_cast<std::uint32_t>(solution.status));
+  w.i32(solution.iterations);
+  w.i32(solution.phase1_iterations);
+  w.f64(solution.objective);
+  w.f64(solution.max_violation);
+  w.u64(solution.x.size());
+  for (double v : solution.x) w.f64(v);
+  const std::uint64_t checksum = payload_checksum(w.bytes());
+  w.u64(checksum);
+  os.write(w.bytes().data(), static_cast<std::streamsize>(w.bytes().size()));
+}
+
+std::optional<lp::Solution> LpCache::read_entry(std::istream& is,
+                                                const util::Digest128& key) {
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  const std::string data = buffer.str();
+  ByteReader r(data);
+
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  util::Digest128 stored;
+  if (!r.u32(magic) || magic != kMagic) return std::nullopt;
+  if (!r.u32(version) || version != kFormatVersion) return std::nullopt;
+  if (!r.u64(stored.hi) || !r.u64(stored.lo) || !(stored == key)) {
+    return std::nullopt;
+  }
+
+  lp::Solution solution;
+  std::uint32_t status = 0;
+  std::uint64_t count = 0;
+  if (!r.u32(status) || status > static_cast<std::uint32_t>(
+                                     lp::SolveStatus::kIterationLimit)) {
+    return std::nullopt;
+  }
+  solution.status = static_cast<lp::SolveStatus>(status);
+  if (!r.i32(solution.iterations) || !r.i32(solution.phase1_iterations) ||
+      !r.f64(solution.objective) || !r.f64(solution.max_violation) ||
+      !r.u64(count)) {
+    return std::nullopt;
+  }
+  // A truncated x array must fail before allocation, not throw bad_alloc
+  // on a garbage count.
+  if (r.remaining() < 8 || (r.remaining() - 8) / 8 < count) return std::nullopt;
+  solution.x.resize(static_cast<std::size_t>(count));
+  for (double& v : solution.x) {
+    if (!r.f64(v)) return std::nullopt;
+  }
+
+  const std::size_t payload_size = r.position();
+  std::uint64_t checksum = 0;
+  if (!r.u64(checksum) || r.remaining() != 0) return std::nullopt;
+  if (checksum != payload_checksum(
+                      std::string_view(data).substr(0, payload_size))) {
+    return std::nullopt;
+  }
+  return solution;
+}
+
+CachedLp solve_overlay_lp_cached(const net::OverlayInstance& instance,
+                                 const LpBuildOptions& build,
+                                 const lp::SolveOptions& solve,
+                                 LpCache* cache) {
+  CachedLp out;
+  out.lp = build_overlay_lp(instance, build);
+  if (cache == nullptr) {
+    out.solution = lp::SimplexSolver().solve(out.lp.model, solve);
+    return out;
+  }
+  const util::Digest128 key = LpCache::key(instance, build, solve);
+  if (std::optional<lp::Solution> hit = cache->find(key)) {
+    // Structural backstop against a (vanishingly unlikely) digest
+    // collision or a foreign file dropped into the cache directory: an
+    // optimal point must match the rebuilt model's dimension.  Non-optimal
+    // statuses carry no point that downstream code reads.
+    if (hit->status != lp::SolveStatus::kOptimal ||
+        hit->x.size() == static_cast<std::size_t>(out.lp.model.num_variables())) {
+      out.solution = std::move(*hit);
+      out.cache_hit = true;
+      return out;
+    }
+  }
+  out.solution = lp::SimplexSolver().solve(out.lp.model, solve);
+  cache->insert(key, out.solution);
+  return out;
+}
+
+}  // namespace omn::core

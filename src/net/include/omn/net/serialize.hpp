@@ -2,19 +2,22 @@
 // Plain-text (de)serialization of OverlayInstance.
 //
 // Format (version header then one section per entity; names are
-// whitespace-free tokens):
+// whitespace-free tokens; `inf` = absent capacity):
 //
-//   omn-instance v1
+//   omn-instance v2
 //   sources <n>
 //     <name> <bandwidth>
 //   reflectors <n>
-//     <name> <build_cost> <fanout> <color>
+//     <name> <build_cost> <fanout> <color> <stream_capacity|inf>
 //   sinks <n>
 //     <name> <commodity> <threshold>
 //   sr_edges <n>
-//     <source> <reflector> <cost> <loss>
+//     <source> <reflector> <cost> <loss> <delay_ms>
 //   rd_edges <n>
-//     <reflector> <sink> <cost> <loss> <capacity|inf>
+//     <reflector> <sink> <cost> <loss> <capacity|inf> <delay_ms>
+//
+// The v1 layout (no stream-capacity column, no delay columns) is still
+// accepted on load; absent fields default to unlimited / 0.
 
 #include <iosfwd>
 #include <string>

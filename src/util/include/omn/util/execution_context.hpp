@@ -36,6 +36,7 @@
 #include <cstddef>
 #include <functional>
 #include <memory>
+#include <typeindex>
 
 #include "omn/util/thread_pool.hpp"
 
@@ -104,9 +105,40 @@ class ExecutionContext {
   /// callers that need submit()/async()/parallel_map() directly.
   ThreadPool* pool() const { return pool_.get(); }
 
+  // ---- shared services ----------------------------------------------------
+  //
+  // A context also carries a type-erased registry of *services*: shared
+  // process state that wants the same scope and plumbing as the pool
+  // (e.g. core::LpCache, whose in-memory tier must be shared by every
+  // layer a sweep fans out through).  Copies of a context share one
+  // registry exactly as they share the pool — set a service on any copy
+  // and every holder of the same context sees it; global()'s registry is
+  // process-wide.  Each serial() call returns a *fresh* context, so keep
+  // a copy if its services must persist.  All access is thread-safe.
+
+  /// The service of type T installed on this context, or nullptr.
+  template <typename T>
+  std::shared_ptr<T> find_service() const {
+    return std::static_pointer_cast<T>(
+        find_service_erased(std::type_index(typeid(T))));
+  }
+
+  /// Installs (or, with nullptr, removes) the service of type T.  The
+  /// registry keeps the shared_ptr alive as long as any context copy does.
+  template <typename T>
+  void set_service(std::shared_ptr<T> service) {
+    set_service_erased(std::type_index(typeid(T)), std::move(service));
+  }
+
  private:
+  std::shared_ptr<void> find_service_erased(std::type_index type) const;
+  void set_service_erased(std::type_index type, std::shared_ptr<void> service);
+
   /// nullptr = serial context.
   std::shared_ptr<ThreadPool> pool_;
+  struct ServiceRegistry;
+  /// Never null: allocated by the constructor, shared by copies.
+  std::shared_ptr<ServiceRegistry> services_;
 };
 
 }  // namespace omn::util

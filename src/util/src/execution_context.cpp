@@ -2,16 +2,44 @@
 
 #include <algorithm>
 #include <atomic>
+#include <map>
+#include <mutex>
 #include <thread>
 
 namespace omn::util {
 
-ExecutionContext::ExecutionContext(std::size_t threads) {
+/// Type-erased service map shared by all copies of a context.  A plain
+/// mutex suffices: services are looked up once per high-level operation
+/// (a design, a sweep phase), never per grid cell or work item.
+struct ExecutionContext::ServiceRegistry {
+  std::mutex mutex;
+  std::map<std::type_index, std::shared_ptr<void>> entries;
+};
+
+ExecutionContext::ExecutionContext(std::size_t threads)
+    : services_(std::make_shared<ServiceRegistry>()) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
   if (threads > 1) {
     pool_ = std::make_shared<ThreadPool>(threads - 1);
+  }
+}
+
+std::shared_ptr<void> ExecutionContext::find_service_erased(
+    std::type_index type) const {
+  const std::scoped_lock lock(services_->mutex);
+  const auto it = services_->entries.find(type);
+  return it != services_->entries.end() ? it->second : nullptr;
+}
+
+void ExecutionContext::set_service_erased(std::type_index type,
+                                          std::shared_ptr<void> service) {
+  const std::scoped_lock lock(services_->mutex);
+  if (service == nullptr) {
+    services_->entries.erase(type);
+  } else {
+    services_->entries[type] = std::move(service);
   }
 }
 

@@ -1,0 +1,91 @@
+#include "omn/util/hash.hpp"
+
+#include <bit>
+
+namespace omn::util {
+
+namespace {
+
+// Distinct odd multipliers keep the two lanes decorrelated even though
+// they absorb the same byte stream.
+constexpr std::uint64_t kPrimeA = 1099511628211ull;          // FNV-1a prime
+constexpr std::uint64_t kPrimeB = 0x9e3779b97f4a7c15ull;     // 2^64 / phi
+
+/// splitmix64 finalizer: full-avalanche bijection on 64 bits.
+std::uint64_t avalanche(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+std::string Digest128::hex() const {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(32, '0');
+  for (int n = 0; n < 16; ++n) {
+    const std::uint64_t word = n < 8 ? hi : lo;
+    const int shift = 4 * (2 * (7 - (n % 8)) + 1);
+    out[static_cast<std::size_t>(2 * n)] = kDigits[(word >> shift) & 0xf];
+    out[static_cast<std::size_t>(2 * n + 1)] = kDigits[(word >> (shift - 4)) & 0xf];
+  }
+  return out;
+}
+
+void Hasher::bytes(const void* data, std::size_t size) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t a = a_;
+  std::uint64_t b = b_;
+  for (std::size_t n = 0; n < size; ++n) {
+    const std::uint64_t byte = p[n];
+    a = (a ^ byte) * kPrimeA;
+    b = (b ^ (byte + 0x5bull)) * kPrimeB;
+  }
+  a_ = a;
+  b_ = b;
+}
+
+void Hasher::u8(std::uint8_t v) { bytes(&v, 1); }
+
+void Hasher::u32(std::uint32_t v) {
+  unsigned char le[4];
+  for (int n = 0; n < 4; ++n) le[n] = static_cast<unsigned char>(v >> (8 * n));
+  bytes(le, sizeof le);
+}
+
+void Hasher::u64(std::uint64_t v) {
+  unsigned char le[8];
+  for (int n = 0; n < 8; ++n) le[n] = static_cast<unsigned char>(v >> (8 * n));
+  bytes(le, sizeof le);
+}
+
+void Hasher::i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+
+void Hasher::i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+void Hasher::f64(double v) {
+  if (v == 0.0) v = 0.0;  // collapse -0.0: equal values must hash equal
+  u64(std::bit_cast<std::uint64_t>(v));
+}
+
+void Hasher::boolean(bool v) { u8(v ? 1 : 0); }
+
+void Hasher::str(std::string_view s) {
+  u64(s.size());
+  bytes(s.data(), s.size());
+}
+
+void Hasher::opt_f64(const std::optional<double>& v) {
+  boolean(v.has_value());
+  if (v.has_value()) f64(*v);
+}
+
+Digest128 Hasher::digest() const {
+  // Cross-feed the lanes so each output word depends on both states.
+  return Digest128{avalanche(a_ + kPrimeB * b_), avalanche(b_ ^ (a_ * kPrimeA))};
+}
+
+}  // namespace omn::util

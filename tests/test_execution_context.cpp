@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <memory>
 #include <mutex>
 #include <set>
 #include <stdexcept>
@@ -218,6 +219,59 @@ TEST(ExecutionContext, HandlesShareOnePool) {
   std::atomic<int> count{0};
   b.parallel_for(64, [&](std::size_t) { count.fetch_add(1); });
   EXPECT_EQ(count.load(), 64);
+}
+
+// ---- shared services ------------------------------------------------------
+
+struct FakeCache {
+  int value = 0;
+};
+struct OtherService {
+  int value = 0;
+};
+
+TEST(ExecutionContextServices, AbsentByDefaultAndTypeKeyed) {
+  const ExecutionContext ctx(1);
+  EXPECT_EQ(ctx.find_service<FakeCache>(), nullptr);
+
+  ExecutionContext rw = ctx;
+  rw.set_service(std::make_shared<FakeCache>(FakeCache{7}));
+  ASSERT_NE(ctx.find_service<FakeCache>(), nullptr);
+  EXPECT_EQ(ctx.find_service<FakeCache>()->value, 7);
+  // Keyed by type: another service type is a different slot.
+  EXPECT_EQ(ctx.find_service<OtherService>(), nullptr);
+}
+
+TEST(ExecutionContextServices, CopiesShareOneRegistry) {
+  ExecutionContext a(2);
+  const ExecutionContext b = a;
+  a.set_service(std::make_shared<FakeCache>(FakeCache{42}));
+  ASSERT_NE(b.find_service<FakeCache>(), nullptr);
+  EXPECT_EQ(b.find_service<FakeCache>()->value, 42);
+  EXPECT_EQ(a.find_service<FakeCache>(), b.find_service<FakeCache>());
+
+  // nullptr removes.
+  a.set_service<FakeCache>(nullptr);
+  EXPECT_EQ(b.find_service<FakeCache>(), nullptr);
+}
+
+TEST(ExecutionContextServices, SerialContextsAreFresh) {
+  ExecutionContext one = ExecutionContext::serial();
+  one.set_service(std::make_shared<FakeCache>(FakeCache{1}));
+  EXPECT_NE(one.find_service<FakeCache>(), nullptr);
+  // Each serial() call is a new context with an empty registry.
+  EXPECT_EQ(ExecutionContext::serial().find_service<FakeCache>(), nullptr);
+}
+
+TEST(ExecutionContextServices, LookupIsSafeFromWorkItems) {
+  ExecutionContext ctx(4);
+  ctx.set_service(std::make_shared<FakeCache>(FakeCache{9}));
+  std::atomic<int> seen{0};
+  ctx.parallel_for(64, [&](std::size_t) {
+    const auto service = ctx.find_service<FakeCache>();
+    if (service != nullptr && service->value == 9) seen.fetch_add(1);
+  });
+  EXPECT_EQ(seen.load(), 64);
 }
 
 }  // namespace

@@ -1,26 +1,31 @@
-// Golden round-trip regression tests for the two text formats:
-//   net/serialize  (omn-instance v1)
-//   core/design_io (omn-design v1)
+// Golden round-trip regression tests for the persisted formats:
+//   net/serialize  (omn-instance v1, text)
+//   core/design_io (omn-design v1, text)
+//   core/lp_cache  (LP cache entry v1, binary)
 //
 // Each golden file under tests/data/ was produced by the writers
 // themselves and committed; the tests check
-//   1. the golden text still loads,
-//   2. re-serializing the loaded value reproduces the golden text byte
-//      for byte (so any format change must update the goldens, i.e. is
+//   1. the golden bytes still load,
+//   2. re-serializing the loaded value reproduces the golden bytes
+//      exactly (so any format change must update the goldens, i.e. is
 //      an explicit, reviewed decision), and
 //   3. write -> read round-trips deep-equal for a freshly built value.
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 
 #include "omn/core/design.hpp"
 #include "omn/core/design_io.hpp"
+#include "omn/core/lp_cache.hpp"
 #include "omn/net/instance.hpp"
 #include "omn/net/serialize.hpp"
+#include "omn/util/hash.hpp"
 
 namespace {
 
@@ -155,6 +160,97 @@ TEST(GoldenDesign, WriteReadDeepEqual) {
   const omn::core::Design reloaded =
       omn::core::design_from_text(omn::core::design_to_text(design), inst);
   expect_deep_equal(design, reloaded);
+}
+
+// ---- LP cache entry (binary v1) -------------------------------------------
+
+/// The fixed (key, solution) pair the golden entry was generated from.
+omn::util::Digest128 golden_cache_key() {
+  return {0x0123456789abcdefull, 0xfedcba9876543210ull};
+}
+
+omn::lp::Solution golden_cache_solution() {
+  omn::lp::Solution s;
+  s.status = omn::lp::SolveStatus::kOptimal;
+  s.objective = 42.5;
+  s.iterations = 17;
+  s.phase1_iterations = 5;
+  s.max_violation = 1e-9;
+  s.x = {0.0, 1.0, 0.25, 0.75, 2.5};
+  return s;
+}
+
+TEST(GoldenLpCacheEntry, LoadsAndReserializesByteExact) {
+  const std::string golden = slurp(data_path("lp_cache_entry_v1.bin"));
+  ASSERT_FALSE(golden.empty());
+
+  std::istringstream in(golden);
+  const std::optional<omn::lp::Solution> loaded =
+      omn::core::LpCache::read_entry(in, golden_cache_key());
+  ASSERT_TRUE(loaded.has_value());
+  const omn::lp::Solution expected = golden_cache_solution();
+  EXPECT_EQ(loaded->status, expected.status);
+  EXPECT_EQ(loaded->objective, expected.objective);
+  EXPECT_EQ(loaded->iterations, expected.iterations);
+  EXPECT_EQ(loaded->phase1_iterations, expected.phase1_iterations);
+  EXPECT_EQ(loaded->max_violation, expected.max_violation);
+  EXPECT_EQ(loaded->x, expected.x);
+
+  std::ostringstream out;
+  omn::core::LpCache::write_entry(out, golden_cache_key(), *loaded);
+  EXPECT_EQ(out.str(), golden);
+}
+
+TEST(GoldenLpCacheEntry, WriteReadRoundTripsExactly) {
+  // Bit patterns must survive, including -0.0 and denormals.
+  omn::lp::Solution s = golden_cache_solution();
+  s.x.push_back(-0.0);
+  s.x.push_back(5e-324);
+  std::ostringstream out;
+  omn::core::LpCache::write_entry(out, golden_cache_key(), s);
+  std::istringstream in(out.str());
+  const std::optional<omn::lp::Solution> loaded =
+      omn::core::LpCache::read_entry(in, golden_cache_key());
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->x.size(), s.x.size());
+  for (std::size_t n = 0; n < s.x.size(); ++n) {
+    EXPECT_EQ(std::signbit(loaded->x[n]), std::signbit(s.x[n]));
+    EXPECT_EQ(loaded->x[n], s.x[n]);
+  }
+}
+
+TEST(GoldenLpCacheEntry, TruncatedEntryRejected) {
+  const std::string golden = slurp(data_path("lp_cache_entry_v1.bin"));
+  // Every proper prefix must be rejected — no partial-read acceptance.
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{4}, std::size_t{24}, golden.size() - 8,
+        golden.size() - 1}) {
+    std::istringstream in(golden.substr(0, keep));
+    EXPECT_FALSE(
+        omn::core::LpCache::read_entry(in, golden_cache_key()).has_value())
+        << "prefix of " << keep << " bytes was accepted";
+  }
+  // ... and so must trailing garbage.
+  std::istringstream padded(golden + "x");
+  EXPECT_FALSE(
+      omn::core::LpCache::read_entry(padded, golden_cache_key()).has_value());
+}
+
+TEST(GoldenLpCacheEntry, VersionMismatchRejected) {
+  std::string golden = slurp(data_path("lp_cache_entry_v1.bin"));
+  ASSERT_GT(golden.size(), 8u);
+  golden[4] = 2;  // version field (little-endian u32 after the magic)
+  std::istringstream in(golden);
+  EXPECT_FALSE(
+      omn::core::LpCache::read_entry(in, golden_cache_key()).has_value());
+}
+
+TEST(GoldenLpCacheEntry, KeyMismatchRejected) {
+  const std::string golden = slurp(data_path("lp_cache_entry_v1.bin"));
+  omn::util::Digest128 other = golden_cache_key();
+  other.lo ^= 1;
+  std::istringstream in(golden);
+  EXPECT_FALSE(omn::core::LpCache::read_entry(in, other).has_value());
 }
 
 }  // namespace

@@ -3,9 +3,10 @@
 // Subcommands:
 //   generate  --sinks N [--isps K] [--seed S] [--eu-heavy] --out inst.txt
 //   design    --instance inst.txt [--seed S] [--c C] [--colors]
-//             [--bandwidth] [--attempts A] [--threads T] [--out design.txt]
+//             [--bandwidth] [--attempts A] [--threads T] [--lp-cache DIR]
+//             [--out design.txt]
 //   sweep     --instance inst.txt [--c C1,C2,...] [--seeds K]
-//             [--attempts A] [--threads T] [--no-reuse-lp]
+//             [--attempts A] [--threads T] [--no-reuse-lp] [--lp-cache DIR]
 //   evaluate  --instance inst.txt --design design.txt
 //   simulate  --instance inst.txt --design design.txt [--packets P]
 //             [--seed S] [--isp-outage-prob Q]
@@ -23,11 +24,20 @@
 // result — attempt seeds are deterministic, so the design is bit-identical
 // for every thread count.  `design --out` records the knobs and per-stage
 // timings as `meta` lines in the design file; `evaluate` reports them back.
+//
+// --lp-cache DIR installs a content-addressed core::LpCache over DIR:
+// the LP solve (the dominant design cost) is keyed on the instance's
+// canonical content plus the LP/solve options and persisted, so a second
+// run over the same topology performs zero simplex solves — concurrent
+// processes can share one directory (entries are written atomically).
+// The design is bit-identical with the cache on or off; cache traffic is
+// reported with the timings.
 
 #include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -35,13 +45,18 @@
 #include "omn/core/design_io.hpp"
 #include "omn/core/design_sweep.hpp"
 #include "omn/core/designer.hpp"
+#include "omn/core/lp_cache.hpp"
 #include "omn/net/serialize.hpp"
 #include "omn/sim/failures.hpp"
 #include "omn/sim/packet_sim.hpp"
 #include "omn/topo/akamai.hpp"
+#include "omn/util/execution_context.hpp"
 #include "omn/util/table.hpp"
 
 namespace {
+
+struct Args;
+std::shared_ptr<omn::core::LpCache> make_lp_cache(const Args& args);
 
 struct Args {
   std::string command;
@@ -83,14 +98,26 @@ Args parse(int argc, char** argv) {
   return args;
 }
 
+/// The --lp-cache DIR cache, or nullptr when the flag is absent.  A bare
+/// --lp-cache is rejected: without a directory nothing outlives the
+/// process, and within one process the sweep planner already dedupes.
+std::shared_ptr<omn::core::LpCache> make_lp_cache(const Args& args) {
+  if (args.has("lp-cache")) {
+    throw std::runtime_error("--lp-cache needs a directory argument");
+  }
+  const std::string dir = args.get("lp-cache", "");
+  if (dir.empty()) return nullptr;
+  return std::make_shared<omn::core::LpCache>(dir);
+}
+
 int usage() {
   std::cerr <<
       "usage: omn_design <command> [options]\n"
       "  generate  --sinks N [--isps K] [--seed S] [--eu-heavy] --out F\n"
       "  design    --instance F [--seed S] [--c C] [--colors] [--bandwidth]\n"
-      "            [--attempts A] [--threads T] [--out F]\n"
+      "            [--attempts A] [--threads T] [--lp-cache DIR] [--out F]\n"
       "  sweep     --instance F [--c C1,C2,...] [--seeds K] [--attempts A]\n"
-      "            [--threads T] [--no-reuse-lp]\n"
+      "            [--threads T] [--no-reuse-lp] [--lp-cache DIR]\n"
       "  evaluate  --instance F --design F\n"
       "  simulate  --instance F --design F [--packets P] [--seed S]\n"
       "            [--isp-outage-prob Q]\n"
@@ -128,7 +155,15 @@ int cmd_design(const Args& args) {
   cfg.threads = static_cast<int>(args.get_long("threads", 0));
   cfg.color_constraints = args.has("colors");
   cfg.bandwidth_extension = args.has("bandwidth");
-  const auto result = omn::core::OverlayDesigner(cfg).design(inst);
+  const std::shared_ptr<omn::core::LpCache> cache = make_lp_cache(args);
+  // The designer's own context choice, with the cache riding along as a
+  // service when requested (a context without the service behaves exactly
+  // like the no-context overload).
+  omn::util::ExecutionContext context =
+      omn::core::OverlayDesigner::default_context(cfg);
+  if (cache != nullptr) context.set_service(cache);
+  const omn::core::DesignResult result =
+      omn::core::OverlayDesigner(cfg).design(inst, context);
   if (!result.ok()) {
     std::cerr << "design failed: " << omn::core::to_string(result.status)
               << "\n";
@@ -145,6 +180,14 @@ int cmd_design(const Args& args) {
               "(attempts %d, threads %s)\n",
               result.lp_seconds, result.rounding_seconds,
               result.attempts_made, threads_label.c_str());
+  if (cache != nullptr) {
+    const omn::core::LpCacheStats stats = cache->stats();
+    std::printf("lp cache: %s | %zu hits (%zu disk), %zu misses, "
+                "%zu rejected | dir %s\n",
+                result.lp_cache_hit ? "HIT (solve skipped)" : "miss (stored)",
+                stats.hits, stats.disk_hits, stats.misses, stats.rejected,
+                cache->directory().c_str());
+  }
   const std::string out = args.get("out", "");
   if (!out.empty()) {
     omn::core::DesignMeta meta;
@@ -198,7 +241,11 @@ int cmd_sweep(const Args& args) {
   omn::core::SweepOptions options;
   options.threads = static_cast<std::size_t>(args.get_long("threads", 0));
   options.reuse_lp = !args.has("no-reuse-lp");
-  const omn::core::SweepReport report = sweep.run(options);
+  const std::shared_ptr<omn::core::LpCache> cache = make_lp_cache(args);
+  omn::util::ExecutionContext context =
+      omn::core::DesignSweep::default_context(options);
+  if (cache != nullptr) context.set_service(cache);
+  const omn::core::SweepReport report = sweep.run(options, context);
 
   omn::util::Table table({"config", "cost $", "cost/LP", "min w-ratio",
                           "winning attempt", "rounding s"});
@@ -223,6 +270,13 @@ int cmd_sweep(const Args& args) {
               "%.2fs wall\n",
               report.cells.size(), report.lp_solves, report.lp_configs,
               report.wall_seconds);
+  if (cache != nullptr) {
+    const omn::core::LpCacheStats stats = cache->stats();
+    std::printf("lp cache: %zu hits (%zu disk), %zu misses, %zu rejected | "
+                "dir %s\n",
+                report.lp_cache_hits, stats.disk_hits, report.lp_cache_misses,
+                stats.rejected, cache->directory().c_str());
+  }
   return 0;
 }
 
