@@ -7,7 +7,7 @@
 // traffic, wall clock), then tabulate.  This header dedupes that skeleton
 // so the benches contain only their experiment-specific grid and tables.
 //
-// Flags (every converted bench accepts all three):
+// Flags (every converted bench accepts all of these):
 //   --threads N     sweep + designer parallelism: 0 = all cores (default),
 //                   1 = serial (use two runs to measure the speedup)
 //   --smoke         shrink the grid to a tiny configuration; used by the CI
@@ -16,6 +16,16 @@
 //                   execution context: a re-run of the same bench serves
 //                   every LP solve from the cache (the summary line shows
 //                   the hit/miss traffic)
+//   --workers N     shard the sweep across N worker processes (omn::dist):
+//                   the bench re-invokes itself as `<exe> worker`, the
+//                   report is bit-identical to the in-process run, and the
+//                   workers share the --lp-cache directory (a warm
+//                   distributed re-run performs zero simplex solves).
+//                   0 (default) = in-process.
+//
+// Worker mode: parse_args() routes `<bench> worker [--lp-cache DIR]` to
+// omn::dist::worker_main before any flag parsing, so every bench built on
+// this header is automatically its own distributed worker binary.
 
 #include <cstdio>
 #include <cstdlib>
@@ -26,6 +36,8 @@
 
 #include "omn/core/design_sweep.hpp"
 #include "omn/core/lp_cache.hpp"
+#include "omn/dist/dist_sweep.hpp"
+#include "omn/dist/worker.hpp"
 #include "omn/util/execution_context.hpp"
 #include "omn/util/table.hpp"
 
@@ -36,25 +48,36 @@ struct BenchArgs {
   bool smoke = false;
   /// Cache directory from --lp-cache, empty = no cache.
   std::string lp_cache_dir;
+  /// Worker processes from --workers, 0 = run the sweep in-process.
+  std::size_t workers = 0;
 };
 
 inline BenchArgs parse_args(int argc, char** argv, const char* bench_name) {
+  if (argc >= 2 && std::strcmp(argv[1], "worker") == 0) {
+    // Distributed worker mode: stdin/stdout belong to the frame protocol,
+    // so enter the loop before any bench code can print.
+    std::exit(dist::worker_main(argc, argv));
+  }
   BenchArgs args;
+  const auto parse_count = [&](const char* flag,
+                               const char* value) -> std::size_t {
+    char* end = nullptr;
+    const unsigned long parsed = std::strtoul(value, &end, 10);
+    // Reject anything but a plain non-negative integer: a typo must not
+    // silently become 0 = "all cores" (which would invert a serial run).
+    if (*value == '\0' || *value == '-' || end == value || *end != '\0') {
+      std::fprintf(stderr, "%s: bad %s value '%s'\n", bench_name, flag, value);
+      std::exit(2);
+    }
+    return static_cast<std::size_t>(parsed);
+  };
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       args.smoke = true;
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      const char* value = argv[++i];
-      char* end = nullptr;
-      const unsigned long parsed = std::strtoul(value, &end, 10);
-      // Reject anything but a plain non-negative integer: a typo must not
-      // silently become 0 = "all cores" (which would invert a serial run).
-      if (*value == '\0' || *value == '-' || end == value || *end != '\0') {
-        std::fprintf(stderr, "%s: bad --threads value '%s'\n", bench_name,
-                     value);
-        std::exit(2);
-      }
-      args.threads = static_cast<std::size_t>(parsed);
+      args.threads = parse_count("--threads", argv[++i]);
+    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      args.workers = parse_count("--workers", argv[++i]);
     } else if (std::strcmp(argv[i], "--lp-cache") == 0 && i + 1 < argc) {
       args.lp_cache_dir = argv[++i];
       if (args.lp_cache_dir.empty()) {
@@ -62,7 +85,9 @@ inline BenchArgs parse_args(int argc, char** argv, const char* bench_name) {
         std::exit(2);
       }
     } else {
-      std::fprintf(stderr, "usage: %s [--threads N] [--smoke] [--lp-cache DIR]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--threads N] [--smoke] [--lp-cache DIR] "
+                   "[--workers N]\n",
                    bench_name);
       std::exit(2);
     }
@@ -79,16 +104,30 @@ inline int smoke_scaled(const BenchArgs& args, int full, int tiny) {
 /// command line, the --lp-cache cache installed on the context) and prints
 /// the standard summary: LP solves against the grid size, so the effect of
 /// the reuse planner and the cache is visible in every bench run, not just
-/// where a bench asserts on it.
+/// where a bench asserts on it.  With --workers N the grid is sharded
+/// across N self-spawned worker processes instead (bit-identical cells;
+/// the summary gains a shard/worker clause).
 inline core::SweepReport run_sweep(const core::DesignSweep& sweep,
                                    core::SweepOptions options,
                                    const BenchArgs& args, const char* label) {
   options.threads = args.threads;
-  util::ExecutionContext context = core::DesignSweep::default_context(options);
-  if (!args.lp_cache_dir.empty()) {
-    context.set_service(std::make_shared<core::LpCache>(args.lp_cache_dir));
+  core::SweepReport report;
+  dist::DistStats dist_stats;
+  if (args.workers > 0) {
+    dist::DistOptions dist_options;
+    dist_options.workers = args.workers;
+    dist_options.worker_command =
+        dist::self_worker_command(args.lp_cache_dir);
+    dist_options.stats = &dist_stats;
+    report = sweep.run_distributed(options, dist_options);
+  } else {
+    util::ExecutionContext context =
+        core::DesignSweep::default_context(options);
+    if (!args.lp_cache_dir.empty()) {
+      context.set_service(std::make_shared<core::LpCache>(args.lp_cache_dir));
+    }
+    report = sweep.run(options, context);
   }
-  const core::SweepReport report = sweep.run(options, context);
   const std::size_t cells = report.cells.size();
   std::printf("%s: %zu cells | %zu LP solves for %zu cells "
               "(%zu distinct LP configs, %zu saved by reuse",
@@ -98,8 +137,14 @@ inline core::SweepReport run_sweep(const core::DesignSweep& sweep,
     std::printf(", cache %zu hits / %zu misses", report.lp_cache_hits,
                 report.lp_cache_misses);
   }
-  std::printf(") | %.2fs (threads=%zu%s)\n\n", report.wall_seconds,
-              args.threads, args.threads == 0 ? " = all" : "");
+  std::printf(") | %.2fs (threads=%zu%s)", report.wall_seconds, args.threads,
+              args.threads == 0 ? " = all" : "");
+  if (args.workers > 0) {
+    std::printf(" | %zu workers, %zu shards (%zu reassigned), %.2fs cpu",
+                dist_stats.workers_spawned, dist_stats.shards_total,
+                dist_stats.shards_reassigned, report.cpu_seconds);
+  }
+  std::printf("\n\n");
   return report;
 }
 

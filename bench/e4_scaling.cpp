@@ -8,9 +8,20 @@
 // (d) a DesignSweep grid serial vs pool-parallel.  Compare the threads:1
 // and threads:0 rows of (c)/(d) for the wall-clock speedup; on a machine
 // with >= 4 cores, attempts >= 8 should show >= 2x.
+//
+// Invoked with any bench_common flag (--smoke / --threads / --workers /
+// --lp-cache) the binary instead runs grid (d) once through
+// bench::run_sweep — in-process or sharded across worker processes —
+// and prints the standard sweep summary.  That mode is what the CI
+// distributed smoke job drives twice over a shared --lp-cache directory
+// to assert a warm distributed sweep performs 0 LP solves.  `e4_scaling
+// worker` is the matching self-spawned worker entry.
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+
+#include "bench_common.hpp"
 #include "omn/core/design_sweep.hpp"
 #include "omn/core/designer.hpp"
 #include "omn/lp/simplex.hpp"
@@ -129,6 +140,49 @@ BENCHMARK(BM_DesignSweepGrid)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+// The (d) grid as a one-shot bench_common sweep: the shape every bench
+// shares, here also the vehicle for the distributed smoke path.
+int run_sweep_grid(const omn::bench::BenchArgs& args) {
+  const int seeds = omn::bench::smoke_scaled(args, 6, 2);
+  const int sinks = omn::bench::smoke_scaled(args, 16, 8);
+  omn::core::DesignSweep sweep;
+  for (std::uint64_t seed = 1; seed <= static_cast<std::uint64_t>(seeds);
+       ++seed) {
+    sweep.add_instance("seed" + std::to_string(seed),
+                       instance_for(sinks, seed));
+  }
+  omn::core::DesignerConfig base;
+  base.rounding_attempts = 2;
+  sweep.add_config("with-cut", base);
+  omn::core::DesignerConfig no_cut = base;
+  no_cut.cutting_plane = false;
+  sweep.add_config("no-cut", no_cut);
+
+  omn::bench::run_sweep(sweep, {}, args, "e4 sweep grid");
+  return 0;
+}
+
+// Sweep mode iff any argument is NOT a google-benchmark flag: bench_common
+// owns the sweep flag list (and rejects typos), so this never needs to be
+// kept in sync when a flag is added there.  No arguments = the gbench
+// harness, which is what the ctest Bench smoke entry drives.
+bool wants_sweep_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark", 11) != 0) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  if (wants_sweep_mode(argc, argv)) {
+    // parse_args also routes `e4_scaling worker` into the worker loop.
+    return run_sweep_grid(omn::bench::parse_args(argc, argv, "e4_scaling"));
+  }
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
 
 #include "omn/core/lp_cache.hpp"
 #include "omn/util/timer.hpp"
@@ -27,16 +28,52 @@ util::ExecutionContext DesignSweep::default_context(
                               : util::ExecutionContext::global();
 }
 
+void SweepReport::merge(const SweepReport& shard) {
+  if (shard.num_instances != num_instances ||
+      shard.num_configs != num_configs) {
+    throw std::invalid_argument("SweepReport::merge: grid dimensions differ");
+  }
+  const std::size_t total = num_instances * num_configs;
+  if (cells.size() != total) cells.resize(total);
+  for (const SweepCell& cell : shard.cells) {
+    const std::size_t index = cell.instance_index * num_configs +
+                              cell.config_index;
+    if (cell.instance_index >= num_instances ||
+        cell.config_index >= num_configs) {
+      throw std::invalid_argument("SweepReport::merge: cell outside the grid");
+    }
+    cells[index] = cell;
+  }
+  if (shard.lp_configs > lp_configs) lp_configs = shard.lp_configs;
+  lp_solves += shard.lp_solves;
+  lp_cache_hits += shard.lp_cache_hits;
+  lp_cache_misses += shard.lp_cache_misses;
+  // Shards run concurrently, so the merged wall is the slowest shard;
+  // the merged cpu is the total machine time across all of them.
+  if (shard.wall_seconds > wall_seconds) wall_seconds = shard.wall_seconds;
+  cpu_seconds += shard.cpu_seconds;
+}
+
 SweepReport DesignSweep::run(const SweepOptions& options) const {
   return run(options, default_context(options));
 }
 
 SweepReport DesignSweep::run(const SweepOptions& options,
                              const util::ExecutionContext& context) const {
+  return run_range(0, num_cells(), options, context);
+}
+
+SweepReport DesignSweep::run_range(std::size_t begin, std::size_t end,
+                                   const SweepOptions& options,
+                                   const util::ExecutionContext& context) const {
+  if (begin > end || end > num_cells()) {
+    throw std::out_of_range("DesignSweep::run_range: bad cell range");
+  }
   SweepReport report;
   report.num_instances = instances_.size();
   report.num_configs = configs_.size();
-  report.cells.resize(num_cells());
+  const std::size_t count = end - begin;
+  report.cells.resize(count);
 
   util::Timer wall;
   const util::ExecutionContext::ForOptions fan{.max_parallelism =
@@ -46,6 +83,8 @@ SweepReport DesignSweep::run(const SweepOptions& options,
   // Group configs by the exact options that shape the LP relaxation and
   // its solve; everything else (seed, c, attempts, pruning, ...) only
   // affects rounding, so configs in one group share a solve per instance.
+  // Groups are computed over the FULL config list so lp_configs (and the
+  // group ids) are identical for every range of the same grid.
   struct LpKey {
     LpBuildOptions build;
     lp::SolveOptions solve;
@@ -62,6 +101,11 @@ SweepReport DesignSweep::run(const SweepOptions& options,
     group_of_config[c] = g;
   }
   report.lp_configs = groups.size();
+  if (count == 0) {
+    report.wall_seconds = wall.seconds();
+    report.cpu_seconds = report.wall_seconds;
+    return report;
+  }
 
   const auto config_for_cell = [&](std::size_t i, std::size_t c) {
     DesignerConfig config = configs_[c].second;
@@ -78,7 +122,7 @@ SweepReport DesignSweep::run(const SweepOptions& options,
     return config;
   };
   const auto fill_cell_labels = [&](std::size_t index) -> SweepCell& {
-    SweepCell& cell = report.cells[index];
+    SweepCell& cell = report.cells[index - begin];
     cell.instance_index = index / configs_.size();
     cell.config_index = index % configs_.size();
     cell.instance_label = instances_[cell.instance_index].first;
@@ -97,9 +141,9 @@ SweepReport DesignSweep::run(const SweepOptions& options,
     // designer consults the context's cache itself; the per-cell outcome
     // lands in result.lp_cache_hit, tallied below.
     context.parallel_for(
-        num_cells(),
-        [&](std::size_t index) {
-          SweepCell& cell = fill_cell_labels(index);
+        count,
+        [&](std::size_t t) {
+          SweepCell& cell = fill_cell_labels(begin + t);
           const DesignerConfig config =
               config_for_cell(cell.instance_index, cell.config_index);
           util::Timer cell_timer;
@@ -117,25 +161,46 @@ SweepReport DesignSweep::run(const SweepOptions& options,
       }
     }
     report.wall_seconds = wall.seconds();
+    report.cpu_seconds = report.wall_seconds;
     return report;
   }
 
-  // Phase 1: one LP build per (instance, distinct LP config), with the
-  // solve served from the cache when possible.
+  // Phase 1: one LP build per (instance, distinct LP config) PAIR THE
+  // RANGE ACTUALLY TOUCHES, with the solve served from the cache when
+  // possible.  For the full range this is every (instance, group) pair in
+  // (instance, group) order — exactly the pre-range behaviour.
   struct SolvedLp {
     OverlayLp lp;
     lp::Solution solution;
     bool cache_hit = false;
     double seconds = 0.0;
   };
-  std::vector<SolvedLp> solved(instances_.size() * groups.size());
+  constexpr std::size_t kUnused = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> solved_index(instances_.size() * groups.size(),
+                                        kUnused);
+  std::vector<std::size_t> needed;  // flat (i, g) keys, lexicographic
+  for (std::size_t index = begin; index < end; ++index) {
+    const std::size_t i = index / configs_.size();
+    const std::size_t g = group_of_config[index % configs_.size()];
+    const std::size_t key = i * groups.size() + g;
+    if (solved_index[key] == kUnused) {
+      solved_index[key] = 0;  // mark; the real slot is assigned below
+      needed.push_back(key);
+    }
+  }
+  // Slots follow `needed`'s first-touch scan order — a pure function of
+  // the range and the config list (NOT necessarily sorted by (i, g):
+  // group ids repeat non-monotonically when configs interleave groups).
+  for (std::size_t n = 0; n < needed.size(); ++n) solved_index[needed[n]] = n;
+
+  std::vector<SolvedLp> solved(needed.size());
   std::atomic<std::size_t> solves{0};
   std::atomic<std::size_t> cache_hits{0};
   context.parallel_for(
       solved.size(),
       [&](std::size_t t) {
-        const std::size_t i = t / groups.size();
-        const std::size_t g = t % groups.size();
+        const std::size_t i = needed[t] / groups.size();
+        const std::size_t g = needed[t] % groups.size();
         util::Timer timer;
         SolvedLp& s = solved[t];
         CachedLp cached = solve_overlay_lp_cached(
@@ -160,13 +225,14 @@ SweepReport DesignSweep::run(const SweepOptions& options,
   // rounding attempts reuse the same context (and pool), so a sweep never
   // oversubscribes the machine.
   context.parallel_for(
-      num_cells(),
-      [&](std::size_t index) {
-        SweepCell& cell = fill_cell_labels(index);
+      count,
+      [&](std::size_t t) {
+        SweepCell& cell = fill_cell_labels(begin + t);
         const std::size_t i = cell.instance_index;
         const std::size_t c = cell.config_index;
         const DesignerConfig config = config_for_cell(i, c);
-        const SolvedLp& s = solved[i * groups.size() + group_of_config[c]];
+        const SolvedLp& s =
+            solved[solved_index[i * groups.size() + group_of_config[c]]];
         util::Timer cell_timer;
         cell.result = OverlayDesigner(config).design_from_lp(
             instances_[i].second, s.lp, s.solution, context);
@@ -176,6 +242,7 @@ SweepReport DesignSweep::run(const SweepOptions& options,
       },
       fan);
   report.wall_seconds = wall.seconds();
+  report.cpu_seconds = report.wall_seconds;
   return report;
 }
 

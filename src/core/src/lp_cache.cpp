@@ -1,16 +1,15 @@
 #include "omn/core/lp_cache.hpp"
 
-#include <atomic>
-#include <bit>
-#include <chrono>
 #include <cstddef>
 #include <filesystem>
 #include <fstream>
 #include <istream>
 #include <ostream>
 #include <sstream>
-#include <thread>
 #include <utility>
+
+#include "omn/util/atomic_file.hpp"
+#include "omn/util/bytes.hpp"
 
 namespace omn::core {
 
@@ -20,82 +19,11 @@ namespace {
 
 constexpr std::uint32_t kMagic = 0x4F4C5043u;
 
-// ---- fixed-width little-endian (de)serialization --------------------------
 // The entry format must be byte-identical across platforms (the directory
 // tier is shared between processes and potentially machines), so every
-// field goes through these explicit encoders, never through raw struct
-// writes.
-
-class ByteWriter {
- public:
-  void u32(std::uint32_t v) {
-    for (int n = 0; n < 4; ++n) buf_.push_back(static_cast<char>(v >> (8 * n)));
-  }
-  void u64(std::uint64_t v) {
-    for (int n = 0; n < 8; ++n) buf_.push_back(static_cast<char>(v >> (8 * n)));
-  }
-  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
-  /// Exact bit pattern — round-tripping must preserve -0.0 and NaN bits.
-  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
-
-  const std::string& bytes() const { return buf_; }
-
- private:
-  std::string buf_;
-};
-
-class ByteReader {
- public:
-  explicit ByteReader(std::string_view data) : data_(data) {}
-
-  bool u32(std::uint32_t& v) {
-    if (pos_ + 4 > data_.size()) return false;
-    v = 0;
-    for (int n = 0; n < 4; ++n) {
-      v |= static_cast<std::uint32_t>(
-               static_cast<unsigned char>(data_[pos_ + static_cast<std::size_t>(n)]))
-           << (8 * n);
-    }
-    pos_ += 4;
-    return true;
-  }
-  bool u64(std::uint64_t& v) {
-    if (pos_ + 8 > data_.size()) return false;
-    v = 0;
-    for (int n = 0; n < 8; ++n) {
-      v |= static_cast<std::uint64_t>(
-               static_cast<unsigned char>(data_[pos_ + static_cast<std::size_t>(n)]))
-           << (8 * n);
-    }
-    pos_ += 8;
-    return true;
-  }
-  bool i32(std::int32_t& v) {
-    std::uint32_t raw = 0;
-    if (!u32(raw)) return false;
-    v = static_cast<std::int32_t>(raw);
-    return true;
-  }
-  bool f64(double& v) {
-    std::uint64_t raw = 0;
-    if (!u64(raw)) return false;
-    v = std::bit_cast<double>(raw);
-    return true;
-  }
-
-  std::size_t position() const { return pos_; }
-  std::size_t remaining() const { return data_.size() - pos_; }
-
- private:
-  std::string_view data_;
-  std::size_t pos_ = 0;
-};
-
-std::uint64_t payload_checksum(std::string_view payload) {
-  util::Hasher hasher;
-  hasher.bytes(payload.data(), payload.size());
-  return hasher.digest().lo;
-}
+// field goes through util::ByteWriter/ByteReader, never raw struct writes.
+using util::ByteReader;
+using util::ByteWriter;
 
 void hash_build_options(util::Hasher& h, const LpBuildOptions& o) {
   h.boolean(o.cutting_plane);
@@ -111,18 +39,6 @@ void hash_solve_options(util::Hasher& h, const lp::SolveOptions& o) {
   h.f64(o.feasibility_tol);
   h.f64(o.pivot_tol);
   h.i32(o.degenerate_switch);
-}
-
-/// A name unique across threads and processes for the temp-then-rename
-/// protocol; collisions would corrupt a concurrent writer's entry.
-std::string unique_suffix() {
-  static std::atomic<std::uint64_t> counter{0};
-  util::Hasher h;
-  h.u64(static_cast<std::uint64_t>(
-      std::chrono::steady_clock::now().time_since_epoch().count()));
-  h.u64(std::hash<std::thread::id>{}(std::this_thread::get_id()));
-  h.u64(counter.fetch_add(1, std::memory_order_relaxed));
-  return h.digest().hex().substr(0, 16);
 }
 
 }  // namespace
@@ -247,38 +163,12 @@ std::optional<lp::Solution> LpCache::load_from_disk(
 
 void LpCache::store_to_disk(const util::Digest128& key,
                             const lp::Solution& solution) {
-  // Serialize fully in memory, write to a unique temp file, then rename
-  // into place: readers (this process or another sharing the directory)
-  // only ever observe complete entries.  Any failure leaves the cache
-  // merely cold, so errors are swallowed after cleaning up the temp file.
-  try {
-    const fs::path final_path = path_for(key);
-    const fs::path temp_path =
-        final_path.string() + ".tmp-" + unique_suffix();
-    {
-      std::ofstream out(temp_path, std::ios::binary | std::ios::trunc);
-      write_entry(out, key, solution);
-      // close() flushes and sets failbit on failure (e.g. ENOSPC at
-      // flush) — checking good() before the flush would let a truncated
-      // temp file slip through to the rename below.
-      out.close();
-      if (out.fail()) {
-        std::error_code ignored;
-        fs::remove(temp_path, ignored);
-        return;
-      }
-    }
-    std::error_code ec;
-    fs::rename(temp_path, final_path, ec);
-    if (ec) {
-      // E.g. a platform where rename cannot replace an existing file: a
-      // concurrent writer beat us to an identical entry; drop ours.
-      std::error_code ignored;
-      fs::remove(temp_path, ignored);
-    }
-  } catch (const fs::filesystem_error&) {
-    // Advisory tier: a failed store must never fail the solve.
-  }
+  // Readers (this process or another sharing the directory) only ever
+  // observe complete entries; the tier is advisory, so a failed store —
+  // write_file_atomic returns false — must never fail the solve.
+  std::ostringstream buffer;
+  write_entry(buffer, key, solution);
+  util::write_file_atomic(path_for(key), buffer.str());
 }
 
 void LpCache::write_entry(std::ostream& os, const util::Digest128& key,
@@ -295,7 +185,7 @@ void LpCache::write_entry(std::ostream& os, const util::Digest128& key,
   w.f64(solution.max_violation);
   w.u64(solution.x.size());
   for (double v : solution.x) w.f64(v);
-  const std::uint64_t checksum = payload_checksum(w.bytes());
+  const std::uint64_t checksum = util::content_checksum(w.bytes());
   w.u64(checksum);
   os.write(w.bytes().data(), static_cast<std::streamsize>(w.bytes().size()));
 }
@@ -340,7 +230,7 @@ std::optional<lp::Solution> LpCache::read_entry(std::istream& is,
   const std::size_t payload_size = r.position();
   std::uint64_t checksum = 0;
   if (!r.u64(checksum) || r.remaining() != 0) return std::nullopt;
-  if (checksum != payload_checksum(
+  if (checksum != util::content_checksum(
                       std::string_view(data).substr(0, payload_size))) {
     return std::nullopt;
   }

@@ -1,0 +1,88 @@
+#pragma once
+// omn::dist — multi-process sharded sweep execution.
+//
+// DesignSweep grids are embarrassingly parallel AND bit-deterministic per
+// (instance, config) cell, so a grid can be partitioned (shard_plan.hpp),
+// shipped to worker processes over a checksummed frame protocol
+// (frame.hpp + wire.hpp), executed via DesignSweep::run_range, and the
+// partial reports merged (SweepReport::merge) into a report whose cells
+// are bit-identical to a local run() — timing fields excepted.  This file
+// holds the options and stats of that engine; the entry point is
+// core::DesignSweep::run_distributed(options, DistOptions), which is
+// DECLARED in omn/core/design_sweep.hpp but DEFINED in this library
+// (core stays free of process plumbing; callers link omn::dist).
+//
+// Fault tolerance: a worker that dies mid-shard (crash, OOM-kill) or
+// returns a corrupt frame is dropped, its shard is reassigned to a
+// surviving worker, and the sweep completes as long as ONE worker
+// survives.  With a checkpoint directory, finished shards are persisted
+// (atomic temp + rename, see checkpoint.hpp) and an interrupted sweep
+// resumes without recomputing them.
+//
+// Workers are ordinary subprocesses running `<exe> worker` (worker.hpp):
+// omn_design has the subcommand, every bench on bench_common.hpp
+// self-spawns, and nothing in the protocol assumes a shared filesystem —
+// sharding across hosts only needs the frames carried over a remote
+// transport.  Workers given the same --lp-cache directory share one LP
+// cache, so a warm distributed sweep performs zero simplex solves.
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "omn/core/design_sweep.hpp"
+
+namespace omn::dist {
+
+/// Observability counters for one run_distributed call (all zero when the
+/// grid was empty).  Pass a DistStats* in DistOptions to collect them.
+struct DistStats {
+  std::size_t shards_total = 0;
+  /// Shards merged straight from valid checkpoint files (never executed).
+  std::size_t shards_from_checkpoint = 0;
+  /// Shards actually executed by workers this run.
+  std::size_t shards_computed = 0;
+  /// Shard assignments that failed (worker death or protocol corruption)
+  /// and were handed to another worker.
+  std::size_t shards_reassigned = 0;
+  std::size_t workers_spawned = 0;
+  /// Workers dropped after a failed assignment.
+  std::size_t workers_failed = 0;
+  std::size_t checkpoints_written = 0;
+};
+
+/// Automatic shard granularity: shards per worker when
+/// DistOptions::shards is 0.  Small enough to amortize the per-shard
+/// round trip, large enough that reassignment and checkpoint units stay
+/// fine-grained.  E8's distributed LP budget is derived from this — keep
+/// them in sync through this constant.
+inline constexpr std::size_t kDefaultShardsPerWorker = 4;
+
+struct DistOptions {
+  /// Worker processes to spawn (at least 1; capped at the pending shard
+  /// count, so small grids never spawn idle workers).  The sweep's
+  /// thread budget is per HOST: SweepOptions::threads == 0 (all cores)
+  /// is split evenly across the workers before it is shipped, and an
+  /// explicit cap is applied per worker — either way one machine is
+  /// never oversubscribed, and threads never change results.
+  std::size_t workers = 2;
+  /// Shard count: 0 = automatic (kDefaultShardsPerWorker per worker),
+  /// always capped at the cell count.
+  std::size_t shards = 0;
+  /// Full argv of the worker process, e.g. {exe, "worker", "--lp-cache",
+  /// dir}; see worker.hpp's self_worker_command().  Required.
+  std::vector<std::string> worker_command;
+  /// Directory for per-shard result checkpoints; empty = no checkpoints.
+  std::string checkpoint_dir;
+  /// Out-param for run telemetry; may be nullptr.
+  DistStats* stats = nullptr;
+  /// Test-only fault injection: called after shard `shard` is assigned to
+  /// worker `worker`; returning true SIGKILLs that worker before its
+  /// result is read, exactly like a mid-shard crash.  Leave empty outside
+  /// tests.
+  std::function<bool(std::size_t worker, std::size_t shard)>
+      inject_kill_after_assign;
+};
+
+}  // namespace omn::dist

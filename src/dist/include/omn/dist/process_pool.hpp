@@ -1,0 +1,65 @@
+#pragma once
+// ProcessPool: the parent side of a fleet of sweep worker processes.
+//
+// Each worker is a spawned subprocess (util::Subprocess) speaking the
+// omn/dist/frame.hpp protocol on its stdin/stdout.  The pool owns spawn,
+// framed send/recv per worker, liveness, kill (also the fault-injection
+// seam the tests use), and orderly shutdown.  It contains NO scheduling
+// policy — which shard goes to which worker, and what happens when one
+// dies, lives in DesignSweep::run_distributed.
+//
+// Thread model: one scheduler thread drives one worker — send_frame and
+// recv_frame on the same worker index must not race, but different
+// workers are fully independent.
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "omn/dist/frame.hpp"
+#include "omn/util/subprocess.hpp"
+
+namespace omn::dist {
+
+class ProcessPool {
+ public:
+  /// Spawns `count` workers, each running `command` (a full argv, e.g.
+  /// {"/path/to/omn_design", "worker", "--lp-cache", dir}).  Throws
+  /// std::invalid_argument for an empty command or zero count, and
+  /// propagates util::Subprocess::spawn failures.
+  ProcessPool(std::vector<std::string> command, std::size_t count);
+
+  /// Kills and reaps any worker still running.
+  ~ProcessPool();
+
+  ProcessPool(const ProcessPool&) = delete;
+  ProcessPool& operator=(const ProcessPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Sends one frame to worker `w`.  False when the worker is dead or the
+  /// pipe write fails (EPIPE after a crash) — the caller reassigns.
+  bool send_frame(std::size_t w, FrameType type, std::string_view payload);
+
+  /// Receives and validates one frame from worker `w` (blocking).  Any
+  /// status but kOk means the worker died or the stream is corrupt.
+  FrameStatus recv_frame(std::size_t w, Frame& out);
+
+  /// SIGKILLs worker `w` (idempotent).  The scheduler calls this on
+  /// protocol corruption; the fault-injection tests call it to simulate a
+  /// mid-shard crash.
+  void kill(std::size_t w);
+
+  /// True while worker `w`'s process is running.
+  bool alive(std::size_t w);
+
+  /// Asks worker `w` to exit (kShutdown frame + stdin EOF) and reaps it.
+  /// Returns its exit code (128 + signal for a signalled death).
+  int shutdown(std::size_t w);
+
+ private:
+  std::vector<util::Subprocess> workers_;
+};
+
+}  // namespace omn::dist

@@ -1,0 +1,36 @@
+#pragma once
+// ShardPlan: the deterministic partition of a sweep grid into shards.
+//
+// A DesignSweep grid is a flat instance-major cell range [0, num_cells);
+// the plan splits it into `num_shards` contiguous, non-empty,
+// near-equal ranges (sizes differ by at most one, larger shards first) —
+// a pure function of (num_cells, num_shards), never of worker count,
+// timing, or host.  Determinism is what makes shard checkpoints
+// addressable across runs: shard k of the same grid is the same cells,
+// every time, on every machine.
+
+#include <cstddef>
+#include <vector>
+
+namespace omn::dist {
+
+/// One contiguous instance-major cell range [begin, end).
+struct ShardRange {
+  std::size_t index = 0;  ///< position in the plan (0-based)
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  std::size_t size() const { return end - begin; }
+  bool operator==(const ShardRange&) const = default;
+};
+
+struct ShardPlan {
+  std::vector<ShardRange> shards;
+
+  /// Partitions [0, num_cells) into min(num_shards, num_cells) non-empty
+  /// near-equal contiguous ranges (num_shards == 0 behaves as 1).  An
+  /// empty grid yields an empty plan.
+  static ShardPlan make(std::size_t num_cells, std::size_t num_shards);
+};
+
+}  // namespace omn::dist

@@ -1,0 +1,44 @@
+#pragma once
+// The worker side of the distributed sweep protocol.
+//
+// A worker is any process whose main() routes to worker_main() when
+// argv[1] == "worker": it reads frames from stdin (the grid first, then
+// shard assignments), runs each shard via DesignSweep::run_range on its
+// own execution context, and writes result frames to stdout.  stdout
+// carries ONLY frames — a worker never prints there — and diagnostics go
+// to stderr, which the parent leaves attached to its own.
+//
+// Protocol errors (corrupt frame, shard before grid, range outside the
+// grid) terminate the worker with a nonzero exit; the parent treats that
+// like a crash and reassigns the shard elsewhere.  A clean stdin EOF or a
+// shutdown frame exits 0.
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "omn/core/lp_cache.hpp"
+
+namespace omn::dist {
+
+/// The frame loop.  `lp_cache` (may be null) is installed on the
+/// execution context the shards run on, so workers sharing a cache
+/// directory share LP solves across processes.  Returns a process exit
+/// code (0 = clean shutdown or EOF).
+int run_worker(std::istream& in, std::ostream& out,
+               std::shared_ptr<core::LpCache> lp_cache);
+
+/// Entry point for `<exe> worker [--lp-cache DIR]`: parses the flags,
+/// builds the cache, and runs run_worker over stdin/stdout.  Call from
+/// main() when argv[1] == "worker" (omn_design, every bench on
+/// bench_common.hpp, and the test binaries all do).
+int worker_main(int argc, char** argv);
+
+/// The argv that re-invokes the CURRENT executable as a worker:
+/// {util::current_executable_path(), "worker"} plus, when `lp_cache_dir`
+/// is non-empty, {"--lp-cache", lp_cache_dir}.  Throws std::runtime_error
+/// when the executable path cannot be recovered.
+std::vector<std::string> self_worker_command(const std::string& lp_cache_dir);
+
+}  // namespace omn::dist

@@ -1,0 +1,127 @@
+#include "omn/dist/checkpoint.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "omn/dist/wire.hpp"
+#include "omn/util/atomic_file.hpp"
+#include "omn/util/bytes.hpp"
+
+namespace omn::dist {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4B434D4Fu;  // "OMCK" little-endian
+
+}  // namespace
+
+std::string checkpoint_path(const std::string& directory,
+                            const util::Digest128& digest,
+                            const ShardRange& range) {
+  return (fs::path(directory) /
+          (digest.hex() + ".shard-" + std::to_string(range.index) + ".ckpt"))
+      .string();
+}
+
+void write_checkpoint_entry(std::ostream& os, const util::Digest128& digest,
+                            const ShardRange& range,
+                            const core::SweepReport& report) {
+  // The payload is the wire result encoding (shard index + report), so
+  // the checkpoint and the live protocol can never drift apart.
+  const std::string payload = encode_result(WireResult{range.index, report});
+  util::ByteWriter w;
+  w.u32(kMagic);
+  w.u32(kCheckpointVersion);
+  w.u64(digest.hi);
+  w.u64(digest.lo);
+  w.u64(range.index);
+  w.u64(range.begin);
+  w.u64(range.end);
+  w.u64(payload.size());
+  std::string bytes = w.bytes();
+  bytes += payload;
+  util::ByteWriter tail;
+  tail.u64(util::content_checksum(bytes));
+  bytes += tail.bytes();
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+std::optional<core::SweepReport> read_checkpoint_entry(
+    std::istream& is, const util::Digest128& digest, const ShardRange& range) {
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  const std::string data = buffer.str();
+  util::ByteReader r(data);
+
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  util::Digest128 stored;
+  std::uint64_t index = 0;
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  std::uint64_t payload_size = 0;
+  if (!r.u32(magic) || magic != kMagic) return std::nullopt;
+  if (!r.u32(version) || version != kCheckpointVersion) return std::nullopt;
+  if (!r.u64(stored.hi) || !r.u64(stored.lo) || !(stored == digest)) {
+    return std::nullopt;
+  }
+  if (!r.u64(index) || index != range.index) return std::nullopt;
+  if (!r.u64(begin) || begin != range.begin) return std::nullopt;
+  if (!r.u64(end) || end != range.end) return std::nullopt;
+  if (!r.u64(payload_size) || r.remaining() < 8 ||
+      payload_size != r.remaining() - 8) {
+    return std::nullopt;
+  }
+
+  const std::size_t payload_offset = r.position();
+  const std::string_view payload =
+      std::string_view(data).substr(payload_offset,
+                                    static_cast<std::size_t>(payload_size));
+
+  util::ByteReader tail(
+      std::string_view(data).substr(payload_offset + payload.size()));
+  std::uint64_t checksum = 0;
+  if (!tail.u64(checksum) || tail.remaining() != 0) return std::nullopt;
+  if (checksum != util::content_checksum(std::string_view(data).substr(
+                      0, payload_offset + payload.size()))) {
+    return std::nullopt;
+  }
+
+  WireResult result;
+  if (!decode_result(payload, result)) return std::nullopt;
+  if (result.shard_index != range.index) return std::nullopt;
+  if (result.report.cells.size() != range.size()) return std::nullopt;
+  return std::move(result.report);
+}
+
+void write_checkpoint(const std::string& directory,
+                      const util::Digest128& digest, const ShardRange& range,
+                      const core::SweepReport& report) {
+  // Advisory: a failed checkpoint (directory creation or the atomic
+  // write) must never fail the sweep — the shard simply isn't resumable.
+  try {
+    fs::create_directories(directory);
+  } catch (const fs::filesystem_error&) {
+    return;
+  }
+  std::ostringstream buffer;
+  write_checkpoint_entry(buffer, digest, range, report);
+  util::write_file_atomic(checkpoint_path(directory, digest, range),
+                          buffer.str());
+}
+
+std::optional<core::SweepReport> load_checkpoint(
+    const std::string& directory, const util::Digest128& digest,
+    const ShardRange& range) {
+  std::ifstream in(checkpoint_path(directory, digest, range),
+                   std::ios::binary);
+  if (!in.good()) return std::nullopt;
+  return read_checkpoint_entry(in, digest, range);
+}
+
+}  // namespace omn::dist

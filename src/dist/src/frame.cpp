@@ -1,0 +1,107 @@
+#include "omn/dist/frame.hpp"
+
+#include <istream>
+#include <ostream>
+
+#include "omn/util/bytes.hpp"
+#include "omn/util/hash.hpp"
+
+namespace omn::dist {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x464E4D4Fu;  // "OMNF" little-endian
+
+}  // namespace
+
+std::string_view to_string(FrameStatus status) {
+  switch (status) {
+    case FrameStatus::kOk: return "ok";
+    case FrameStatus::kEof: return "eof";
+    case FrameStatus::kTruncated: return "truncated";
+    case FrameStatus::kBadMagic: return "bad-magic";
+    case FrameStatus::kBadVersion: return "bad-version";
+    case FrameStatus::kBadType: return "bad-type";
+    case FrameStatus::kOversized: return "oversized";
+    case FrameStatus::kBadChecksum: return "bad-checksum";
+  }
+  return "unknown";
+}
+
+std::string encode_frame(FrameType type, std::string_view payload) {
+  util::ByteWriter w;
+  w.u32(kMagic);
+  w.u32(kFrameVersion);
+  w.u32(static_cast<std::uint32_t>(type));
+  w.u64(payload.size());
+  // ByteWriter::str would length-prefix again; append the raw payload.
+  std::string out = w.bytes();
+  out.append(payload.data(), payload.size());
+  util::ByteWriter tail;
+  tail.u64(util::content_checksum(out));
+  out += tail.bytes();
+  return out;
+}
+
+FrameStatus read_frame(const ReadExactFn& read, Frame& out) {
+  // Header: magic, version, type, payload size (20 bytes).  Zero bytes
+  // here is the one place EOF is clean — the peer closed between frames.
+  char header[20];
+  const std::size_t got = read(header, sizeof(header));
+  if (got == 0) return FrameStatus::kEof;
+  if (got < sizeof(header)) return FrameStatus::kTruncated;
+
+  util::ByteReader r(std::string_view(header, sizeof(header)));
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  std::uint32_t type = 0;
+  std::uint64_t payload_size = 0;
+  r.u32(magic);
+  r.u32(version);
+  r.u32(type);
+  r.u64(payload_size);
+  if (magic != kMagic) return FrameStatus::kBadMagic;
+  if (version != kFrameVersion) return FrameStatus::kBadVersion;
+  if (type < static_cast<std::uint32_t>(FrameType::kGrid) ||
+      type > static_cast<std::uint32_t>(FrameType::kShutdown)) {
+    return FrameStatus::kBadType;
+  }
+  if (payload_size > kMaxFramePayload) return FrameStatus::kOversized;
+
+  out.type = static_cast<FrameType>(type);
+  out.payload.resize(static_cast<std::size_t>(payload_size));
+  if (payload_size > 0 &&
+      read(out.payload.data(), out.payload.size()) != out.payload.size()) {
+    return FrameStatus::kTruncated;
+  }
+
+  char checksum_bytes[8];
+  if (read(checksum_bytes, sizeof(checksum_bytes)) != sizeof(checksum_bytes)) {
+    return FrameStatus::kTruncated;
+  }
+  util::ByteReader cr(std::string_view(checksum_bytes, sizeof(checksum_bytes)));
+  std::uint64_t stored = 0;
+  cr.u64(stored);
+
+  util::Hasher hasher;
+  hasher.bytes(header, sizeof(header));
+  hasher.bytes(out.payload.data(), out.payload.size());
+  if (stored != hasher.digest().lo) return FrameStatus::kBadChecksum;
+  return FrameStatus::kOk;
+}
+
+void write_frame(std::ostream& os, FrameType type, std::string_view payload) {
+  const std::string bytes = encode_frame(type, payload);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+FrameStatus read_frame(std::istream& is, Frame& out) {
+  return read_frame(
+      [&is](char* data, std::size_t size) -> std::size_t {
+        is.read(data, static_cast<std::streamsize>(size));
+        return static_cast<std::size_t>(is.gcount());
+      },
+      out);
+}
+
+}  // namespace omn::dist

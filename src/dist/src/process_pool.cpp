@@ -1,0 +1,49 @@
+#include "omn/dist/process_pool.hpp"
+
+#include <stdexcept>
+
+namespace omn::dist {
+
+ProcessPool::ProcessPool(std::vector<std::string> command, std::size_t count) {
+  if (command.empty()) {
+    throw std::invalid_argument("ProcessPool: empty worker command");
+  }
+  if (count == 0) {
+    throw std::invalid_argument("ProcessPool: zero workers");
+  }
+  workers_.reserve(count);
+  for (std::size_t w = 0; w < count; ++w) {
+    workers_.push_back(util::Subprocess::spawn(command));
+  }
+}
+
+ProcessPool::~ProcessPool() = default;  // Subprocess kills + reaps stragglers
+
+bool ProcessPool::send_frame(std::size_t w, FrameType type,
+                             std::string_view payload) {
+  const std::string bytes = encode_frame(type, payload);
+  return workers_.at(w).write_exact(bytes.data(), bytes.size());
+}
+
+FrameStatus ProcessPool::recv_frame(std::size_t w, Frame& out) {
+  util::Subprocess& worker = workers_.at(w);
+  return read_frame(
+      [&worker](char* data, std::size_t size) {
+        return worker.read_exact(data, size);
+      },
+      out);
+}
+
+void ProcessPool::kill(std::size_t w) { workers_.at(w).kill(); }
+
+bool ProcessPool::alive(std::size_t w) { return workers_.at(w).running(); }
+
+int ProcessPool::shutdown(std::size_t w) {
+  util::Subprocess& worker = workers_.at(w);
+  const std::string bytes = encode_frame(FrameType::kShutdown, {});
+  worker.write_exact(bytes.data(), bytes.size());  // best effort
+  worker.close_stdin();
+  return worker.wait();
+}
+
+}  // namespace omn::dist

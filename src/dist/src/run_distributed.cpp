@@ -1,0 +1,240 @@
+// DesignSweep::run_distributed — declared in omn/core/design_sweep.hpp,
+// defined here so the core library never depends on process plumbing.
+//
+// Scheduling: one parent-side thread per worker drives that worker's
+// frame stream (send shard, block on result, validate, checkpoint,
+// merge).  Shards live in a shared queue; a worker that dies or corrupts
+// a frame is dropped and its shard is pushed back for a surviving worker.
+// Every failure costs the worker that suffered it, so a shard can fail
+// at most once per spawned worker and the sweep fails exactly when the
+// last worker dies with shards still pending (a deterministically
+// crashing cell exhausts the fleet and surfaces that way).
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "omn/core/design_sweep.hpp"
+#include "omn/dist/checkpoint.hpp"
+#include "omn/dist/dist_sweep.hpp"
+#include "omn/dist/frame.hpp"
+#include "omn/dist/process_pool.hpp"
+#include "omn/dist/shard_plan.hpp"
+#include "omn/dist/wire.hpp"
+#include "omn/util/timer.hpp"
+
+namespace omn::core {
+
+namespace {
+
+/// Structural validation of a result frame against its assignment, strict
+/// enough that SweepReport::merge below can never throw AND can never
+/// leave a hole: right grid dimensions, right cell count, every cell
+/// inside the shard's range, and no cell slot repeated (cells == range
+/// then follows by pigeonhole — a duplicate would silently shadow a
+/// missing cell with a default-constructed one).
+bool result_matches_shard(const dist::WireResult& result,
+                          const dist::ShardRange& shard,
+                          std::size_t num_instances,
+                          std::size_t num_configs) {
+  const SweepReport& report = result.report;
+  if (result.shard_index != shard.index) return false;
+  if (report.num_instances != num_instances ||
+      report.num_configs != num_configs) {
+    return false;
+  }
+  if (report.cells.size() != shard.size()) return false;
+  std::vector<bool> seen(shard.size(), false);
+  for (const SweepCell& cell : report.cells) {
+    if (cell.instance_index >= num_instances ||
+        cell.config_index >= num_configs) {
+      return false;
+    }
+    const std::size_t index =
+        cell.instance_index * num_configs + cell.config_index;
+    if (index < shard.begin || index >= shard.end) return false;
+    if (seen[index - shard.begin]) return false;
+    seen[index - shard.begin] = true;
+  }
+  return true;
+}
+
+}  // namespace
+
+SweepReport DesignSweep::run_distributed(
+    const SweepOptions& options, const dist::DistOptions& dist_options) const {
+  if (dist_options.worker_command.empty()) {
+    throw std::invalid_argument(
+        "run_distributed: DistOptions::worker_command is required");
+  }
+  const std::size_t workers = dist_options.workers == 0
+                                  ? 1
+                                  : dist_options.workers;
+  if (num_cells() == 0) {
+    // Nothing to shard; keep the empty-grid semantics of run().
+    return run_range(0, 0, options, util::ExecutionContext::serial());
+  }
+
+  util::Timer wall;
+  const std::size_t num_shards =
+      dist_options.shards == 0 ? workers * dist::kDefaultShardsPerWorker
+                               : dist_options.shards;
+  const dist::ShardPlan plan = dist::ShardPlan::make(num_cells(), num_shards);
+  const util::Digest128 digest =
+      dist::grid_digest(*this, options, plan.shards.size());
+
+  SweepReport merged;
+  merged.num_instances = num_instances();
+  merged.num_configs = num_configs();
+  merged.cells.resize(num_cells());
+
+  dist::DistStats stats;
+  stats.shards_total = plan.shards.size();
+
+  // Resume: merge every shard with a valid checkpoint, queue the rest.
+  // A checkpoint's payload gets the same structural validation as a live
+  // result frame — the checksum is a content hash, not proof the file
+  // was written by a correct producer, and merge() must neither throw
+  // nor leave holes.
+  std::deque<dist::ShardRange> pending;
+  for (const dist::ShardRange& shard : plan.shards) {
+    if (!dist_options.checkpoint_dir.empty()) {
+      if (auto report = dist::load_checkpoint(dist_options.checkpoint_dir,
+                                              digest, shard)) {
+        dist::WireResult result{shard.index, std::move(*report)};
+        if (result_matches_shard(result, shard, num_instances(),
+                                 num_configs())) {
+          merged.merge(result.report);
+          ++stats.shards_from_checkpoint;
+          continue;
+        }
+      }
+    }
+    pending.push_back(shard);
+  }
+
+  if (!pending.empty()) {
+    const std::size_t spawn_count = std::min(workers, pending.size());
+    // Workers run on one host, so an uncapped thread budget (threads == 0
+    // = all cores) must be SPLIT across the workers actually spawned — N
+    // all-cores pools would oversubscribe the machine N-fold (and a
+    // resume that spawns one worker for one missing shard should still
+    // get the whole machine).  An explicit cap is taken as a per-worker
+    // budget.  threads never changes results (it is excluded from the
+    // grid digest), only wall clock.
+    SweepOptions worker_options = options;
+    if (worker_options.threads == 0) {
+      const std::size_t cores =
+          std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
+      worker_options.threads = std::max<std::size_t>(cores / spawn_count, 1);
+    }
+    const std::string grid_payload =
+        dist::encode_grid(*this, worker_options);
+    dist::ProcessPool pool(dist_options.worker_command, spawn_count);
+    stats.workers_spawned = spawn_count;
+
+    std::mutex mutex;
+    std::condition_variable cv;
+    const std::size_t target = pending.size();
+    std::size_t completed = 0;
+    std::size_t live_workers = spawn_count;
+    bool aborted = false;
+    std::string error;
+
+    const auto drive_worker = [&](std::size_t w) {
+      // Every failure drops this worker for good, so a shard is retried
+      // at most once per spawned worker; the terminal state is simply
+      // "no workers left" below.
+      const auto fail = [&](const dist::ShardRange* shard) {
+        pool.kill(w);
+        const std::scoped_lock lock(mutex);
+        --live_workers;
+        ++stats.workers_failed;
+        if (shard != nullptr) {
+          pending.push_back(*shard);
+          ++stats.shards_reassigned;
+        }
+        if (live_workers == 0 && completed < target && !aborted) {
+          aborted = true;
+          error = "run_distributed: all workers died with shards pending";
+        }
+        cv.notify_all();
+      };
+
+      if (!pool.send_frame(w, dist::FrameType::kGrid, grid_payload)) {
+        fail(nullptr);
+        return;
+      }
+      for (;;) {
+        dist::ShardRange shard;
+        {
+          std::unique_lock lock(mutex);
+          cv.wait(lock, [&] {
+            return !pending.empty() || completed == target || aborted;
+          });
+          if (completed == target || aborted) break;
+          shard = pending.front();
+          pending.pop_front();
+        }
+
+        bool ok = pool.send_frame(w, dist::FrameType::kShard,
+                                  dist::encode_shard(dist::WireShard{
+                                      shard.index, shard.begin, shard.end}));
+        if (ok && dist_options.inject_kill_after_assign &&
+            dist_options.inject_kill_after_assign(w, shard.index)) {
+          pool.kill(w);
+        }
+        dist::Frame frame;
+        dist::WireResult result;
+        ok = ok && pool.recv_frame(w, frame) == dist::FrameStatus::kOk &&
+             frame.type == dist::FrameType::kResult &&
+             dist::decode_result(frame.payload, result) &&
+             result_matches_shard(result, shard, num_instances(),
+                                  num_configs());
+        if (!ok) {
+          fail(&shard);
+          return;
+        }
+
+        bool checkpointed = false;
+        if (!dist_options.checkpoint_dir.empty()) {
+          dist::write_checkpoint(dist_options.checkpoint_dir, digest, shard,
+                                 result.report);
+          checkpointed = true;
+        }
+        {
+          const std::scoped_lock lock(mutex);
+          merged.merge(result.report);
+          ++completed;
+          ++stats.shards_computed;
+          if (checkpointed) ++stats.checkpoints_written;
+          if (completed == target) cv.notify_all();
+        }
+      }
+      pool.shutdown(w);
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(spawn_count);
+    for (std::size_t w = 0; w < spawn_count; ++w) {
+      threads.emplace_back(drive_worker, w);
+    }
+    for (std::thread& t : threads) t.join();
+
+    if (aborted) throw std::runtime_error(error);
+  }
+
+  // The merge accumulated max-of-shard walls; the parent measured the
+  // true end-to-end wall (queueing and respawns included) — report that.
+  merged.wall_seconds = wall.seconds();
+  if (dist_options.stats != nullptr) *dist_options.stats = stats;
+  return merged;
+}
+
+}  // namespace omn::core

@@ -1,0 +1,23 @@
+#include "omn/dist/shard_plan.hpp"
+
+namespace omn::dist {
+
+ShardPlan ShardPlan::make(std::size_t num_cells, std::size_t num_shards) {
+  ShardPlan plan;
+  if (num_cells == 0) return plan;
+  if (num_shards == 0) num_shards = 1;
+  if (num_shards > num_cells) num_shards = num_cells;
+
+  const std::size_t base = num_cells / num_shards;
+  const std::size_t extra = num_cells % num_shards;  // first `extra` get +1
+  plan.shards.reserve(num_shards);
+  std::size_t cursor = 0;
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    const std::size_t size = base + (s < extra ? 1 : 0);
+    plan.shards.push_back(ShardRange{s, cursor, cursor + size});
+    cursor += size;
+  }
+  return plan;
+}
+
+}  // namespace omn::dist

@@ -1,0 +1,110 @@
+#include "omn/dist/worker.hpp"
+
+#include <cstring>
+#include <iostream>
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <stdexcept>
+
+#include "omn/dist/frame.hpp"
+#include "omn/dist/wire.hpp"
+#include "omn/util/execution_context.hpp"
+#include "omn/util/subprocess.hpp"
+
+namespace omn::dist {
+
+int run_worker(std::istream& in, std::ostream& out,
+               std::shared_ptr<core::LpCache> lp_cache) {
+  std::optional<WireGrid> grid;
+  util::ExecutionContext context = util::ExecutionContext::serial();
+
+  for (;;) {
+    Frame frame;
+    const FrameStatus status = read_frame(in, frame);
+    if (status == FrameStatus::kEof) return 0;  // parent went away cleanly
+    if (status != FrameStatus::kOk) {
+      std::cerr << "omn worker: corrupt frame (" << to_string(status)
+                << ")\n";
+      return 1;
+    }
+    switch (frame.type) {
+      case FrameType::kGrid: {
+        WireGrid decoded;
+        if (!decode_grid(frame.payload, decoded)) {
+          std::cerr << "omn worker: bad grid payload\n";
+          return 1;
+        }
+        grid.emplace(std::move(decoded));
+        // The context the parent-side run() would pick for these options,
+        // with the shared LP cache riding along as a service.
+        context = core::DesignSweep::default_context(grid->options);
+        if (lp_cache != nullptr) context.set_service(lp_cache);
+        break;
+      }
+      case FrameType::kShard: {
+        WireShard shard;
+        if (!grid.has_value() || !decode_shard(frame.payload, shard) ||
+            shard.end > grid->sweep.num_cells()) {
+          std::cerr << "omn worker: bad shard assignment\n";
+          return 1;
+        }
+        WireResult result;
+        result.shard_index = shard.shard_index;
+        result.report = grid->sweep.run_range(
+            static_cast<std::size_t>(shard.begin),
+            static_cast<std::size_t>(shard.end), grid->options, context);
+        write_frame(out, FrameType::kResult, encode_result(result));
+        out.flush();
+        if (!out.good()) {
+          std::cerr << "omn worker: cannot write result\n";
+          return 1;
+        }
+        break;
+      }
+      case FrameType::kShutdown:
+        return 0;
+      case FrameType::kResult:
+        std::cerr << "omn worker: unexpected result frame\n";
+        return 1;
+    }
+  }
+}
+
+int worker_main(int argc, char** argv) {
+  std::string lp_cache_dir;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--lp-cache") == 0 && i + 1 < argc) {
+      lp_cache_dir = argv[++i];
+    } else {
+      std::cerr << "usage: " << argv[0] << " worker [--lp-cache DIR]\n";
+      return 2;
+    }
+  }
+  std::shared_ptr<core::LpCache> cache;
+  try {
+    if (!lp_cache_dir.empty()) {
+      cache = std::make_shared<core::LpCache>(lp_cache_dir);
+    }
+    return run_worker(std::cin, std::cout, std::move(cache));
+  } catch (const std::exception& ex) {
+    std::cerr << "omn worker: " << ex.what() << "\n";
+    return 1;
+  }
+}
+
+std::vector<std::string> self_worker_command(const std::string& lp_cache_dir) {
+  std::string exe = util::current_executable_path();
+  if (exe.empty()) {
+    throw std::runtime_error(
+        "self_worker_command: cannot resolve the current executable path");
+  }
+  std::vector<std::string> command{std::move(exe), "worker"};
+  if (!lp_cache_dir.empty()) {
+    command.push_back("--lp-cache");
+    command.push_back(lp_cache_dir);
+  }
+  return command;
+}
+
+}  // namespace omn::dist

@@ -42,6 +42,11 @@ struct Digest128Hash {
   }
 };
 
+/// The 64-bit trailer checksum every persisted/wire format appends
+/// (Hasher over the bytes, low digest word).  One definition so the
+/// .lpsol, frame, and checkpoint trailers can never drift apart.
+std::uint64_t content_checksum(std::string_view bytes);
+
 /// Streaming hasher.  Typed append methods serialize canonically (fixed
 /// width, little-endian; strings length-prefixed; optionals presence-
 /// prefixed; -0.0 collapsed to +0.0 so semantically equal values hash

@@ -88,4 +88,10 @@ Digest128 Hasher::digest() const {
   return Digest128{avalanche(a_ + kPrimeB * b_), avalanche(b_ ^ (a_ * kPrimeA))};
 }
 
+std::uint64_t content_checksum(std::string_view bytes) {
+  Hasher hasher;
+  hasher.bytes(bytes.data(), bytes.size());
+  return hasher.digest().lo;
+}
+
 }  // namespace omn::util

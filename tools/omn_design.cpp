@@ -7,10 +7,12 @@
 //             [--out design.txt]
 //   sweep     --instance inst.txt [--c C1,C2,...] [--seeds K]
 //             [--attempts A] [--threads T] [--no-reuse-lp] [--lp-cache DIR]
+//             [--workers N] [--checkpoints DIR]
 //   evaluate  --instance inst.txt --design design.txt
 //   simulate  --instance inst.txt --design design.txt [--packets P]
 //             [--seed S] [--isp-outage-prob Q]
 //   failover  --instance inst.txt --design design.txt
+//   worker    [--lp-cache DIR]   (internal: distributed sweep worker)
 //
 // Typical session:
 //   omn_design generate --sinks 48 --isps 4 --seed 7 --out event.txt
@@ -32,6 +34,13 @@
 // processes can share one directory (entries are written atomically).
 // The design is bit-identical with the cache on or off; cache traffic is
 // reported with the timings.
+//
+// sweep --workers N shards the grid across N `omn_design worker`
+// subprocesses (omn::dist): the report is bit-identical to the in-process
+// sweep, workers share the --lp-cache directory (a warm distributed
+// sweep performs zero simplex solves), a killed worker's shard is
+// reassigned to a survivor, and --checkpoints DIR persists per-shard
+// results so an interrupted sweep resumes without recomputing them.
 
 #include <cstdio>
 #include <cstring>
@@ -46,6 +55,8 @@
 #include "omn/core/design_sweep.hpp"
 #include "omn/core/designer.hpp"
 #include "omn/core/lp_cache.hpp"
+#include "omn/dist/dist_sweep.hpp"
+#include "omn/dist/worker.hpp"
 #include "omn/net/serialize.hpp"
 #include "omn/sim/failures.hpp"
 #include "omn/sim/packet_sim.hpp"
@@ -98,14 +109,19 @@ Args parse(int argc, char** argv) {
   return args;
 }
 
-/// The --lp-cache DIR cache, or nullptr when the flag is absent.  A bare
-/// --lp-cache is rejected: without a directory nothing outlives the
+/// The validated --lp-cache directory ("" when the flag is absent).  A
+/// bare --lp-cache is rejected: without a directory nothing outlives the
 /// process, and within one process the sweep planner already dedupes.
-std::shared_ptr<omn::core::LpCache> make_lp_cache(const Args& args) {
+std::string lp_cache_dir(const Args& args) {
   if (args.has("lp-cache")) {
     throw std::runtime_error("--lp-cache needs a directory argument");
   }
-  const std::string dir = args.get("lp-cache", "");
+  return args.get("lp-cache", "");
+}
+
+/// The --lp-cache DIR cache, or nullptr when the flag is absent.
+std::shared_ptr<omn::core::LpCache> make_lp_cache(const Args& args) {
+  const std::string dir = lp_cache_dir(args);
   if (dir.empty()) return nullptr;
   return std::make_shared<omn::core::LpCache>(dir);
 }
@@ -118,6 +134,8 @@ int usage() {
       "            [--attempts A] [--threads T] [--lp-cache DIR] [--out F]\n"
       "  sweep     --instance F [--c C1,C2,...] [--seeds K] [--attempts A]\n"
       "            [--threads T] [--no-reuse-lp] [--lp-cache DIR]\n"
+      "            [--workers N] [--checkpoints DIR]\n"
+      "  worker    [--lp-cache DIR]    (internal: distributed sweep worker)\n"
       "  evaluate  --instance F --design F\n"
       "  simulate  --instance F --design F [--packets P] [--seed S]\n"
       "            [--isp-outage-prob Q]\n"
@@ -241,11 +259,37 @@ int cmd_sweep(const Args& args) {
   omn::core::SweepOptions options;
   options.threads = static_cast<std::size_t>(args.get_long("threads", 0));
   options.reuse_lp = !args.has("no-reuse-lp");
-  const std::shared_ptr<omn::core::LpCache> cache = make_lp_cache(args);
-  omn::util::ExecutionContext context =
-      omn::core::DesignSweep::default_context(options);
-  if (cache != nullptr) context.set_service(cache);
-  const omn::core::SweepReport report = sweep.run(options, context);
+  const std::size_t workers =
+      static_cast<std::size_t>(args.get_long("workers", 0));
+
+  // Checkpoints are a distributed-engine feature (per-SHARD results);
+  // silently ignoring the flag on an in-process sweep would let a
+  // multi-hour run believe it is resumable when it is not.
+  if (workers == 0 && !args.get("checkpoints", "").empty()) {
+    throw std::runtime_error("--checkpoints requires --workers N (shard "
+                             "checkpoints exist only for distributed sweeps)");
+  }
+  omn::core::SweepReport report;
+  omn::dist::DistStats dist_stats;
+  std::shared_ptr<omn::core::LpCache> cache;
+  if (workers > 0) {
+    // Shard across worker processes: this binary re-invokes itself as
+    // `omn_design worker`, and the workers own the LP cache (sharing the
+    // --lp-cache directory across processes).
+    omn::dist::DistOptions dist_options;
+    dist_options.workers = workers;
+    dist_options.worker_command =
+        omn::dist::self_worker_command(lp_cache_dir(args));
+    dist_options.checkpoint_dir = args.get("checkpoints", "");
+    dist_options.stats = &dist_stats;
+    report = sweep.run_distributed(options, dist_options);
+  } else {
+    cache = make_lp_cache(args);
+    omn::util::ExecutionContext context =
+        omn::core::DesignSweep::default_context(options);
+    if (cache != nullptr) context.set_service(cache);
+    report = sweep.run(options, context);
+  }
 
   omn::util::Table table({"config", "cost $", "cost/LP", "min w-ratio",
                           "winning attempt", "rounding s"});
@@ -270,6 +314,15 @@ int cmd_sweep(const Args& args) {
               "%.2fs wall\n",
               report.cells.size(), report.lp_solves, report.lp_configs,
               report.wall_seconds);
+  if (workers > 0) {
+    std::printf("distributed: %zu workers, %zu shards (%zu computed, "
+                "%zu from checkpoints, %zu reassigned) | cache %zu hits / "
+                "%zu misses | %.2fs cpu\n",
+                dist_stats.workers_spawned, dist_stats.shards_total,
+                dist_stats.shards_computed, dist_stats.shards_from_checkpoint,
+                dist_stats.shards_reassigned, report.lp_cache_hits,
+                report.lp_cache_misses, report.cpu_seconds);
+  }
   if (cache != nullptr) {
     const omn::core::LpCacheStats stats = cache->stats();
     std::printf("lp cache: %zu hits (%zu disk), %zu misses, %zu rejected | "
@@ -359,6 +412,11 @@ int cmd_failover(const Args& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // The worker subcommand speaks binary frames on stdin/stdout; route it
+  // before the option parser so nothing else ever touches those streams.
+  if (argc >= 2 && std::strcmp(argv[1], "worker") == 0) {
+    return omn::dist::worker_main(argc, argv);
+  }
   try {
     const Args args = parse(argc, argv);
     if (args.command == "generate") return cmd_generate(args);
