@@ -18,10 +18,19 @@
 //                   the hit/miss traffic)
 //   --workers N     shard the sweep across N worker processes (omn::dist):
 //                   the bench re-invokes itself as `<exe> worker`, the
-//                   report is bit-identical to the in-process run, and the
-//                   workers share the --lp-cache directory (a warm
-//                   distributed re-run performs zero simplex solves).
-//                   0 (default) = in-process.
+//                   report is bit-identical to the in-process run, the
+//                   host's thread budget is divided across the workers
+//                   (never N x all cores), and the workers share the
+//                   --lp-cache directory (a warm distributed re-run
+//                   performs zero simplex solves).  0 (default) =
+//                   in-process.
+//   --metrics FILE  write the run's counters as JSON (schema
+//                   "omn-metrics-v1", see docs/EXPERIMENTS.md): grid
+//                   size, LP solves, cache traffic, saved-by-reuse,
+//                   wall/cpu seconds, threads, and — distributed —
+//                   workers, shards, and the per-worker thread cap.
+//                   The committed BENCH_*.json perf trajectories and the
+//                   CI perf gate are built from these files.
 //
 // Worker mode: parse_args() routes `<bench> worker [--lp-cache DIR]` to
 // omn::dist::worker_main before any flag parsing, so every bench built on
@@ -30,8 +39,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "omn/core/design_sweep.hpp"
@@ -39,17 +50,23 @@
 #include "omn/dist/dist_sweep.hpp"
 #include "omn/dist/worker.hpp"
 #include "omn/util/execution_context.hpp"
+#include "omn/util/json.hpp"
+#include "omn/util/parse.hpp"
 #include "omn/util/table.hpp"
 
 namespace omn::bench {
 
 struct BenchArgs {
+  /// The bench binary's name, for messages and the metrics "tool" field.
+  std::string bench_name;
   std::size_t threads = 0;
   bool smoke = false;
   /// Cache directory from --lp-cache, empty = no cache.
   std::string lp_cache_dir;
   /// Worker processes from --workers, 0 = run the sweep in-process.
   std::size_t workers = 0;
+  /// Output path from --metrics, empty = no metrics file.
+  std::string metrics_path;
 };
 
 inline BenchArgs parse_args(int argc, char** argv, const char* bench_name) {
@@ -59,17 +76,19 @@ inline BenchArgs parse_args(int argc, char** argv, const char* bench_name) {
     std::exit(dist::worker_main(argc, argv));
   }
   BenchArgs args;
+  args.bench_name = bench_name;
   const auto parse_count = [&](const char* flag,
                                const char* value) -> std::size_t {
-    char* end = nullptr;
-    const unsigned long parsed = std::strtoul(value, &end, 10);
-    // Reject anything but a plain non-negative integer: a typo must not
-    // silently become 0 = "all cores" (which would invert a serial run).
-    if (*value == '\0' || *value == '-' || end == value || *end != '\0') {
+    // Strict: digits only, overflow rejected.  A typo must not silently
+    // become 0 = "all cores" (which would invert a serial run), and an
+    // out-of-range value must not wrap (strtoul would turn
+    // --workers 18446744073709551617 into 1 — util::parse_count cannot).
+    const std::optional<std::size_t> parsed = util::parse_count(value);
+    if (!parsed.has_value()) {
       std::fprintf(stderr, "%s: bad %s value '%s'\n", bench_name, flag, value);
       std::exit(2);
     }
-    return static_cast<std::size_t>(parsed);
+    return *parsed;
   };
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
@@ -84,10 +103,16 @@ inline BenchArgs parse_args(int argc, char** argv, const char* bench_name) {
         std::fprintf(stderr, "%s: --lp-cache needs a directory\n", bench_name);
         std::exit(2);
       }
+    } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      args.metrics_path = argv[++i];
+      if (args.metrics_path.empty()) {
+        std::fprintf(stderr, "%s: --metrics needs a file path\n", bench_name);
+        std::exit(2);
+      }
     } else {
       std::fprintf(stderr,
                    "usage: %s [--threads N] [--smoke] [--lp-cache DIR] "
-                   "[--workers N]\n",
+                   "[--workers N] [--metrics FILE]\n",
                    bench_name);
       std::exit(2);
     }
@@ -100,13 +125,46 @@ inline int smoke_scaled(const BenchArgs& args, int full, int tiny) {
   return args.smoke ? tiny : full;
 }
 
+/// The sweep records accumulated for this process's metrics file: one
+/// entry per run_sweep call, in call order, so a bench that runs several
+/// grids (e.g. e12's ablation pairs) emits them all.  Function-local
+/// static: every translation unit of a bench binary shares one sink.
+inline util::Json& metrics_records() {
+  static util::Json records = util::Json::array();
+  return records;
+}
+
+/// Writes the metrics envelope to args.metrics_path (no-op when the flag
+/// is absent).  Called by run_sweep after every sweep with the file
+/// REWRITTEN cumulatively, so benches need no explicit finalize step and
+/// a crash mid-bench still leaves the completed sweeps' metrics behind.
+inline void write_metrics(const BenchArgs& args) {
+  if (args.metrics_path.empty()) return;
+  util::Json envelope = util::Json::object();
+  envelope.set("schema", "omn-metrics-v1");
+  envelope.set("tool", args.bench_name);
+  envelope.set("smoke", args.smoke);
+  envelope.set("threads", args.threads);
+  envelope.set("workers", args.workers);
+  envelope.set("lp_cache", args.lp_cache_dir);
+  envelope.set("sweeps", metrics_records());
+  std::ofstream out(args.metrics_path, std::ios::trunc);
+  out << envelope.dump(2) << "\n";
+  if (!out.good()) {
+    std::fprintf(stderr, "%s: cannot write --metrics file %s\n",
+                 args.bench_name.c_str(), args.metrics_path.c_str());
+    std::exit(2);
+  }
+}
+
 /// Runs the sweep with the bench's options (threads overridden from the
 /// command line, the --lp-cache cache installed on the context) and prints
 /// the standard summary: LP solves against the grid size, so the effect of
 /// the reuse planner and the cache is visible in every bench run, not just
 /// where a bench asserts on it.  With --workers N the grid is sharded
 /// across N self-spawned worker processes instead (bit-identical cells;
-/// the summary gains a shard/worker clause).
+/// the summary gains a shard/worker clause).  With --metrics the run's
+/// counters are appended to the metrics file.
 inline core::SweepReport run_sweep(const core::DesignSweep& sweep,
                                    core::SweepOptions options,
                                    const BenchArgs& args, const char* label) {
@@ -132,7 +190,7 @@ inline core::SweepReport run_sweep(const core::DesignSweep& sweep,
   std::printf("%s: %zu cells | %zu LP solves for %zu cells "
               "(%zu distinct LP configs, %zu saved by reuse",
               label, cells, report.lp_solves, cells, report.lp_configs,
-              cells - report.lp_solves - report.lp_cache_hits);
+              report.saved_by_reuse());
   if (!args.lp_cache_dir.empty()) {
     std::printf(", cache %zu hits / %zu misses", report.lp_cache_hits,
                 report.lp_cache_misses);
@@ -140,11 +198,21 @@ inline core::SweepReport run_sweep(const core::DesignSweep& sweep,
   std::printf(") | %.2fs (threads=%zu%s)", report.wall_seconds, args.threads,
               args.threads == 0 ? " = all" : "");
   if (args.workers > 0) {
-    std::printf(" | %zu workers, %zu shards (%zu reassigned), %.2fs cpu",
-                dist_stats.workers_spawned, dist_stats.shards_total,
-                dist_stats.shards_reassigned, report.cpu_seconds);
+    std::printf(" | %zu workers x %zu threads, %zu shards (%zu reassigned), "
+                "%.2fs cpu",
+                dist_stats.workers_spawned, dist_stats.threads_per_worker,
+                dist_stats.shards_total, dist_stats.shards_reassigned,
+                report.cpu_seconds);
   }
   std::printf("\n\n");
+
+  if (!args.metrics_path.empty()) {
+    util::Json record = core::to_json(report);
+    record.set("label", label);
+    if (args.workers > 0) record.set("dist", dist::to_json(dist_stats));
+    metrics_records().push(std::move(record));
+    write_metrics(args);
+  }
   return report;
 }
 

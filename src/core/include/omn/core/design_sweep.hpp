@@ -37,6 +37,7 @@
 #include "omn/core/designer.hpp"
 #include "omn/net/instance.hpp"
 #include "omn/util/execution_context.hpp"
+#include "omn/util/json.hpp"
 
 namespace omn::dist {
 struct DistOptions;  // defined in omn/dist/dist_sweep.hpp (omn::dist)
@@ -118,7 +119,21 @@ struct SweepReport {
   /// vector is sized on first merge.  Throws std::invalid_argument when
   /// the shard's dimensions disagree or a cell indexes outside the grid.
   void merge(const SweepReport& shard);
+
+  /// Cells whose LP solve was shared (reuse planner) or served from the
+  /// cache instead of running the simplex: cells - lp_solves -
+  /// lp_cache_hits, clamped at 0.  The quantity every summary line and
+  /// metrics file reports — defined once here.
+  std::size_t saved_by_reuse() const;
 };
+
+/// The report's counters and timings as one JSON object (cells, grid
+/// dimensions, LP solve/cache counters, saved_by_reuse, wall/cpu
+/// seconds) — the schema the --metrics flag and the committed
+/// BENCH_*.json perf trajectories are built from; see
+/// docs/EXPERIMENTS.md "Metrics JSON schema".  Per-cell results are NOT
+/// included: metrics files are counters, not result archives.
+util::Json to_json(const SweepReport& report);
 
 class DesignSweep {
  public:

@@ -27,6 +27,7 @@
 #include "omn/lp/simplex.hpp"
 #include "omn/net/instance.hpp"
 #include "omn/util/execution_context.hpp"
+#include "omn/util/json.hpp"
 
 namespace omn::core {
 
@@ -107,6 +108,13 @@ struct DesignResult {
 
   bool ok() const { return status == DesignStatus::kOk; }
 };
+
+/// One design run's outcome and per-stage timers as a JSON object
+/// (status, cost, LP bound and ratio, attempt counts, lp/rounding
+/// seconds, cache hit) — what `omn_design design --metrics` records; see
+/// docs/EXPERIMENTS.md "Metrics JSON schema".  The design bits are NOT
+/// included (they have their own format, design_io.hpp).
+util::Json to_json(const DesignResult& result);
 
 /// The LP relaxation options implied by a designer configuration.  Configs
 /// with equal build options (and equal `lp_options`) share the same LP

@@ -43,21 +43,53 @@ std::vector<std::uint8_t> read_bits(std::istream& is, std::string got,
   return out;
 }
 
+// Strict meta value parsers.  The std::sto* family stops at the first
+// non-numeric byte, so a corrupted line like `meta attempts 8x` would
+// silently load as 8 (and stoull NEGATES a "-1" into 2^64-1) — every
+// parser here requires the full token to be consumed and rejects sign
+// prefixes on unsigned fields, so corruption raises instead of loading a
+// plausible-looking wrong value.  Throwing std::exception suffices:
+// apply_meta converts anything thrown into the canonical error.
+
+std::uint64_t meta_u64(const std::string& value) {
+  if (value.empty() || value[0] == '-' || value[0] == '+') {
+    throw std::invalid_argument("sign prefix");
+  }
+  std::size_t used = 0;
+  const unsigned long long parsed = std::stoull(value, &used);
+  if (used != value.size()) throw std::invalid_argument("trailing bytes");
+  return static_cast<std::uint64_t>(parsed);
+}
+
+int meta_int(const std::string& value) {
+  std::size_t used = 0;
+  const int parsed = std::stoi(value, &used);
+  if (used != value.size()) throw std::invalid_argument("trailing bytes");
+  return parsed;
+}
+
+double meta_double(const std::string& value) {
+  std::size_t used = 0;
+  const double parsed = std::stod(value, &used);
+  if (used != value.size()) throw std::invalid_argument("trailing bytes");
+  return parsed;
+}
+
 void apply_meta(DesignMeta& meta, const std::string& key,
                 const std::string& value) {
   try {
     if (key == "seed") {
-      meta.seed = std::stoull(value);
+      meta.seed = meta_u64(value);
     } else if (key == "c") {
-      meta.c = std::stod(value);
+      meta.c = meta_double(value);
     } else if (key == "attempts") {
-      meta.rounding_attempts = std::stoi(value);
+      meta.rounding_attempts = meta_int(value);
     } else if (key == "threads") {
-      meta.threads = std::stoi(value);
+      meta.threads = meta_int(value);
     } else if (key == "lp_seconds") {
-      meta.lp_seconds = std::stod(value);
+      meta.lp_seconds = meta_double(value);
     } else if (key == "rounding_seconds") {
-      meta.rounding_seconds = std::stod(value);
+      meta.rounding_seconds = meta_double(value);
     }
     // Unknown keys are ignored: newer writers may add fields.
   } catch (const std::exception&) {

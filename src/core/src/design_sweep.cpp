@@ -54,6 +54,26 @@ void SweepReport::merge(const SweepReport& shard) {
   cpu_seconds += shard.cpu_seconds;
 }
 
+std::size_t SweepReport::saved_by_reuse() const {
+  const std::size_t spent = lp_solves + lp_cache_hits;
+  return cells.size() > spent ? cells.size() - spent : 0;
+}
+
+util::Json to_json(const SweepReport& report) {
+  util::Json j = util::Json::object();
+  j.set("cells", report.cells.size());
+  j.set("instances", report.num_instances);
+  j.set("configs", report.num_configs);
+  j.set("lp_configs", report.lp_configs);
+  j.set("lp_solves", report.lp_solves);
+  j.set("lp_cache_hits", report.lp_cache_hits);
+  j.set("lp_cache_misses", report.lp_cache_misses);
+  j.set("saved_by_reuse", report.saved_by_reuse());
+  j.set("wall_seconds", report.wall_seconds);
+  j.set("cpu_seconds", report.cpu_seconds);
+  return j;
+}
+
 SweepReport DesignSweep::run(const SweepOptions& options) const {
   return run(options, default_context(options));
 }

@@ -20,6 +20,21 @@ std::string to_string(DesignStatus status) {
   return "unknown";
 }
 
+util::Json to_json(const DesignResult& result) {
+  util::Json j = util::Json::object();
+  j.set("status", to_string(result.status));
+  j.set("total_cost", result.evaluation.total_cost);
+  j.set("lp_objective", result.lp_objective);
+  j.set("cost_ratio", result.cost_ratio);
+  j.set("lp_iterations", result.lp_iterations);
+  j.set("winning_attempt", result.winning_attempt);
+  j.set("attempts_made", result.attempts_made);
+  j.set("lp_seconds", result.lp_seconds);
+  j.set("rounding_seconds", result.rounding_seconds);
+  j.set("lp_cache_hit", result.lp_cache_hit);
+  return j;
+}
+
 namespace {
 
 /// Relative-tolerance equality for the selection keys.  min_weight_ratio

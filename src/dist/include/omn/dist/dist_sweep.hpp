@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "omn/core/design_sweep.hpp"
+#include "omn/util/json.hpp"
 
 namespace omn::dist {
 
@@ -50,7 +51,19 @@ struct DistStats {
   /// Workers dropped after a failed assignment.
   std::size_t workers_failed = 0;
   std::size_t checkpoints_written = 0;
+  /// The per-worker thread cap actually shipped to the workers: the
+  /// host's effective budget (SweepOptions::threads, or all cores when
+  /// 0) divided across the workers spawned, never below 1.  Stays 0 when
+  /// no worker was spawned (every shard came from a checkpoint).  The
+  /// --metrics output surfaces this so an oversubscribed host is visible
+  /// in the numbers, not just in `top`.
+  std::size_t threads_per_worker = 0;
 };
+
+/// The stats as one JSON object (field names match the struct) — merged
+/// into the --metrics output of every distributed sweep; see
+/// docs/EXPERIMENTS.md "Metrics JSON schema".
+util::Json to_json(const DistStats& stats);
 
 /// Automatic shard granularity: shards per worker when
 /// DistOptions::shards is 0.  Small enough to amortize the per-shard
@@ -62,10 +75,11 @@ inline constexpr std::size_t kDefaultShardsPerWorker = 4;
 struct DistOptions {
   /// Worker processes to spawn (at least 1; capped at the pending shard
   /// count, so small grids never spawn idle workers).  The sweep's
-  /// thread budget is per HOST: SweepOptions::threads == 0 (all cores)
-  /// is split evenly across the workers before it is shipped, and an
-  /// explicit cap is applied per worker — either way one machine is
-  /// never oversubscribed, and threads never change results.
+  /// thread budget is per HOST: SweepOptions::threads (all cores when 0)
+  /// is divided across the workers actually spawned before it is shipped
+  /// — `--workers 2 --threads 0` gives each worker half the cores, never
+  /// 2x all of them — and each worker sizes its pool to exactly that cap
+  /// (DistStats::threads_per_worker).  threads never change results.
   std::size_t workers = 2;
   /// Shard count: 0 = automatic (kDefaultShardsPerWorker per worker),
   /// always capped at the cell count.

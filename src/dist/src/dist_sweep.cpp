@@ -1,0 +1,18 @@
+#include "omn/dist/dist_sweep.hpp"
+
+namespace omn::dist {
+
+util::Json to_json(const DistStats& stats) {
+  util::Json j = util::Json::object();
+  j.set("workers_spawned", stats.workers_spawned);
+  j.set("workers_failed", stats.workers_failed);
+  j.set("threads_per_worker", stats.threads_per_worker);
+  j.set("shards_total", stats.shards_total);
+  j.set("shards_computed", stats.shards_computed);
+  j.set("shards_from_checkpoint", stats.shards_from_checkpoint);
+  j.set("shards_reassigned", stats.shards_reassigned);
+  j.set("checkpoints_written", stats.checkpoints_written);
+  return j;
+}
+
+}  // namespace omn::dist

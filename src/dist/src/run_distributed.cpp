@@ -121,19 +121,23 @@ SweepReport DesignSweep::run_distributed(
 
   if (!pending.empty()) {
     const std::size_t spawn_count = std::min(workers, pending.size());
-    // Workers run on one host, so an uncapped thread budget (threads == 0
-    // = all cores) must be SPLIT across the workers actually spawned — N
-    // all-cores pools would oversubscribe the machine N-fold (and a
-    // resume that spawns one worker for one missing shard should still
-    // get the whole machine).  An explicit cap is taken as a per-worker
-    // budget.  threads never changes results (it is excluded from the
-    // grid digest), only wall clock.
+    // Workers run on one host, so the thread budget is a HOST budget and
+    // must be DIVIDED across the workers actually spawned: N all-cores
+    // pools (or N x an explicit cap) would oversubscribe the machine
+    // N-fold, while a resume that spawns one worker for one missing
+    // shard still gets the whole budget.  The cap shipped here is also
+    // the size of the pool each worker constructs (worker.cpp) — no
+    // worker ever spins up more threads than its share.  threads never
+    // changes results (it is excluded from the grid digest), only wall
+    // clock.
     SweepOptions worker_options = options;
-    if (worker_options.threads == 0) {
-      const std::size_t cores =
-          std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
-      worker_options.threads = std::max<std::size_t>(cores / spawn_count, 1);
-    }
+    const std::size_t host_budget =
+        options.threads != 0
+            ? options.threads
+            : std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
+    worker_options.threads =
+        std::max<std::size_t>(host_budget / spawn_count, 1);
+    stats.threads_per_worker = worker_options.threads;
     const std::string grid_payload =
         dist::encode_grid(*this, worker_options);
     dist::ProcessPool pool(dist_options.worker_command, spawn_count);

@@ -36,9 +36,16 @@ int run_worker(std::istream& in, std::ostream& out,
           return 1;
         }
         grid.emplace(std::move(decoded));
-        // The context the parent-side run() would pick for these options,
-        // with the shared LP cache riding along as a service.
-        context = core::DesignSweep::default_context(grid->options);
+        // Size the pool to the shipped per-worker cap instead of taking
+        // the all-cores global context: run_distributed divides the host
+        // budget across co-hosted workers, and a worker that built an
+        // all-cores pool anyway would oversubscribe the machine N-fold
+        // (the claimant cap bounds work, not threads).  threads == 1
+        // constructs no pool at all; 0 (a grid not sent by
+        // run_distributed, e.g. a test driving the protocol directly)
+        // keeps the all-cores default.  The shared LP cache rides along
+        // as a service.
+        context = util::ExecutionContext(grid->options.threads);
         if (lp_cache != nullptr) context.set_service(lp_cache);
         break;
       }

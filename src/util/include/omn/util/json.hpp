@@ -1,0 +1,105 @@
+#pragma once
+// Json: a minimal dependency-free JSON value + writer.
+//
+// The metrics layer (--metrics out.json on every bench and omn_design
+// subcommand, the committed BENCH_*.json perf trajectories, the CI perf
+// gate) needs machine-readable output, and the repo deliberately carries
+// no third-party JSON library.  This is the smallest value type that
+// serves that: a tree of null / bool / integer / double / string /
+// array / object nodes with a deterministic serializer, so two runs with
+// the same counters emit byte-identical files (objects preserve insertion
+// order; doubles print with 17 significant digits and round-trip
+// exactly).
+//
+// It is a WRITER only.  Nothing in-process ever needs to parse JSON: the
+// perf gate diffs metrics in CI with python3's stdlib, and the tests pin
+// the serialized bytes directly.
+//
+//   util::Json j = util::Json::object();
+//   j.set("cells", report.cells.size());
+//   j.set("wall_seconds", report.wall_seconds);
+//   util::Json sweeps = util::Json::array();
+//   sweeps.push(std::move(j));
+//   os << sweeps.dump(2);   // pretty, 2-space indent; dump() = compact
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace omn::util {
+
+class Json {
+ public:
+  /// Default-constructed value is JSON null.
+  Json() = default;
+
+  // Scalar constructors are implicit so set()/push() read naturally.
+  // The integer spread covers every width without ambiguity: signed
+  // types widen to int64, unsigned types to uint64 (size_t included).
+  Json(bool value) : kind_(Kind::kBool), bool_(value) {}
+  Json(double value) : kind_(Kind::kDouble), double_(value) {}
+  Json(int value) : kind_(Kind::kInt), int_(value) {}
+  Json(long value) : kind_(Kind::kInt), int_(value) {}
+  Json(long long value) : kind_(Kind::kInt), int_(value) {}
+  Json(unsigned value) : kind_(Kind::kUint), uint_(value) {}
+  Json(unsigned long value) : kind_(Kind::kUint), uint_(value) {}
+  Json(unsigned long long value) : kind_(Kind::kUint), uint_(value) {}
+  Json(const char* value) : kind_(Kind::kString), string_(value) {}
+  Json(std::string value) : kind_(Kind::kString), string_(std::move(value)) {}
+
+  static Json object() {
+    Json j;
+    j.kind_ = Kind::kObject;
+    return j;
+  }
+  static Json array() {
+    Json j;
+    j.kind_ = Kind::kArray;
+    return j;
+  }
+
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+
+  /// Sets `key` on an object (created in insertion order; setting an
+  /// existing key overwrites in place, keeping the original position so
+  /// the serialization stays deterministic).  Throws std::logic_error
+  /// when this value is not an object.
+  Json& set(std::string key, Json value);
+
+  /// Appends to an array.  Throws std::logic_error on non-arrays.
+  Json& push(Json value);
+
+  std::size_t size() const { return children_.size(); }
+
+  /// Serializes the tree.  indent == 0 emits the compact one-line form;
+  /// indent > 0 pretty-prints with that many spaces per level (the
+  /// committed BENCH_*.json files use 2 so diffs stay reviewable).
+  /// Non-finite doubles serialize as null — JSON has no inf/nan.
+  std::string dump(int indent = 0) const;
+
+ private:
+  enum class Kind { kNull, kBool, kInt, kUint, kDouble, kString, kArray,
+                    kObject };
+
+  void write(std::string& out, int indent, int depth) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  std::uint64_t uint_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  /// Array elements (keys empty) or object members, in insertion order.
+  std::vector<std::pair<std::string, Json>> children_;
+};
+
+/// `text` with JSON string escaping applied (quotes NOT included):
+/// backslash, double quote, and control characters below 0x20 become
+/// escape sequences; everything else passes through byte-for-byte.
+std::string json_escape(std::string_view text);
+
+}  // namespace omn::util

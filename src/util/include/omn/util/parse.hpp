@@ -1,0 +1,36 @@
+#pragma once
+// Strict numeric parsing for command-line flags and file tokens.
+//
+// strtoul and the std::sto* family are the wrong tools for validating
+// user input: they skip leading whitespace, accept '+'/'-' prefixes
+// (strtoul silently NEGATES a "-1"), stop at the first non-numeric byte
+// instead of rejecting it, and signal overflow through errno — which
+// every call site forgets to check, so `--workers 18446744073709551617`
+// wraps instead of failing.  These helpers accept exactly the canonical
+// spelling and nothing else.
+
+#include <cstddef>
+#include <limits>
+#include <optional>
+#include <string_view>
+
+namespace omn::util {
+
+/// Parses a non-negative decimal integer written as plain digits:
+/// no whitespace, no sign, no hex/octal prefixes, no trailing bytes.
+/// Returns nullopt for anything else — including values that do not fit
+/// in a size_t (overflow is rejected, never wrapped).
+inline std::optional<std::size_t> parse_count(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  constexpr std::size_t kMax = std::numeric_limits<std::size_t>::max();
+  std::size_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return std::nullopt;
+    const std::size_t digit = static_cast<std::size_t>(c - '0');
+    if (value > (kMax - digit) / 10) return std::nullopt;
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+}  // namespace omn::util

@@ -1,0 +1,126 @@
+#include "omn/util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace omn::util {
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+Json& Json::set(std::string key, Json value) {
+  if (kind_ != Kind::kObject) {
+    throw std::logic_error("Json::set: value is not an object");
+  }
+  for (auto& [existing, child] : children_) {
+    if (existing == key) {
+      child = std::move(value);
+      return *this;
+    }
+  }
+  children_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+Json& Json::push(Json value) {
+  if (kind_ != Kind::kArray) {
+    throw std::logic_error("Json::push: value is not an array");
+  }
+  children_.emplace_back(std::string{}, std::move(value));
+  return *this;
+}
+
+namespace {
+
+void append_double(std::string& out, double value) {
+  if (!std::isfinite(value)) {
+    out += "null";  // JSON has no inf/nan
+    return;
+  }
+  char buf[40];
+  // 17 significant digits round-trip any IEEE double exactly; %g keeps
+  // integral values like 0.5 or 3 short and stable across platforms.
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  out += buf;
+  // A bare integral double still reads back as a double everywhere, but
+  // make the type visible in the file: 2 -> 2.0 (not for exponents).
+  if (std::string_view(buf).find_first_of(".eE") == std::string_view::npos) {
+    out += ".0";
+  }
+}
+
+}  // namespace
+
+void Json::write(std::string& out, int indent, int depth) const {
+  const auto newline_pad = [&](int levels) {
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent) *
+                   static_cast<std::size_t>(levels),
+               ' ');
+  };
+  switch (kind_) {
+    case Kind::kNull: out += "null"; break;
+    case Kind::kBool: out += bool_ ? "true" : "false"; break;
+    case Kind::kInt: out += std::to_string(int_); break;
+    case Kind::kUint: out += std::to_string(uint_); break;
+    case Kind::kDouble: append_double(out, double_); break;
+    case Kind::kString:
+      out += '"';
+      out += json_escape(string_);
+      out += '"';
+      break;
+    case Kind::kArray:
+    case Kind::kObject: {
+      const char open = kind_ == Kind::kArray ? '[' : '{';
+      const char close = kind_ == Kind::kArray ? ']' : '}';
+      out += open;
+      bool first = true;
+      for (const auto& [key, child] : children_) {
+        if (!first) out += ',';
+        first = false;
+        if (indent > 0) newline_pad(depth + 1);
+        if (kind_ == Kind::kObject) {
+          out += '"';
+          out += json_escape(key);
+          out += indent > 0 ? "\": " : "\":";
+        }
+        child.write(out, indent, depth + 1);
+      }
+      if (!children_.empty() && indent > 0) newline_pad(depth);
+      out += close;
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  write(out, indent, 0);
+  return out;
+}
+
+}  // namespace omn::util

@@ -117,4 +117,48 @@ TEST(DesignIo, MetaLinesAreOptionalAndIgnorable) {
   EXPECT_EQ(parsed.rounding_attempts, 2);
 }
 
+TEST(DesignIo, CorruptMetaValuesAreRejectedNotTruncated) {
+  const auto inst =
+      omn::topo::make_akamai_like(omn::topo::global_event_config(12, 5));
+  const auto result = omn::core::OverlayDesigner().design(inst);
+  ASSERT_TRUE(result.ok());
+
+  omn::core::DesignMeta meta;
+  meta.seed = 5;
+  meta.rounding_attempts = 8;
+  std::ostringstream os;
+  omn::core::save_design(result.design, os, meta);
+  const std::string good = os.str();
+
+  // std::stoi/stod stop at the first bad byte, so `attempts 8x` used to
+  // load silently as 8 — every corrupted value must throw instead.  The
+  // meta-less load path must stay oblivious (meta lines are skipped,
+  // values never parsed).
+  const auto corrupt_one = [&](const std::string& key,
+                               const std::string& bad_value) {
+    const std::string from = "meta " + key + " ";
+    const std::size_t at = good.find(from);
+    ASSERT_NE(at, std::string::npos) << key;
+    const std::size_t value_at = at + from.size();
+    std::string text = good;
+    text.replace(value_at, text.find('\n', value_at) - value_at, bad_value);
+
+    std::istringstream is(text);
+    omn::core::DesignMeta parsed;
+    EXPECT_THROW(omn::core::load_design(is, inst, &parsed),
+                 std::runtime_error)
+        << key << " = '" << bad_value << "' was accepted";
+
+    const auto back = omn::core::design_from_text(text, inst);
+    EXPECT_EQ(back.x, result.design.x);
+  };
+  corrupt_one("attempts", "8x");
+  corrupt_one("attempts", "1e3");
+  corrupt_one("seed", "-1");       // stoull would wrap this to 2^64 - 1
+  corrupt_one("seed", "5seven");
+  corrupt_one("c", "0.5oops");
+  corrupt_one("lp_seconds", "1.25.3");
+  corrupt_one("threads", "two");
+}
+
 }  // namespace

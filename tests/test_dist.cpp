@@ -27,6 +27,7 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <unistd.h>  // getpid for unique scratch directories
@@ -562,6 +563,33 @@ TEST(DistEndToEnd, DistributedMatchesSerialBitForBit) {
   EXPECT_EQ(stats.shards_reassigned, 0u);
   EXPECT_EQ(stats.workers_failed, 0u);
   EXPECT_GT(distributed.cpu_seconds, 0.0);
+  // threads == 0 is a HOST budget of all cores, divided across the two
+  // workers — never two all-cores pools.
+  const std::size_t cores =
+      std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
+  EXPECT_EQ(stats.threads_per_worker, std::max<std::size_t>(cores / 2, 1));
+}
+
+TEST(DistEndToEnd, ExplicitThreadBudgetIsDividedAcrossWorkers) {
+  // --workers 2 --threads 4: the explicit cap is the host's TOTAL budget,
+  // so each worker gets 2 threads (and the report stays bit-identical to
+  // the serial run — the cap only moves wall clock).
+  const DesignSweep sweep = dist_sweep_grid();
+  SweepOptions options = dist_sweep_options();
+  options.threads = 4;
+  const SweepReport serial = sweep.run(
+      dist_sweep_options(), omn::util::ExecutionContext::serial());
+
+  DistOptions dist_options;
+  dist_options.workers = 2;
+  dist_options.worker_command = omn::dist::self_worker_command("");
+  DistStats stats;
+  dist_options.stats = &stats;
+  const SweepReport distributed = sweep.run_distributed(options, dist_options);
+
+  EXPECT_EQ(stats.workers_spawned, 2u);
+  EXPECT_EQ(stats.threads_per_worker, 2u);
+  expect_cells_bit_identical(distributed.cells, serial.cells);
 }
 
 TEST(DistEndToEnd, KilledWorkerShardIsReassignedBitForBit) {

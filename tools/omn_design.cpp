@@ -4,10 +4,11 @@
 //   generate  --sinks N [--isps K] [--seed S] [--eu-heavy] --out inst.txt
 //   design    --instance inst.txt [--seed S] [--c C] [--colors]
 //             [--bandwidth] [--attempts A] [--threads T] [--lp-cache DIR]
-//             [--out design.txt]
+//             [--out design.txt] [--metrics out.json]
 //   sweep     --instance inst.txt [--c C1,C2,...] [--seeds K]
 //             [--attempts A] [--threads T] [--no-reuse-lp] [--lp-cache DIR]
-//             [--workers N] [--checkpoints DIR]
+//             [--workers N] [--checkpoints DIR] [--metrics out.json]
+//   run       script.omn          (command file: one subcommand per line)
 //   evaluate  --instance inst.txt --design design.txt
 //   simulate  --instance inst.txt --design design.txt [--packets P]
 //             [--seed S] [--isp-outage-prob Q]
@@ -20,6 +21,16 @@
 //   omn_design sweep    --instance event.txt --c 0.5,2,8 --seeds 4
 //   omn_design evaluate --instance event.txt --design plan.txt
 //   omn_design failover --instance event.txt --design plan.txt
+//
+// ... or the same pipeline as ONE reproducible invocation: put those
+// lines (minus the leading "omn_design") in a command file and run
+//   omn_design run pipeline.omn
+// Blank lines and #-comments are skipped; the first failing line aborts
+// the script with its line number.  See docs/EXPERIMENTS.md.
+//
+// design/sweep --metrics out.json writes the run's counters and
+// per-stage timers as JSON (schema "omn-metrics-v1", the same envelope
+// the benches emit; see docs/EXPERIMENTS.md "Metrics JSON schema").
 //
 // Design runs execute on the process-wide ExecutionContext; --threads T
 // caps the parallelism (0 = all cores, 1 = serial) without changing the
@@ -44,6 +55,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
@@ -62,6 +74,7 @@
 #include "omn/sim/packet_sim.hpp"
 #include "omn/topo/akamai.hpp"
 #include "omn/util/execution_context.hpp"
+#include "omn/util/json.hpp"
 #include "omn/util/table.hpp"
 
 namespace {
@@ -89,24 +102,60 @@ struct Args {
   bool has(const std::string& key) const { return flags.count(key) > 0; }
 };
 
-Args parse(int argc, char** argv) {
+/// Parses `command option...` from a token list (shared by the argv path
+/// and the `run` command-file lines, which tokenize each line the same
+/// way a shell would split the equivalent argv).
+Args parse(const std::vector<std::string>& tokens) {
   Args args;
-  if (argc >= 2) args.command = argv[1];
-  for (int i = 2; i < argc; ++i) {
-    std::string token = argv[i];
+  if (!tokens.empty()) args.command = tokens[0];
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    std::string token = tokens[i];
     if (token.rfind("--", 0) != 0) {
       throw std::runtime_error("unexpected argument: " + token);
     }
     token = token.substr(2);
     const bool value_follows =
-        i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0;
+        i + 1 < tokens.size() && tokens[i + 1].rfind("--", 0) != 0;
     if (value_follows) {
-      args.options[token] = argv[++i];
+      args.options[token] = tokens[++i];
     } else {
       args.flags[token] = true;
     }
   }
   return args;
+}
+
+Args parse(int argc, char** argv) {
+  std::vector<std::string> tokens;
+  for (int i = 1; i < argc; ++i) tokens.emplace_back(argv[i]);
+  return parse(tokens);
+}
+
+/// The validated --metrics path ("" when the flag is absent).
+std::string metrics_path(const Args& args) {
+  if (args.has("metrics")) {
+    throw std::runtime_error("--metrics needs a file path argument");
+  }
+  return args.get("metrics", "");
+}
+
+/// Starts a "omn-metrics-v1" envelope for one omn_design subcommand.
+/// The envelope mirrors the one bench_common.hpp emits so one consumer
+/// (the CI perf gate, a notebook) reads both.
+omn::util::Json metrics_envelope(const std::string& command) {
+  omn::util::Json envelope = omn::util::Json::object();
+  envelope.set("schema", "omn-metrics-v1");
+  envelope.set("tool", "omn_design " + command);
+  return envelope;
+}
+
+void write_metrics_file(const std::string& path,
+                        const omn::util::Json& envelope) {
+  std::ofstream out(path, std::ios::trunc);
+  out << envelope.dump(2) << "\n";
+  if (!out.good()) {
+    throw std::runtime_error("cannot write --metrics file " + path);
+  }
 }
 
 /// The validated --lp-cache directory ("" when the flag is absent).  A
@@ -132,9 +181,11 @@ int usage() {
       "  generate  --sinks N [--isps K] [--seed S] [--eu-heavy] --out F\n"
       "  design    --instance F [--seed S] [--c C] [--colors] [--bandwidth]\n"
       "            [--attempts A] [--threads T] [--lp-cache DIR] [--out F]\n"
+      "            [--metrics F]\n"
       "  sweep     --instance F [--c C1,C2,...] [--seeds K] [--attempts A]\n"
       "            [--threads T] [--no-reuse-lp] [--lp-cache DIR]\n"
-      "            [--workers N] [--checkpoints DIR]\n"
+      "            [--workers N] [--checkpoints DIR] [--metrics F]\n"
+      "  run       script.omn    (one subcommand per line; # comments)\n"
       "  worker    [--lp-cache DIR]    (internal: distributed sweep worker)\n"
       "  evaluate  --instance F --design F\n"
       "  simulate  --instance F --design F [--packets P] [--seed S]\n"
@@ -205,6 +256,24 @@ int cmd_design(const Args& args) {
                 result.lp_cache_hit ? "HIT (solve skipped)" : "miss (stored)",
                 stats.hits, stats.disk_hits, stats.misses, stats.rejected,
                 cache->directory().c_str());
+  }
+  const std::string metrics = metrics_path(args);
+  if (!metrics.empty()) {
+    omn::util::Json envelope = metrics_envelope("design");
+    envelope.set("threads", static_cast<std::size_t>(cfg.threads));
+    envelope.set("lp_cache", lp_cache_dir(args));
+    envelope.set("design", omn::core::to_json(result));
+    if (cache != nullptr) {
+      const omn::core::LpCacheStats stats = cache->stats();
+      omn::util::Json cache_json = omn::util::Json::object();
+      cache_json.set("hits", stats.hits);
+      cache_json.set("disk_hits", stats.disk_hits);
+      cache_json.set("misses", stats.misses);
+      cache_json.set("rejected", stats.rejected);
+      envelope.set("lp_cache_stats", std::move(cache_json));
+    }
+    write_metrics_file(metrics, envelope);
+    std::printf("wrote metrics %s\n", metrics.c_str());
   }
   const std::string out = args.get("out", "");
   if (!out.empty()) {
@@ -315,11 +384,12 @@ int cmd_sweep(const Args& args) {
               report.cells.size(), report.lp_solves, report.lp_configs,
               report.wall_seconds);
   if (workers > 0) {
-    std::printf("distributed: %zu workers, %zu shards (%zu computed, "
-                "%zu from checkpoints, %zu reassigned) | cache %zu hits / "
-                "%zu misses | %.2fs cpu\n",
-                dist_stats.workers_spawned, dist_stats.shards_total,
-                dist_stats.shards_computed, dist_stats.shards_from_checkpoint,
+    std::printf("distributed: %zu workers x %zu threads, %zu shards "
+                "(%zu computed, %zu from checkpoints, %zu reassigned) | "
+                "cache %zu hits / %zu misses | %.2fs cpu\n",
+                dist_stats.workers_spawned, dist_stats.threads_per_worker,
+                dist_stats.shards_total, dist_stats.shards_computed,
+                dist_stats.shards_from_checkpoint,
                 dist_stats.shards_reassigned, report.lp_cache_hits,
                 report.lp_cache_misses, report.cpu_seconds);
   }
@@ -329,6 +399,21 @@ int cmd_sweep(const Args& args) {
                 "dir %s\n",
                 report.lp_cache_hits, stats.disk_hits, report.lp_cache_misses,
                 stats.rejected, cache->directory().c_str());
+  }
+  const std::string metrics = metrics_path(args);
+  if (!metrics.empty()) {
+    omn::util::Json envelope = metrics_envelope("sweep");
+    envelope.set("threads", options.threads);
+    envelope.set("workers", workers);
+    envelope.set("lp_cache", lp_cache_dir(args));
+    omn::util::Json record = omn::core::to_json(report);
+    record.set("label", "sweep");
+    if (workers > 0) record.set("dist", omn::dist::to_json(dist_stats));
+    omn::util::Json sweeps = omn::util::Json::array();
+    sweeps.push(std::move(record));
+    envelope.set("sweeps", std::move(sweeps));
+    write_metrics_file(metrics, envelope);
+    std::printf("wrote metrics %s\n", metrics.c_str());
   }
   return 0;
 }
@@ -409,6 +494,77 @@ int cmd_failover(const Args& args) {
   return 0;
 }
 
+int cmd_run(const std::vector<std::string>& tokens);
+
+/// Routes one parsed command line to its implementation.  Returns -1 for
+/// an unknown command (the caller decides between usage() and a script
+/// error with a line number).
+int dispatch(const Args& args) {
+  if (args.command == "generate") return cmd_generate(args);
+  if (args.command == "design") return cmd_design(args);
+  if (args.command == "sweep") return cmd_sweep(args);
+  if (args.command == "evaluate") return cmd_evaluate(args);
+  if (args.command == "simulate") return cmd_simulate(args);
+  if (args.command == "failover") return cmd_failover(args);
+  return -1;
+}
+
+/// `omn_design run script.omn` — the whole experiment pipeline as one
+/// reproducible invocation.  Each non-blank, non-#-comment line is one
+/// subcommand invocation (`generate --sinks 8 --out inst.txt`, then
+/// `design ...`, `evaluate ...`, `sweep ...`), tokenized on whitespace
+/// and dispatched exactly like the argv path.  A trailing `\` continues
+/// a command onto the next line.  The first failing line aborts with its
+/// line number; `worker` and nested `run` lines are rejected (the former
+/// owns stdin/stdout, the latter invites cycles).
+int cmd_run(const std::vector<std::string>& tokens) {
+  if (tokens.size() != 1) {
+    throw std::runtime_error("usage: omn_design run <script.omn>");
+  }
+  const std::string& path = tokens[0];
+  std::ifstream script(path);
+  if (!script) throw std::runtime_error("run: cannot open " + path);
+  std::string line;
+  int line_number = 0;
+  while (std::getline(script, line)) {
+    ++line_number;
+    while (!line.empty() && line.back() == '\\') {
+      line.pop_back();
+      std::string continuation;
+      if (!std::getline(script, continuation)) break;
+      ++line_number;
+      line += ' ';
+      line += continuation;
+    }
+    std::istringstream stream(line);
+    std::vector<std::string> words;
+    for (std::string word; stream >> word;) {
+      if (word[0] == '#') break;  // trailing comment
+      words.push_back(word);
+    }
+    if (words.empty()) continue;
+    const auto fail = [&](const std::string& why) {
+      throw std::runtime_error("run: " + path + ":" +
+                               std::to_string(line_number) + ": " + why);
+    };
+    if (words[0] == "worker" || words[0] == "run") {
+      fail("'" + words[0] + "' is not scriptable");
+    }
+    std::printf("== %s:%d: %s\n", path.c_str(), line_number, line.c_str());
+    int status = 0;
+    try {
+      status = dispatch(parse(words));
+    } catch (const std::exception& ex) {
+      fail(ex.what());
+    }
+    if (status == -1) fail("unknown command '" + words[0] + "'");
+    if (status != 0) {
+      fail("command failed with exit status " + std::to_string(status));
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -418,14 +574,16 @@ int main(int argc, char** argv) {
     return omn::dist::worker_main(argc, argv);
   }
   try {
+    if (argc >= 2 && std::strcmp(argv[1], "run") == 0) {
+      // The script path is a positional argument, which parse() rejects
+      // by design everywhere else — route before the option parser.
+      std::vector<std::string> tokens;
+      for (int i = 2; i < argc; ++i) tokens.emplace_back(argv[i]);
+      return cmd_run(tokens);
+    }
     const Args args = parse(argc, argv);
-    if (args.command == "generate") return cmd_generate(args);
-    if (args.command == "design") return cmd_design(args);
-    if (args.command == "sweep") return cmd_sweep(args);
-    if (args.command == "evaluate") return cmd_evaluate(args);
-    if (args.command == "simulate") return cmd_simulate(args);
-    if (args.command == "failover") return cmd_failover(args);
-    return usage();
+    const int status = dispatch(args);
+    return status == -1 ? usage() : status;
   } catch (const std::exception& ex) {
     std::cerr << "error: " << ex.what() << "\n";
     return 1;

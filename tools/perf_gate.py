@@ -1,0 +1,201 @@
+#!/usr/bin/env python3
+"""CI perf gate over omn metrics files.
+
+Benches and tools emit an ``omn-metrics-v1`` envelope via ``--metrics
+out.json``.  The repo commits one trajectory file per gated bench
+(``BENCH_e4.json``, ``BENCH_e8.json``): an append-only log of those
+envelopes, schema ``omn-bench-trajectory-v1``.  CI re-runs each bench in
+``--smoke`` mode and calls::
+
+    python3 tools/perf_gate.py check BENCH_e4.json /tmp/e4.json
+
+which diffs the fresh envelope against the trajectory's most recent
+entry.  Work counters (LP solves, cache traffic, cell counts) are exact
+integers derived from the sweep grid, so ANY change is a regression --
+or an intentional algorithm change, which must be accompanied by::
+
+    python3 tools/perf_gate.py append BENCH_e4.json /tmp/e4.json
+
+committing the new baseline alongside the code that moved it.  Wall
+clock is machine-dependent, so it only gets a generous ratio guard
+(default 25x) to catch runaway slowdowns, never noise.
+
+Exit codes: 0 pass, 1 regression/malformed input, 2 usage error.
+"""
+
+import json
+import sys
+
+METRICS_SCHEMA = "omn-metrics-v1"
+TRAJECTORY_SCHEMA = "omn-bench-trajectory-v1"
+
+# Exact-match integer counters, per sweep record.  These count WORK, not
+# time: for a fixed grid and fixed flags they are deterministic across
+# machines, thread counts, and runs.
+EXACT_SWEEP_KEYS = (
+    "cells",
+    "instances",
+    "configs",
+    "lp_configs",
+    "lp_solves",
+    "lp_cache_hits",
+    "lp_cache_misses",
+    "saved_by_reuse",
+)
+
+# Envelope-level flags that must match for the comparison to be
+# apples-to-apples at all.
+EXACT_ENVELOPE_KEYS = ("schema", "tool", "smoke", "lp_cache")
+
+DEFAULT_MAX_WALL_RATIO = 25.0
+
+
+def fail(message):
+    print("perf_gate: FAIL: %s" % message)
+    return 1
+
+
+def load_json(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def load_metrics(path):
+    data = load_json(path)
+    if data.get("schema") != METRICS_SCHEMA:
+        raise ValueError(
+            "%s: expected schema %r, got %r"
+            % (path, METRICS_SCHEMA, data.get("schema"))
+        )
+    if not isinstance(data.get("sweeps"), list) or not data["sweeps"]:
+        raise ValueError("%s: no sweep records" % path)
+    return data
+
+
+def load_trajectory(path):
+    data = load_json(path)
+    if data.get("schema") != TRAJECTORY_SCHEMA:
+        raise ValueError(
+            "%s: expected schema %r, got %r"
+            % (path, TRAJECTORY_SCHEMA, data.get("schema"))
+        )
+    if not isinstance(data.get("entries"), list):
+        raise ValueError("%s: missing entries list" % path)
+    return data
+
+
+def check(trajectory_path, metrics_path, max_wall_ratio):
+    baseline_file = load_trajectory(trajectory_path)
+    current = load_metrics(metrics_path)
+    if not baseline_file["entries"]:
+        return fail(
+            "%s has no entries; seed it with "
+            "'perf_gate.py append %s %s'"
+            % (trajectory_path, trajectory_path, metrics_path)
+        )
+    baseline = baseline_file["entries"][-1]
+
+    problems = []
+    for key in EXACT_ENVELOPE_KEYS:
+        if baseline.get(key) != current.get(key):
+            problems.append(
+                "envelope %s: baseline %r != current %r"
+                % (key, baseline.get(key), current.get(key))
+            )
+
+    base_sweeps = baseline.get("sweeps", [])
+    cur_sweeps = current.get("sweeps", [])
+    if len(base_sweeps) != len(cur_sweeps):
+        problems.append(
+            "sweep count: baseline %d != current %d"
+            % (len(base_sweeps), len(cur_sweeps))
+        )
+    for index, (base, cur) in enumerate(zip(base_sweeps, cur_sweeps)):
+        label = cur.get("label", base.get("label", "sweep[%d]" % index))
+        for key in EXACT_SWEEP_KEYS:
+            if base.get(key) != cur.get(key):
+                problems.append(
+                    "%s %s: baseline %r != current %r"
+                    % (label, key, base.get(key), cur.get(key))
+                )
+        base_wall = base.get("wall_seconds", 0.0)
+        cur_wall = cur.get("wall_seconds", 0.0)
+        if base_wall > 0 and cur_wall > base_wall * max_wall_ratio:
+            problems.append(
+                "%s wall_seconds: %.3fs is over %.0fx baseline %.3fs"
+                % (label, cur_wall, max_wall_ratio, base_wall)
+            )
+
+    if problems:
+        for problem in problems:
+            print("perf_gate:   %s" % problem)
+        return fail(
+            "%d counter(s) moved vs %s; if intentional, re-baseline with "
+            "'perf_gate.py append %s %s' and commit"
+            % (len(problems), trajectory_path, trajectory_path, metrics_path)
+        )
+
+    for cur in cur_sweeps:
+        print(
+            "perf_gate: OK %s: %s cells, %s lp_solves, "
+            "%s hits / %s misses, %.2fs wall"
+            % (
+                cur.get("label", "?"),
+                cur.get("cells"),
+                cur.get("lp_solves"),
+                cur.get("lp_cache_hits"),
+                cur.get("lp_cache_misses"),
+                cur.get("wall_seconds", 0.0),
+            )
+        )
+    print("perf_gate: PASS (%s vs %s)" % (metrics_path, trajectory_path))
+    return 0
+
+
+def append(trajectory_path, metrics_path):
+    current = load_metrics(metrics_path)
+    try:
+        trajectory = load_trajectory(trajectory_path)
+    except FileNotFoundError:
+        trajectory = {"schema": TRAJECTORY_SCHEMA, "entries": []}
+    trajectory["entries"].append(current)
+    with open(trajectory_path, "w", encoding="utf-8") as handle:
+        json.dump(trajectory, handle, indent=2)
+        handle.write("\n")
+    print(
+        "perf_gate: appended entry %d to %s"
+        % (len(trajectory["entries"]), trajectory_path)
+    )
+    return 0
+
+
+def main(argv):
+    args = list(argv[1:])
+    max_wall_ratio = DEFAULT_MAX_WALL_RATIO
+    if "--max-wall-ratio" in args:
+        at = args.index("--max-wall-ratio")
+        try:
+            max_wall_ratio = float(args[at + 1])
+        except (IndexError, ValueError):
+            print("perf_gate: --max-wall-ratio needs a number")
+            return 2
+        del args[at : at + 2]
+    if len(args) != 3 or args[0] not in ("check", "append"):
+        print(__doc__.strip().splitlines()[0])
+        print(
+            "usage: perf_gate.py check <trajectory.json> <metrics.json> "
+            "[--max-wall-ratio R]\n"
+            "       perf_gate.py append <trajectory.json> <metrics.json>"
+        )
+        return 2
+    mode, trajectory_path, metrics_path = args
+    try:
+        if mode == "check":
+            return check(trajectory_path, metrics_path, max_wall_ratio)
+        return append(trajectory_path, metrics_path)
+    except (OSError, ValueError) as error:
+        return fail(str(error))
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
