@@ -19,6 +19,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <iostream>
 
 #include "omn/core/designer.hpp"
@@ -26,6 +27,7 @@
 #include "omn/topo/akamai.hpp"
 #include "omn/util/execution_context.hpp"
 #include "omn/util/rng.hpp"
+#include "omn/util/parse.hpp"
 #include "omn/util/table.hpp"
 
 namespace {
@@ -62,10 +64,26 @@ double fraction_meeting_quarter(const omn::net::OverlayInstance& inst,
 
 }  // namespace
 
+/// Strict positional argument (util::parse_count): a mistyped argument
+/// aborts instead of silently running a different scenario (atoi("4O")
+/// parses as 4, strtoull("-1", ...) wraps to 2^64 - 1).
+static std::size_t arg_count(int argc, char** argv, int index,
+                             std::size_t fallback) {
+  if (argc <= index) return fallback;
+  const std::optional<std::size_t> parsed = omn::util::parse_count(argv[index]);
+  if (!parsed.has_value()) {
+    std::fprintf(stderr,
+                 "bad argument '%s' (expected a non-negative integer)\n",
+                 argv[index]);
+    std::exit(2);
+  }
+  return *parsed;
+}
+
 int main(int argc, char** argv) {
   using namespace omn;
-  const int epochs = argc > 1 ? std::atoi(argv[1]) : 8;
-  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1;
+  const int epochs = static_cast<int>(arg_count(argc, argv, 1, 8));
+  const std::uint64_t seed = arg_count(argc, argv, 2, 1);
 
   auto inst = topo::make_akamai_like(topo::global_event_config(36, seed));
   util::Rng rng(seed ^ 0xabcdef);

@@ -13,18 +13,36 @@
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <optional>
 
 #include "omn/core/design_sweep.hpp"
 #include "omn/core/designer.hpp"
 #include "omn/sim/failures.hpp"
 #include "omn/topo/akamai.hpp"
+#include "omn/util/parse.hpp"
 #include "omn/util/table.hpp"
+
+/// Strict positional argument (util::parse_count): a mistyped argument
+/// aborts instead of silently running a different scenario (atoi("4O")
+/// parses as 4, strtoull("-1", ...) wraps to 2^64 - 1).
+static std::size_t arg_count(int argc, char** argv, int index,
+                             std::size_t fallback) {
+  if (argc <= index) return fallback;
+  const std::optional<std::size_t> parsed = omn::util::parse_count(argv[index]);
+  if (!parsed.has_value()) {
+    std::fprintf(stderr,
+                 "bad argument '%s' (expected a non-negative integer)\n",
+                 argv[index]);
+    std::exit(2);
+  }
+  return *parsed;
+}
 
 int main(int argc, char** argv) {
   using namespace omn;
-  const int sinks = argc > 1 ? std::atoi(argv[1]) : 40;
-  const int isps = argc > 2 ? std::atoi(argv[2]) : 4;
-  const std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1;
+  const int sinks = static_cast<int>(arg_count(argc, argv, 1, 40));
+  const int isps = static_cast<int>(arg_count(argc, argv, 2, 4));
+  const std::uint64_t seed = arg_count(argc, argv, 3, 1);
 
   auto topo_cfg = topo::global_event_config(sinks, seed);
   topo_cfg.num_isps = isps;

@@ -1,0 +1,49 @@
+// Fuzz target: the dist frame decoder and the payload codecs behind it —
+// the exact bytes a parent reads from an untrusted (possibly crashed,
+// possibly corrupted) worker's stdout.
+//
+// The input is treated as a frame stream: frames are read until the first
+// non-kOk status, and every kOk payload is routed to the codec its type
+// selects, exactly as ProcessPool + run_distributed would.  The contract
+// under test: no input may crash, hang, or over-allocate — a bad stream
+// must surface as a status/false, never as UB (the length prefix is
+// capped before allocation, decode_* are bounds-checked).
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "omn/dist/frame.hpp"
+#include "omn/dist/wire.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  std::istringstream stream(
+      std::string(reinterpret_cast<const char*>(data), size));
+  for (;;) {
+    omn::dist::Frame frame;
+    if (omn::dist::read_frame(stream, frame) != omn::dist::FrameStatus::kOk) {
+      break;  // EOF or rejected: either way the stream is done
+    }
+    switch (frame.type) {
+      case omn::dist::FrameType::kGrid: {
+        omn::dist::WireGrid grid;
+        (void)omn::dist::decode_grid(frame.payload, grid);
+        break;
+      }
+      case omn::dist::FrameType::kShard: {
+        omn::dist::WireShard shard;
+        (void)omn::dist::decode_shard(frame.payload, shard);
+        break;
+      }
+      case omn::dist::FrameType::kResult: {
+        omn::dist::WireResult result;
+        (void)omn::dist::decode_result(frame.payload, result);
+        break;
+      }
+      case omn::dist::FrameType::kShutdown:
+        break;
+    }
+  }
+  return 0;
+}

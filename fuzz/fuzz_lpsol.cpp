@@ -1,0 +1,51 @@
+// Fuzz target: LpCache::read_entry, the parser for on-disk .lpsol cache
+// entries.  The cache directory is shared between processes (and
+// potentially machines), so an entry is untrusted input: truncated
+// writes, version skew, and plain corruption must all be rejected as a
+// miss, never parsed into garbage or crashed on.
+//
+// read_entry validates the stored key against the key the caller asked
+// for, so a harness probing with a fixed key would bounce every mutated
+// input at that check and never reach the deeper structure validation.
+// Instead the expected key is lifted from the input's own key field
+// (bytes 8..24 of a well-formed entry) — mutations then exercise the
+// count, payload, and checksum paths — plus one probe with the zero key
+// to keep the key-mismatch path itself covered.
+
+#include <cstdint>
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include "omn/core/lp_cache.hpp"
+#include "omn/util/hash.hpp"
+
+namespace {
+
+std::uint64_t read_u64_le(const std::uint8_t* bytes) {
+  std::uint64_t value = 0;
+  for (int i = 7; i >= 0; --i) value = (value << 8) | bytes[i];
+  return value;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string bytes(reinterpret_cast<const char*>(data), size);
+
+  omn::util::Digest128 key;  // zero unless the input carries a key field
+  if (size >= 24) {
+    key.hi = read_u64_le(data + 8);
+    key.lo = read_u64_le(data + 16);
+  }
+  {
+    std::istringstream entry(bytes);
+    (void)omn::core::LpCache::read_entry(entry, key);
+  }
+  {
+    std::istringstream entry(bytes);
+    (void)omn::core::LpCache::read_entry(entry, omn::util::Digest128{});
+  }
+  return 0;
+}

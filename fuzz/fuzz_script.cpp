@@ -1,0 +1,42 @@
+// Fuzz target: util::parse_script, the .omn command-file reader behind
+// `omn_design run`.  The reader is a total function — any byte sequence
+// must tokenize without throwing (the *dispatcher* rejects unknown
+// commands later) — so unlike the text-loader harness there is no
+// try/catch here: an exception IS a finding.  The invariants the CLI
+// relies on are asserted on every produced command.
+
+#include <cstdint>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "omn/util/script.hpp"
+
+namespace {
+
+// Not assert(): the invariants must hold in every build mode the fuzzer
+// or the corpus-replay test runs in, NDEBUG included.
+void require(bool ok) {
+  if (!ok) std::abort();
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  std::istringstream stream(
+      std::string(reinterpret_cast<const char*>(data), size));
+  const std::vector<omn::util::ScriptCommand> commands =
+      omn::util::parse_script(stream);
+  int previous_line = 0;
+  for (const omn::util::ScriptCommand& command : commands) {
+    // cmd_run indexes tokens[0] unconditionally and trusts the line
+    // numbers to be positive and monotonic for its error messages.
+    require(!command.tokens.empty());
+    require(!command.tokens[0].empty());
+    require(command.tokens[0][0] != '#');
+    require(command.line_number > previous_line);
+    previous_line = command.line_number;
+  }
+  return 0;
+}

@@ -46,7 +46,6 @@
 
 #include <cstdint>
 #include <iosfwd>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -55,6 +54,7 @@
 #include "omn/lp/simplex.hpp"
 #include "omn/net/instance.hpp"
 #include "omn/util/hash.hpp"
+#include "omn/util/thread_annotations.hpp"
 
 namespace omn::core {
 
@@ -122,10 +122,13 @@ class LpCache {
 
   std::string directory_;  // empty = memory-only
 
-  mutable std::mutex mutex_;
+  // mutex_ covers the memory tier and the counters only; disk I/O happens
+  // outside the lock (the atomic temp+rename protocol makes that safe), so
+  // a slow filesystem never serializes concurrent memory-tier hits.
+  mutable util::Mutex mutex_;
   std::unordered_map<util::Digest128, lp::Solution, util::Digest128Hash>
-      memory_;
-  LpCacheStats stats_;
+      memory_ OMN_GUARDED_BY(mutex_);
+  LpCacheStats stats_ OMN_GUARDED_BY(mutex_);
 };
 
 /// Canonical digest of the LP-relevant instance content (see the header

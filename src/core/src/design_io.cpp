@@ -1,8 +1,12 @@
 #include "omn/core/design_io.hpp"
 
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
+#include <string_view>
+
+#include "omn/util/parse.hpp"
 
 namespace omn::core {
 
@@ -43,36 +47,41 @@ std::vector<std::uint8_t> read_bits(std::istream& is, std::string got,
   return out;
 }
 
-// Strict meta value parsers.  The std::sto* family stops at the first
-// non-numeric byte, so a corrupted line like `meta attempts 8x` would
-// silently load as 8 (and stoull NEGATES a "-1" into 2^64-1) — every
-// parser here requires the full token to be consumed and rejects sign
-// prefixes on unsigned fields, so corruption raises instead of loading a
-// plausible-looking wrong value.  Throwing std::exception suffices:
-// apply_meta converts anything thrown into the canonical error.
+// Strict meta value parsers on util::parse_count / util::parse_double —
+// the std::sto* family stops at the first non-numeric byte, so a corrupt
+// line like `meta attempts 8x` would silently load as 8 (and stoull
+// NEGATES a "-1" into 2^64-1); the util helpers require the full token
+// and reject sign prefixes on unsigned fields, so corruption raises
+// instead of loading a plausible-looking wrong value.  Throwing
+// std::exception suffices: apply_meta converts anything thrown into the
+// canonical error.
 
 std::uint64_t meta_u64(const std::string& value) {
-  if (value.empty() || value[0] == '-' || value[0] == '+') {
-    throw std::invalid_argument("sign prefix");
-  }
-  std::size_t used = 0;
-  const unsigned long long parsed = std::stoull(value, &used);
-  if (used != value.size()) throw std::invalid_argument("trailing bytes");
-  return static_cast<std::uint64_t>(parsed);
+  const std::optional<std::size_t> parsed = util::parse_count(value);
+  if (!parsed.has_value()) throw std::invalid_argument("bad u64");
+  return static_cast<std::uint64_t>(*parsed);
 }
 
 int meta_int(const std::string& value) {
-  std::size_t used = 0;
-  const int parsed = std::stoi(value, &used);
-  if (used != value.size()) throw std::invalid_argument("trailing bytes");
-  return parsed;
+  std::string_view text = value;
+  bool negative = false;
+  if (!text.empty() && text.front() == '-') {
+    negative = true;
+    text.remove_prefix(1);
+  }
+  const std::optional<std::size_t> parsed = util::parse_count(text);
+  if (!parsed.has_value() ||
+      *parsed > static_cast<std::size_t>(std::numeric_limits<int>::max())) {
+    throw std::invalid_argument("bad int");
+  }
+  const int magnitude = static_cast<int>(*parsed);
+  return negative ? -magnitude : magnitude;
 }
 
 double meta_double(const std::string& value) {
-  std::size_t used = 0;
-  const double parsed = std::stod(value, &used);
-  if (used != value.size()) throw std::invalid_argument("trailing bytes");
-  return parsed;
+  const std::optional<double> parsed = util::parse_double(value);
+  if (!parsed.has_value()) throw std::invalid_argument("bad double");
+  return *parsed;
 }
 
 void apply_meta(DesignMeta& meta, const std::string& key,

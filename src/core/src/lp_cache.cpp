@@ -103,7 +103,7 @@ LpCache::LpCache(std::string directory) : directory_(std::move(directory)) {
 
 std::optional<lp::Solution> LpCache::find(const util::Digest128& key) {
   {
-    const std::scoped_lock lock(mutex_);
+    const util::LockGuard lock(mutex_);
     const auto it = memory_.find(key);
     if (it != memory_.end()) {
       ++stats_.hits;
@@ -112,7 +112,7 @@ std::optional<lp::Solution> LpCache::find(const util::Digest128& key) {
     }
   }
   if (directory_.empty()) {
-    const std::scoped_lock lock(mutex_);
+    const util::LockGuard lock(mutex_);
     ++stats_.misses;
     return std::nullopt;
   }
@@ -121,7 +121,7 @@ std::optional<lp::Solution> LpCache::find(const util::Digest128& key) {
 
 void LpCache::insert(const util::Digest128& key, const lp::Solution& solution) {
   {
-    const std::scoped_lock lock(mutex_);
+    const util::LockGuard lock(mutex_);
     memory_[key] = solution;
     ++stats_.insertions;
   }
@@ -129,7 +129,7 @@ void LpCache::insert(const util::Digest128& key, const lp::Solution& solution) {
 }
 
 LpCacheStats LpCache::stats() const {
-  const std::scoped_lock lock(mutex_);
+  const util::LockGuard lock(mutex_);
   return stats_;
 }
 
@@ -149,7 +149,7 @@ std::optional<lp::Solution> LpCache::load_from_disk(
       rejected = !entry.has_value();
     }
   }
-  const std::scoped_lock lock(mutex_);
+  const util::LockGuard lock(mutex_);
   if (!entry.has_value()) {
     ++stats_.misses;
     if (rejected) ++stats_.rejected;

@@ -8,17 +8,24 @@
 // policy — which shard goes to which worker, and what happens when one
 // dies, lives in DesignSweep::run_distributed.
 //
-// Thread model: one scheduler thread drives one worker — send_frame and
-// recv_frame on the same worker index must not race, but different
-// workers are fully independent.
+// Thread model: one scheduler thread drives one worker's *stream* —
+// send_frame and recv_frame on the same worker index must not race, but
+// different workers are fully independent.  Control operations (kill /
+// alive / shutdown), by contrast, may come from any thread at any time
+// (the fault-injection tests kill a worker while its scheduler is blocked
+// in recv_frame), so each worker slot carries a mutex guarding the
+// Subprocess handle's control state; the blocking pipe reads themselves
+// happen outside that lock, or a kill could never interrupt them.
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "omn/dist/frame.hpp"
 #include "omn/util/subprocess.hpp"
+#include "omn/util/thread_annotations.hpp"
 
 namespace omn::dist {
 
@@ -59,7 +66,21 @@ class ProcessPool {
   int shutdown(std::size_t w);
 
  private:
-  std::vector<util::Subprocess> workers_;
+  /// One spawned worker.  `mutex` serializes the Subprocess control
+  /// surface (kill / running / wait / close_stdin all mutate the handle's
+  /// pid/reap bookkeeping) across threads.  Stream I/O deliberately runs
+  /// on a reference taken under the lock and then released: the pipe fds
+  /// are fixed after spawn, per-worker streams are single-threaded by the
+  /// scheduler contract above, and kill() must be able to cut a blocked
+  /// read short — POSIX guarantees a signal-killed child EOFs the pipe.
+  struct Slot {
+    util::Mutex mutex;
+    util::Subprocess process OMN_GUARDED_BY(mutex);
+  };
+
+  // unique_ptr because Mutex is immovable and slots must survive vector
+  // setup; the vector itself is immutable after construction.
+  std::vector<std::unique_ptr<Slot>> workers_;
 };
 
 }  // namespace omn::dist

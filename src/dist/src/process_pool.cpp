@@ -1,6 +1,7 @@
 #include "omn/dist/process_pool.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 namespace omn::dist {
 
@@ -13,7 +14,9 @@ ProcessPool::ProcessPool(std::vector<std::string> command, std::size_t count) {
   }
   workers_.reserve(count);
   for (std::size_t w = 0; w < count; ++w) {
-    workers_.push_back(util::Subprocess::spawn(command));
+    auto slot = std::make_unique<Slot>();
+    slot->process = util::Subprocess::spawn(command);
+    workers_.push_back(std::move(slot));
   }
 }
 
@@ -21,29 +24,58 @@ ProcessPool::~ProcessPool() = default;  // Subprocess kills + reaps stragglers
 
 bool ProcessPool::send_frame(std::size_t w, FrameType type,
                              std::string_view payload) {
+  Slot& slot = *workers_.at(w);
   const std::string bytes = encode_frame(type, payload);
-  return workers_.at(w).write_exact(bytes.data(), bytes.size());
+  // Stream writes belong to this worker's single scheduler thread; take
+  // the handle reference under the lock, write outside it, so a blocked
+  // write (full pipe) never wedges a concurrent kill().
+  util::Subprocess* process = nullptr;
+  {
+    util::LockGuard lock(slot.mutex);
+    process = &slot.process;
+  }
+  return process->write_exact(bytes.data(), bytes.size());
 }
 
 FrameStatus ProcessPool::recv_frame(std::size_t w, Frame& out) {
-  util::Subprocess& worker = workers_.at(w);
+  Slot& slot = *workers_.at(w);
+  // Same pattern as send_frame: recv blocks until the worker answers or
+  // dies, and kill() (from the fault-injection tests, or the scheduler's
+  // own corruption path) is what makes a dead read return — it must be
+  // able to take the slot lock while we sit in read_exact.
+  util::Subprocess* process = nullptr;
+  {
+    util::LockGuard lock(slot.mutex);
+    process = &slot.process;
+  }
   return read_frame(
-      [&worker](char* data, std::size_t size) {
-        return worker.read_exact(data, size);
+      [process](char* data, std::size_t size) {
+        return process->read_exact(data, size);
       },
       out);
 }
 
-void ProcessPool::kill(std::size_t w) { workers_.at(w).kill(); }
+void ProcessPool::kill(std::size_t w) {
+  Slot& slot = *workers_.at(w);
+  util::LockGuard lock(slot.mutex);
+  slot.process.kill();
+}
 
-bool ProcessPool::alive(std::size_t w) { return workers_.at(w).running(); }
+bool ProcessPool::alive(std::size_t w) {
+  Slot& slot = *workers_.at(w);
+  util::LockGuard lock(slot.mutex);
+  return slot.process.running();
+}
 
 int ProcessPool::shutdown(std::size_t w) {
-  util::Subprocess& worker = workers_.at(w);
+  Slot& slot = *workers_.at(w);
   const std::string bytes = encode_frame(FrameType::kShutdown, {});
-  worker.write_exact(bytes.data(), bytes.size());  // best effort
-  worker.close_stdin();
-  return worker.wait();
+  util::LockGuard lock(slot.mutex);
+  // Holding the lock across wait() is fine here: a worker that got the
+  // shutdown frame and stdin EOF exits on its own, no kill required.
+  slot.process.write_exact(bytes.data(), bytes.size());  // best effort
+  slot.process.close_stdin();
+  return slot.process.wait();
 }
 
 }  // namespace omn::dist

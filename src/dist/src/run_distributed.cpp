@@ -11,13 +11,12 @@
 // crashing cell exhausts the fleet and surfaces that way).
 
 #include <algorithm>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "omn/core/design_sweep.hpp"
@@ -27,6 +26,7 @@
 #include "omn/dist/process_pool.hpp"
 #include "omn/dist/shard_plan.hpp"
 #include "omn/dist/wire.hpp"
+#include "omn/util/thread_annotations.hpp"
 #include "omn/util/timer.hpp"
 
 namespace omn::core {
@@ -65,6 +65,25 @@ bool result_matches_shard(const dist::WireResult& result,
   return true;
 }
 
+/// Everything the per-worker scheduler threads share, under one mutex.
+/// The pre-spawn (checkpoint resume) and post-join sections run single-
+/// threaded but still take the lock — it is uncontended there, and keeps
+/// every access to the guarded fields inside an analysis-checked scope.
+struct SchedulerState {
+  util::Mutex mutex;
+  util::CondVar cv;  // shard available, sweep finished, or sweep aborted
+  /// Shard count to complete; set before the threads spawn, then const.
+  std::size_t target = 0;
+
+  std::deque<dist::ShardRange> pending OMN_GUARDED_BY(mutex);
+  std::size_t completed OMN_GUARDED_BY(mutex) = 0;
+  std::size_t live_workers OMN_GUARDED_BY(mutex) = 0;
+  bool aborted OMN_GUARDED_BY(mutex) = false;
+  std::string error OMN_GUARDED_BY(mutex);
+  SweepReport merged OMN_GUARDED_BY(mutex);
+  dist::DistStats stats OMN_GUARDED_BY(mutex);
+};
+
 }  // namespace
 
 SweepReport DesignSweep::run_distributed(
@@ -89,38 +108,40 @@ SweepReport DesignSweep::run_distributed(
   const util::Digest128 digest =
       dist::grid_digest(*this, options, plan.shards.size());
 
-  SweepReport merged;
-  merged.num_instances = num_instances();
-  merged.num_configs = num_configs();
-  merged.cells.resize(num_cells());
+  SchedulerState state;
+  std::size_t pending_count = 0;
+  {
+    util::LockGuard lock(state.mutex);
+    state.merged.num_instances = num_instances();
+    state.merged.num_configs = num_configs();
+    state.merged.cells.resize(num_cells());
+    state.stats.shards_total = plan.shards.size();
 
-  dist::DistStats stats;
-  stats.shards_total = plan.shards.size();
-
-  // Resume: merge every shard with a valid checkpoint, queue the rest.
-  // A checkpoint's payload gets the same structural validation as a live
-  // result frame — the checksum is a content hash, not proof the file
-  // was written by a correct producer, and merge() must neither throw
-  // nor leave holes.
-  std::deque<dist::ShardRange> pending;
-  for (const dist::ShardRange& shard : plan.shards) {
-    if (!dist_options.checkpoint_dir.empty()) {
-      if (auto report = dist::load_checkpoint(dist_options.checkpoint_dir,
-                                              digest, shard)) {
-        dist::WireResult result{shard.index, std::move(*report)};
-        if (result_matches_shard(result, shard, num_instances(),
-                                 num_configs())) {
-          merged.merge(result.report);
-          ++stats.shards_from_checkpoint;
-          continue;
+    // Resume: merge every shard with a valid checkpoint, queue the rest.
+    // A checkpoint's payload gets the same structural validation as a
+    // live result frame — the checksum is a content hash, not proof the
+    // file was written by a correct producer, and merge() must neither
+    // throw nor leave holes.
+    for (const dist::ShardRange& shard : plan.shards) {
+      if (!dist_options.checkpoint_dir.empty()) {
+        if (auto report = dist::load_checkpoint(dist_options.checkpoint_dir,
+                                                digest, shard)) {
+          dist::WireResult result{shard.index, std::move(*report)};
+          if (result_matches_shard(result, shard, num_instances(),
+                                   num_configs())) {
+            state.merged.merge(result.report);
+            ++state.stats.shards_from_checkpoint;
+            continue;
+          }
         }
       }
+      state.pending.push_back(shard);
     }
-    pending.push_back(shard);
+    pending_count = state.pending.size();
   }
 
-  if (!pending.empty()) {
-    const std::size_t spawn_count = std::min(workers, pending.size());
+  if (pending_count != 0) {
+    const std::size_t spawn_count = std::min(workers, pending_count);
     // Workers run on one host, so the thread budget is a HOST budget and
     // must be DIVIDED across the workers actually spawned: N all-cores
     // pools (or N x an explicit cap) would oversubscribe the machine
@@ -137,19 +158,16 @@ SweepReport DesignSweep::run_distributed(
             : std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
     worker_options.threads =
         std::max<std::size_t>(host_budget / spawn_count, 1);
-    stats.threads_per_worker = worker_options.threads;
     const std::string grid_payload =
         dist::encode_grid(*this, worker_options);
     dist::ProcessPool pool(dist_options.worker_command, spawn_count);
-    stats.workers_spawned = spawn_count;
-
-    std::mutex mutex;
-    std::condition_variable cv;
-    const std::size_t target = pending.size();
-    std::size_t completed = 0;
-    std::size_t live_workers = spawn_count;
-    bool aborted = false;
-    std::string error;
+    state.target = pending_count;
+    {
+      util::LockGuard lock(state.mutex);
+      state.stats.threads_per_worker = worker_options.threads;
+      state.stats.workers_spawned = spawn_count;
+      state.live_workers = spawn_count;
+    }
 
     const auto drive_worker = [&](std::size_t w) {
       // Every failure drops this worker for good, so a shard is retried
@@ -157,18 +175,20 @@ SweepReport DesignSweep::run_distributed(
       // "no workers left" below.
       const auto fail = [&](const dist::ShardRange* shard) {
         pool.kill(w);
-        const std::scoped_lock lock(mutex);
-        --live_workers;
-        ++stats.workers_failed;
+        const util::LockGuard lock(state.mutex);
+        --state.live_workers;
+        ++state.stats.workers_failed;
         if (shard != nullptr) {
-          pending.push_back(*shard);
-          ++stats.shards_reassigned;
+          state.pending.push_back(*shard);
+          ++state.stats.shards_reassigned;
         }
-        if (live_workers == 0 && completed < target && !aborted) {
-          aborted = true;
-          error = "run_distributed: all workers died with shards pending";
+        if (state.live_workers == 0 && state.completed < state.target &&
+            !state.aborted) {
+          state.aborted = true;
+          state.error =
+              "run_distributed: all workers died with shards pending";
         }
-        cv.notify_all();
+        state.cv.notify_all();
       };
 
       if (!pool.send_frame(w, dist::FrameType::kGrid, grid_payload)) {
@@ -178,13 +198,14 @@ SweepReport DesignSweep::run_distributed(
       for (;;) {
         dist::ShardRange shard;
         {
-          std::unique_lock lock(mutex);
-          cv.wait(lock, [&] {
-            return !pending.empty() || completed == target || aborted;
-          });
-          if (completed == target || aborted) break;
-          shard = pending.front();
-          pending.pop_front();
+          util::LockGuard lock(state.mutex);
+          while (state.pending.empty() && state.completed != state.target &&
+                 !state.aborted) {
+            state.cv.wait(state.mutex);
+          }
+          if (state.completed == state.target || state.aborted) break;
+          shard = state.pending.front();
+          state.pending.pop_front();
         }
 
         bool ok = pool.send_frame(w, dist::FrameType::kShard,
@@ -213,25 +234,37 @@ SweepReport DesignSweep::run_distributed(
           checkpointed = true;
         }
         {
-          const std::scoped_lock lock(mutex);
-          merged.merge(result.report);
-          ++completed;
-          ++stats.shards_computed;
-          if (checkpointed) ++stats.checkpoints_written;
-          if (completed == target) cv.notify_all();
+          const util::LockGuard lock(state.mutex);
+          state.merged.merge(result.report);
+          ++state.completed;
+          ++state.stats.shards_computed;
+          if (checkpointed) ++state.stats.checkpoints_written;
+          if (state.completed == state.target) state.cv.notify_all();
         }
       }
       pool.shutdown(w);
     };
 
+    // Raw std::thread (not the shared ThreadPool) on purpose: these
+    // scheduler threads spend their lives blocked in pipe I/O, and
+    // parking them in the pool would starve compute tasks of workers.
+    // omn-lint: allow(raw-concurrency): blocking per-worker scheduler
+    // threads must not occupy the shared compute pool
     std::vector<std::thread> threads;
     threads.reserve(spawn_count);
     for (std::size_t w = 0; w < spawn_count; ++w) {
       threads.emplace_back(drive_worker, w);
     }
     for (std::thread& t : threads) t.join();
+  }
 
-    if (aborted) throw std::runtime_error(error);
+  SweepReport merged;
+  dist::DistStats stats;
+  {
+    util::LockGuard lock(state.mutex);
+    if (state.aborted) throw std::runtime_error(state.error);
+    merged = std::move(state.merged);
+    stats = state.stats;
   }
 
   // The merge accumulated max-of-shard walls; the parent measured the

@@ -7,9 +7,24 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "omn/util/parse.hpp"
+
 namespace omn::net {
 
 namespace {
+
+/// Capacity fields are the one place the loader reads a token itself (to
+/// admit the "inf" spelling); everything else goes through operator>>.
+/// Strict full-token parsing here, so "3.0x" or "nan" is a corrupt file,
+/// not a silently truncated capacity.
+double parse_capacity(const std::string& token, const char* field) {
+  const std::optional<double> value = util::parse_double(token);
+  if (!value.has_value()) {
+    throw std::runtime_error(std::string("OverlayInstance load: bad ") +
+                             field + " capacity '" + token + "'");
+  }
+  return *value;
+}
 
 constexpr const char* kMagic = "omn-instance";
 // v1: no delays; v2: appends delay_ms to each edge line.  The loader
@@ -110,7 +125,9 @@ OverlayInstance load(std::istream& is) {
         throw std::runtime_error(
             "OverlayInstance load: truncated reflector capacity");
       }
-      if (capacity != "inf") r.stream_capacity = std::stod(capacity);
+      if (capacity != "inf") {
+        r.stream_capacity = parse_capacity(capacity, "reflector");
+      }
     }
     out.add_reflector(std::move(r));
   }
@@ -144,7 +161,7 @@ OverlayInstance load(std::istream& is) {
           capacity)) {
       throw std::runtime_error("OverlayInstance load: truncated rd_edges");
     }
-    if (capacity != "inf") edge.capacity = std::stod(capacity);
+    if (capacity != "inf") edge.capacity = parse_capacity(capacity, "rd-edge");
     if (has_delays && !(is >> edge.delay_ms)) {
       throw std::runtime_error("OverlayInstance load: truncated rd delay");
     }

@@ -9,10 +9,12 @@
 // wraps instead of failing.  These helpers accept exactly the canonical
 // spelling and nothing else.
 
+#include <charconv>
 #include <cstddef>
 #include <limits>
 #include <optional>
 #include <string_view>
+#include <system_error>
 
 namespace omn::util {
 
@@ -30,6 +32,31 @@ inline std::optional<std::size_t> parse_count(std::string_view text) {
     if (value > (kMax - digit) / 10) return std::nullopt;
     value = value * 10 + digit;
   }
+  return value;
+}
+
+/// Parses a finite decimal floating-point number: an optional '-', then
+/// digits with an optional '.' and optional exponent — the general format
+/// of std::from_chars.  The whole token must be consumed.  Rejects
+/// whitespace, '+' signs, hex floats, "inf"/"nan" (a capacity or
+/// threshold of NaN is always a corrupt file, never a value), and any
+/// trailing bytes.  Returns nullopt for anything rejected, so corrupt
+/// input surfaces as a parse failure instead of a silently truncated
+/// value (std::stod("0.5x") == 0.5 is exactly the bug class this bans).
+inline std::optional<double> parse_double(std::string_view text) {
+  std::string_view digits = text;
+  if (!digits.empty() && digits.front() == '-') digits.remove_prefix(1);
+  // from_chars itself accepts "inf"/"infinity"/"nan(...)"; requiring the
+  // first character after the sign to be a digit or '.' filters those
+  // while leaving every numeric spelling intact.
+  if (digits.empty()) return std::nullopt;
+  const char first = digits.front();
+  if ((first < '0' || first > '9') && first != '.') return std::nullopt;
+  double value = 0.0;
+  const char* const begin = text.data();
+  const char* const end = begin + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end) return std::nullopt;
   return value;
 }
 

@@ -1,0 +1,44 @@
+#pragma once
+// Reader for .omn command files (`omn_design run script.omn`): one
+// subcommand per logical line, `#` comments, and trailing-backslash
+// continuations.  Extracted from the CLI so the exact same tokenizer
+// can be driven by the run subcommand, the tests, and the fuzz harness
+// (fuzz/fuzz_script.cpp) — the reader consumes untrusted files and must
+// never crash or throw on any byte sequence; bad input simply tokenizes
+// to whatever the rules below say it tokenizes to, and the *dispatcher*
+// rejects unknown commands.
+//
+// Rules (fixed by examples/pipeline.omn and the PR 6 format docs):
+//  - a line ending in '\' is joined with the next line, the backslash
+//    replaced by a single space; a trailing '\' on the last line is
+//    dropped (no continuation to join);
+//  - tokens are whitespace-separated (operator>> semantics);
+//  - a token beginning with '#' ends the line's tokens (comment);
+//  - lines with no tokens (blank or pure comment) yield no command.
+//
+// Note the join happens BEFORE comment scanning, so a '#' comment on a
+// continued line swallows the continuation — exactly what the CLI
+// always did, now pinned by test_script.
+
+#include <istream>
+#include <string>
+#include <vector>
+
+namespace omn::util {
+
+/// One logical command line of a script.
+struct ScriptCommand {
+  /// The LAST physical line of the command (continuations included) —
+  /// this is the number error messages and the `== file:N:` echo use.
+  int line_number = 0;
+  /// Whitespace-split tokens, comment stripped; never empty.
+  std::vector<std::string> tokens;
+  /// The joined logical line as written (comment included), for echoing.
+  std::string text;
+};
+
+/// Reads every command from `is` (see the rules above).  Total function:
+/// never throws on any input byte sequence.
+std::vector<ScriptCommand> parse_script(std::istream& is);
+
+}  // namespace omn::util

@@ -1,0 +1,138 @@
+#pragma once
+// Clang thread-safety analysis annotations, and the annotated mutex
+// primitives every shared-state class in the tree is required to use
+// (enforced by tools/omn_lint.py: raw std::mutex / std::thread outside
+// omn::util is a lint error).
+//
+// The annotations turn the locking discipline that today lives in header
+// comments ("guarded by mutex_", "one scheduler thread per worker") into
+// compiler-checked contracts: clang's -Wthread-safety pass rejects, at
+// compile time, any access to an OMN_GUARDED_BY member without the named
+// mutex held, any call to an OMN_REQUIRES function from an unlocked
+// context, and any unbalanced acquire/release.  The clang CI legs build
+// with -Wthread-safety -Werror; GCC (and any other compiler) sees plain
+// std::mutex semantics with every macro expanding to nothing, so the
+// annotations cost nothing where they cannot be checked.
+//
+// Usage pattern (see docs/ANALYSIS.md for the full ownership rules):
+//
+//   class Counter {
+//    public:
+//     void bump() {
+//       LockGuard lock(mutex_);   // scoped acquire, analysis-visible
+//       ++value_;
+//     }
+//    private:
+//     Mutex mutex_;
+//     int value_ OMN_GUARDED_BY(mutex_) = 0;
+//   };
+//
+// Condition variables: use util::CondVar, whose wait(Mutex&) atomically
+// releases and reacquires the mutex.  To the analysis the mutex is held
+// across the call (held before, held after), so guarded state may be
+// re-checked in a plain `while (!ready_) cv_.wait(mutex_);` loop without
+// extra annotation.  Predicate-lambda waits are deliberately not offered:
+// a lambda body is analyzed as its own function and would need its own
+// REQUIRES annotation, which is easy to forget — the explicit while loop
+// keeps the guarded reads inside the annotated scope.
+
+#include <condition_variable>
+#include <mutex>
+
+// NOLINTBEGIN(bugprone-macro-parentheses) — attribute arguments are lock
+// expressions (`mutex_`, `!mutex_`) and must be pasted unparenthesized.
+#if defined(__clang__)
+#define OMN_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define OMN_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+/// Marks a type as a lockable capability ("mutex" in diagnostics).
+#define OMN_CAPABILITY(name) OMN_THREAD_ANNOTATION(capability(name))
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define OMN_SCOPED_CAPABILITY OMN_THREAD_ANNOTATION(scoped_lockable)
+/// Member may only be read or written with the named mutex held.
+#define OMN_GUARDED_BY(mutex) OMN_THREAD_ANNOTATION(guarded_by(mutex))
+/// Pointer member whose *pointee* is protected by the named mutex.
+#define OMN_PT_GUARDED_BY(mutex) OMN_THREAD_ANNOTATION(pt_guarded_by(mutex))
+/// Function requires the mutex held on entry (and still held on exit).
+#define OMN_REQUIRES(...) \
+  OMN_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+/// Function acquires the mutex (must not already be held).
+#define OMN_ACQUIRE(...) \
+  OMN_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+/// Function releases the mutex (must be held on entry).
+#define OMN_RELEASE(...) \
+  OMN_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+/// Function acquires the mutex iff it returns `result`.
+#define OMN_TRY_ACQUIRE(result, ...) \
+  OMN_THREAD_ANNOTATION(try_acquire_capability(result, __VA_ARGS__))
+/// Caller must NOT hold the mutex (deadlock guard for self-locking APIs).
+#define OMN_EXCLUDES(...) OMN_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/// Escape hatch; every use needs a justifying comment (see docs/ANALYSIS.md).
+#define OMN_NO_THREAD_SAFETY_ANALYSIS \
+  OMN_THREAD_ANNOTATION(no_thread_safety_analysis)
+// NOLINTEND(bugprone-macro-parentheses)
+
+namespace omn::util {
+
+/// std::mutex with a capability annotation, so members can be declared
+/// OMN_GUARDED_BY(mutex_) and the analysis can check the discipline.
+/// Also BasicLockable, which is what CondVar::wait relies on.
+class OMN_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() OMN_ACQUIRE() { mutex_.lock(); }
+  void unlock() OMN_RELEASE() { mutex_.unlock(); }
+  bool try_lock() OMN_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+ private:
+  std::mutex mutex_;
+};
+
+/// Scoped lock over a util::Mutex — std::lock_guard with the scoped-
+/// capability annotation, so the analysis sees exactly which region of
+/// the function holds the mutex.
+class OMN_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& mutex) OMN_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~LockGuard() OMN_RELEASE() { mutex_.unlock(); }
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Condition variable paired with util::Mutex.  wait() atomically
+/// releases the mutex while blocked and reacquires it before returning,
+/// exactly like std::condition_variable — the annotation-neutral
+/// signature (held before, held after) is what lets guarded predicates
+/// stay inside the caller's locked scope.  Spurious wakeups happen;
+/// always wait in a condition loop.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Caller must hold `mutex` (the analysis sees it held across the call).
+  void wait(Mutex& mutex) { cv_.wait(mutex); }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  // condition_variable_any works with any BasicLockable, which is what
+  // lets waiters block on the annotated Mutex directly instead of an
+  // unannotated std::unique_lock.
+  std::condition_variable_any cv_;
+};
+
+}  // namespace omn::util

@@ -3,8 +3,9 @@
 #include <algorithm>
 #include <atomic>
 #include <map>
-#include <mutex>
 #include <thread>
+
+#include "omn/util/thread_annotations.hpp"
 
 namespace omn::util {
 
@@ -12,8 +13,9 @@ namespace omn::util {
 /// mutex suffices: services are looked up once per high-level operation
 /// (a design, a sweep phase), never per grid cell or work item.
 struct ExecutionContext::ServiceRegistry {
-  std::mutex mutex;
-  std::map<std::type_index, std::shared_ptr<void>> entries;
+  Mutex mutex;
+  std::map<std::type_index, std::shared_ptr<void>> entries
+      OMN_GUARDED_BY(mutex);
 };
 
 ExecutionContext::ExecutionContext(std::size_t threads)
@@ -28,14 +30,14 @@ ExecutionContext::ExecutionContext(std::size_t threads)
 
 std::shared_ptr<void> ExecutionContext::find_service_erased(
     std::type_index type) const {
-  const std::scoped_lock lock(services_->mutex);
+  const LockGuard lock(services_->mutex);
   const auto it = services_->entries.find(type);
   return it != services_->entries.end() ? it->second : nullptr;
 }
 
 void ExecutionContext::set_service_erased(std::type_index type,
                                           std::shared_ptr<void> service) {
-  const std::scoped_lock lock(services_->mutex);
+  const LockGuard lock(services_->mutex);
   if (service == nullptr) {
     services_->entries.erase(type);
   } else {

@@ -1,0 +1,33 @@
+#include "omn/util/script.hpp"
+
+#include <sstream>
+
+namespace omn::util {
+
+std::vector<ScriptCommand> parse_script(std::istream& is) {
+  std::vector<ScriptCommand> commands;
+  std::string line;
+  int line_number = 0;
+  while (std::getline(is, line)) {
+    ++line_number;
+    while (!line.empty() && line.back() == '\\') {
+      line.pop_back();
+      std::string continuation;
+      if (!std::getline(is, continuation)) break;
+      ++line_number;
+      line += ' ';
+      line += continuation;
+    }
+    std::istringstream stream(line);
+    std::vector<std::string> words;
+    for (std::string word; stream >> word;) {
+      if (word[0] == '#') break;  // trailing comment
+      words.push_back(word);
+    }
+    if (words.empty()) continue;
+    commands.push_back(ScriptCommand{line_number, std::move(words), line});
+  }
+  return commands;
+}
+
+}  // namespace omn::util

@@ -9,6 +9,9 @@ ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
+  // Construction is single-threaded by definition; the analysis does not
+  // require mutex_ here (the object is not yet shared), and the worker
+  // threads only observe workers_ through their own entry point.
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -18,14 +21,17 @@ ThreadPool::ThreadPool(std::size_t threads) {
 ThreadPool::~ThreadPool() { stop(); }
 
 void ThreadPool::stop() {
+  // Claim the worker handles under the lock, then join outside it: the
+  // workers themselves need mutex_ to drain the queue and exit.
+  std::vector<std::thread> claimed;
   {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     if (stopping_) return;
     stopping_ = true;
+    claimed.swap(workers_);
   }
   cv_task_.notify_all();
-  for (auto& worker : workers_) worker.join();
-  workers_.clear();
+  for (auto& worker : claimed) worker.join();
 }
 
 void ThreadPool::submit(std::function<void()> task) {
@@ -40,13 +46,13 @@ void ThreadPool::submit(std::function<void()> task) {
     } catch (...) {
       err = std::current_exception();
     }
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     if (err && !error_) error_ = err;
     --in_flight_;
     if (in_flight_ == 0) cv_idle_.notify_all();
   };
   {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     if (stopping_) {
       throw std::runtime_error("ThreadPool::submit called after stop()");
     }
@@ -58,27 +64,28 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lock(mutex_);
-  cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
-  if (error_) {
-    std::exception_ptr err = std::exchange(error_, nullptr);
-    lock.unlock();
-    std::rethrow_exception(err);
+  std::exception_ptr err;
+  {
+    LockGuard lock(mutex_);
+    while (in_flight_ != 0) cv_idle_.wait(mutex_);
+    err = std::exchange(error_, nullptr);
   }
+  if (err) std::rethrow_exception(err);
 }
 
 void ThreadPool::parallel_for(
     std::size_t count,
     const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
   if (count == 0) return;
+  const std::size_t workers = size();
   const std::size_t chunk =
-      (count + size()) / (size() + 1);  // ceil(count / (size() + 1))
+      (count + workers) / (workers + 1);  // ceil(count / (workers + 1))
   const std::size_t parts = (count + chunk - 1) / chunk;  // non-empty chunks
 
   Batch batch;
   batch.pending = parts;
   {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     if (stopping_) {
       throw std::runtime_error("ThreadPool::parallel_for called after stop()");
     }
@@ -92,7 +99,7 @@ void ThreadPool::parallel_for(
         } catch (...) {
           err = std::current_exception();
         }
-        std::lock_guard inner(mutex_);
+        LockGuard inner(mutex_);
         if (err && !batch.error) batch.error = err;
         --batch.pending;
         --in_flight_;
@@ -115,7 +122,7 @@ void ThreadPool::parallel_for(
     } catch (...) {
       err = std::current_exception();
     }
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     if (err && !batch.error) batch.error = err;
     --batch.pending;
   }
@@ -125,32 +132,32 @@ void ThreadPool::parallel_for(
 }
 
 void ThreadPool::worker_loop() {
-  std::unique_lock lock(mutex_);
+  LockGuard lock(mutex_);
   for (;;) {
-    cv_task_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    while (!stopping_ && queue_.empty()) cv_task_.wait(mutex_);
     if (queue_.empty()) return;  // stopping_ and drained
-    run_one(lock);
+    run_one();
   }
 }
 
-void ThreadPool::run_one(std::unique_lock<std::mutex>& lock) {
+void ThreadPool::run_one() {
   std::function<void()> task = std::move(queue_.front());
   queue_.pop();
-  lock.unlock();
+  mutex_.unlock();
   task();  // self-contained: never throws, does its own accounting
-  lock.lock();
+  mutex_.lock();
 }
 
 void ThreadPool::help_until_done(Batch& batch) {
-  std::unique_lock lock(mutex_);
+  LockGuard lock(mutex_);
   for (;;) {
     if (batch.pending == 0) return;
     if (!queue_.empty()) {
-      run_one(lock);
+      run_one();
       continue;
     }
-    cv_batch_.wait(lock,
-                   [&] { return batch.pending == 0 || !queue_.empty(); });
+    // Woken by batch completion or newly stealable work; loop re-checks.
+    cv_batch_.wait(mutex_);
   }
 }
 

@@ -1,0 +1,96 @@
+// Rejection tables for the strict numeric parsers (util/parse.hpp).
+// These parsers exist so corrupt flags and file tokens fail loudly
+// instead of truncating (std::stod("0.5x") == 0.5); every table here
+// pins one spelling the lax std:: parsers would have let through.
+#include "omn/util/parse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <string>
+
+namespace {
+
+using omn::util::parse_count;
+using omn::util::parse_double;
+
+TEST(ParseCount, AcceptsCanonicalDigits) {
+  EXPECT_EQ(parse_count("0"), 0u);
+  EXPECT_EQ(parse_count("7"), 7u);
+  EXPECT_EQ(parse_count("42"), 42u);
+  EXPECT_EQ(parse_count("007"), 7u);  // leading zeros are still all-digits
+  EXPECT_EQ(parse_count("18446744073709551615"),
+            std::numeric_limits<std::size_t>::max());
+}
+
+TEST(ParseCount, RejectsEverythingElse) {
+  const char* rejected[] = {
+      "",      // empty
+      "-1",    // strtoul would silently negate this
+      "+1",    // no signs
+      " 1",    // no leading whitespace
+      "1 ",    // no trailing bytes
+      "1x",    // std::stoul would return 1
+      "0x10",  // no hex
+      "1e3",   // no exponents for counts
+      "1.0",   // not an integer
+      "18446744073709551616",    // SIZE_MAX + 1: overflow rejected, not wrapped
+      "99999999999999999999999"  // far past overflow
+  };
+  for (const char* text : rejected) {
+    EXPECT_FALSE(parse_count(text).has_value()) << "accepted: '" << text << "'";
+  }
+}
+
+TEST(ParseDouble, AcceptsFiniteDecimalSpellings) {
+  EXPECT_EQ(parse_double("0"), 0.0);
+  EXPECT_EQ(parse_double("-0"), 0.0);
+  EXPECT_EQ(parse_double("0.5"), 0.5);
+  EXPECT_EQ(parse_double("-0.5"), -0.5);
+  EXPECT_EQ(parse_double(".5"), 0.5);
+  EXPECT_EQ(parse_double("1e3"), 1000.0);
+  EXPECT_EQ(parse_double("2.5e-3"), 0.0025);
+  EXPECT_EQ(parse_double("0.125"), 0.125);  // exact in binary
+  EXPECT_EQ(parse_double("1."), 1.0);  // empty fraction is valid C17 grammar
+}
+
+TEST(ParseDouble, RejectsTruncatableAndNonFinite) {
+  const char* rejected[] = {
+      "",     "-",     ".",        "-.",
+      "+1",   " 1",    "1 ",      // signs/whitespace
+      "0.5x",                     // the std::stod truncation bug class
+      "1e",                       // dangling exponent
+      "inf",  "-inf",  "infinity", "nan", "nan(0)",  // non-finite
+      "0x1p3",                    // hex floats
+      "1,5"                       // locale decimal comma
+  };
+  for (const char* text : rejected) {
+    EXPECT_FALSE(parse_double(text).has_value())
+        << "accepted: '" << text << "'";
+  }
+}
+
+TEST(ParseDouble, RejectsOverflowToInfinity) {
+  // from_chars reports result_out_of_range for 1e309; the helper must
+  // surface that as a rejection, not return an infinity.
+  EXPECT_FALSE(parse_double("1e309").has_value());
+  EXPECT_FALSE(parse_double("-1e309").has_value());
+}
+
+TEST(ParseDouble, RoundTripsSerializerPrecision) {
+  // serialize.cpp writes doubles at max_digits10; the strict parser must
+  // read that spelling back to the identical bits.
+  const double values[] = {0.1, 1.0 / 3.0, 12345.6789, 9.99e-7};
+  for (const double v : values) {
+    std::ostringstream os;
+    os << std::setprecision(std::numeric_limits<double>::max_digits10) << v;
+    const std::optional<double> back = parse_double(os.str());
+    ASSERT_TRUE(back.has_value()) << os.str();
+    EXPECT_EQ(*back, v) << os.str();
+  }
+}
+
+}  // namespace

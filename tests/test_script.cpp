@@ -1,0 +1,111 @@
+// Pins the .omn command-file tokenizer semantics (util/script.hpp).
+// These rules are load-bearing for `omn_design run`: the rules header
+// comment in script.hpp defers to THIS suite as the source of truth, and
+// fuzz/fuzz_script.cpp asserts the same invariants over arbitrary bytes.
+#include "omn/util/script.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+using omn::util::ScriptCommand;
+using omn::util::parse_script;
+
+std::vector<ScriptCommand> parse(const std::string& text) {
+  std::istringstream stream(text);
+  return parse_script(stream);
+}
+
+TEST(Script, TokenizesOneCommandPerLine) {
+  const auto commands = parse("generate --sinks 8\ndesign out.txt\n");
+  ASSERT_EQ(commands.size(), 2u);
+  EXPECT_EQ(commands[0].tokens,
+            (std::vector<std::string>{"generate", "--sinks", "8"}));
+  EXPECT_EQ(commands[0].line_number, 1);
+  EXPECT_EQ(commands[1].tokens, (std::vector<std::string>{"design", "out.txt"}));
+  EXPECT_EQ(commands[1].line_number, 2);
+}
+
+TEST(Script, SkipsBlankAndCommentLinesButCountsThem) {
+  const auto commands = parse("\n# header comment\n\nsimulate\n");
+  ASSERT_EQ(commands.size(), 1u);
+  EXPECT_EQ(commands[0].tokens, (std::vector<std::string>{"simulate"}));
+  // Physical line numbers: blanks and comments still advance the count.
+  EXPECT_EQ(commands[0].line_number, 4);
+}
+
+TEST(Script, TrailingCommentEndsTokensButStaysInText) {
+  const auto commands = parse("design out.txt # the good one\n");
+  ASSERT_EQ(commands.size(), 1u);
+  EXPECT_EQ(commands[0].tokens, (std::vector<std::string>{"design", "out.txt"}));
+  // `text` is the line as written, for the `== file:N: <text>` echo.
+  EXPECT_EQ(commands[0].text, "design out.txt # the good one");
+}
+
+TEST(Script, HashInsideTokenIsNotAComment) {
+  // Only a token BEGINNING with '#' ends the line; '#' mid-token (e.g. a
+  // filename) is data.
+  const auto commands = parse("design out#1.txt\n");
+  ASSERT_EQ(commands.size(), 1u);
+  EXPECT_EQ(commands[0].tokens,
+            (std::vector<std::string>{"design", "out#1.txt"}));
+}
+
+TEST(Script, BackslashJoinsLines) {
+  const auto commands = parse("generate \\\n--sinks 8\n");
+  ASSERT_EQ(commands.size(), 1u);
+  EXPECT_EQ(commands[0].tokens,
+            (std::vector<std::string>{"generate", "--sinks", "8"}));
+  // line_number is the LAST physical line of the command.
+  EXPECT_EQ(commands[0].line_number, 2);
+}
+
+TEST(Script, BackslashChainsAcrossSeveralLines) {
+  const auto commands = parse("a\\\nb\\\nc\nnext\n");
+  ASSERT_EQ(commands.size(), 2u);
+  EXPECT_EQ(commands[0].tokens, (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(commands[0].line_number, 3);
+  EXPECT_EQ(commands[1].line_number, 4);
+}
+
+TEST(Script, JoinHappensBeforeCommentScan) {
+  // A comment on the first physical line swallows the continuation: the
+  // lines are joined first, then the '#' token ends tokenization.  Pinned
+  // because changing the order would silently change script meaning.
+  const auto commands = parse("a # why\\\nb\nc\n");
+  ASSERT_EQ(commands.size(), 2u);
+  EXPECT_EQ(commands[0].tokens, (std::vector<std::string>{"a"}));
+  EXPECT_EQ(commands[0].line_number, 2);
+  EXPECT_EQ(commands[1].tokens, (std::vector<std::string>{"c"}));
+}
+
+TEST(Script, TrailingBackslashOnLastLineIsDropped) {
+  const auto commands = parse("design out.txt \\");
+  ASSERT_EQ(commands.size(), 1u);
+  EXPECT_EQ(commands[0].tokens, (std::vector<std::string>{"design", "out.txt"}));
+  EXPECT_EQ(commands[0].line_number, 1);
+}
+
+TEST(Script, EmptyInputYieldsNoCommands) {
+  EXPECT_TRUE(parse("").empty());
+  EXPECT_TRUE(parse("\n\n# only comments\n").empty());
+}
+
+TEST(Script, LineNumbersAreStrictlyIncreasing) {
+  // The fuzz harness asserts this invariant on arbitrary bytes; pin it on
+  // a representative script too.
+  const auto commands = parse("a\n\nb \\\nc\n# x\nd\n");
+  ASSERT_EQ(commands.size(), 3u);
+  int previous = 0;
+  for (const ScriptCommand& command : commands) {
+    EXPECT_GT(command.line_number, previous);
+    previous = command.line_number;
+  }
+  EXPECT_EQ(commands[2].line_number, 6);
+}
+
+}  // namespace

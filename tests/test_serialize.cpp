@@ -82,6 +82,58 @@ TEST(Serialize, NamesWithSpacesAreSanitized) {
   EXPECT_EQ(back.source(0).name, "has_space");
 }
 
+// Capacity fields are read as raw tokens (to admit "inf") and parsed with
+// the strict util::parse_double.  A corrupt token must throw — the old
+// std::stod path would have truncated "0.5x" to 0.5 and loaded a wrong
+// instance silently.
+TEST(Serialize, RejectsCorruptRdEdgeCapacity) {
+  OverlayInstance inst;
+  inst.add_source(omn::net::Source{"s", 1.0});
+  inst.add_reflector(omn::net::Reflector{"r", 1.0, 2.0, 0});
+  inst.add_sink(omn::net::Sink{"d", 0, 0.9});
+  inst.add_source_reflector_edge(omn::net::SourceReflectorEdge{0, 0, 1.0, 0.1});
+  omn::net::ReflectorSinkEdge e{0, 0, 1.0, 0.1, {}};
+  e.capacity = 0.5;
+  inst.add_reflector_sink_edge(e);
+  const std::string text = omn::net::to_text(inst);
+  ASSERT_NE(text.find(" 0.5 "), std::string::npos);
+  for (const char* bad : {"0.5x", "nan", "+0.5", "1e", "."}) {
+    std::string corrupt = text;
+    corrupt.replace(corrupt.find(" 0.5 "), 5,
+                    std::string(" ") + bad + " ");
+    try {
+      omn::net::from_text(corrupt);
+      FAIL() << "accepted rd-edge capacity '" << bad << "'";
+    } catch (const std::runtime_error& err) {
+      EXPECT_NE(std::string(err.what()).find("rd-edge capacity"),
+                std::string::npos)
+          << err.what();
+    }
+  }
+}
+
+TEST(Serialize, RejectsCorruptReflectorCapacity) {
+  OverlayInstance inst;
+  inst.add_source(omn::net::Source{"s", 1.0});
+  omn::net::Reflector r{"r", 1.0, 2.0, 0};
+  r.stream_capacity = 7.5;
+  inst.add_reflector(r);
+  inst.add_sink(omn::net::Sink{"d", 0, 0.9});
+  inst.add_source_reflector_edge(omn::net::SourceReflectorEdge{0, 0, 1.0, 0.1});
+  inst.add_reflector_sink_edge(omn::net::ReflectorSinkEdge{0, 0, 1.0, 0.1, {}});
+  std::string text = omn::net::to_text(inst);
+  ASSERT_NE(text.find("7.5"), std::string::npos);
+  text.replace(text.find("7.5"), 3, "7,5");  // locale decimal comma
+  try {
+    omn::net::from_text(text);
+    FAIL() << "accepted reflector capacity '7,5'";
+  } catch (const std::runtime_error& err) {
+    EXPECT_NE(std::string(err.what()).find("reflector capacity"),
+              std::string::npos)
+        << err.what();
+  }
+}
+
 TEST(Serialize, RejectsGarbage) {
   EXPECT_THROW(omn::net::from_text("not an instance"), std::runtime_error);
   EXPECT_THROW(omn::net::from_text("omn-instance v9\n"), std::runtime_error);

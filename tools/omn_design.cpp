@@ -75,12 +75,21 @@
 #include "omn/topo/akamai.hpp"
 #include "omn/util/execution_context.hpp"
 #include "omn/util/json.hpp"
+#include "omn/util/parse.hpp"
+#include "omn/util/script.hpp"
 #include "omn/util/table.hpp"
 
 namespace {
 
 struct Args;
 std::shared_ptr<omn::core::LpCache> make_lp_cache(const Args& args);
+
+/// A malformed invocation (bad option value, unknown argument): main
+/// prints the message and exits with the usage status (2) instead of the
+/// generic failure status — and never with an uncaught std::sto* throw.
+struct UsageError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
 
 struct Args {
   std::string command;
@@ -91,13 +100,29 @@ struct Args {
     auto it = options.find(key);
     return it != options.end() ? it->second : fallback;
   }
-  long get_long(const std::string& key, long fallback) const {
+  /// Strict non-negative integer option (util::parse_count): `--seed 7x`
+  /// or `--threads -1` is a usage error, not a silently truncated or
+  /// wrapped value the run then quietly computes with.
+  std::size_t get_count(const std::string& key, std::size_t fallback) const {
     auto it = options.find(key);
-    return it != options.end() ? std::stol(it->second) : fallback;
+    if (it == options.end()) return fallback;
+    const std::optional<std::size_t> parsed = omn::util::parse_count(it->second);
+    if (!parsed.has_value()) {
+      throw UsageError("bad --" + key + " value '" + it->second +
+                       "' (expected a non-negative integer)");
+    }
+    return *parsed;
   }
+  /// Strict finite double option (util::parse_double).
   double get_double(const std::string& key, double fallback) const {
     auto it = options.find(key);
-    return it != options.end() ? std::stod(it->second) : fallback;
+    if (it == options.end()) return fallback;
+    const std::optional<double> parsed = omn::util::parse_double(it->second);
+    if (!parsed.has_value()) {
+      throw UsageError("bad --" + key + " value '" + it->second +
+                       "' (expected a finite number)");
+    }
+    return *parsed;
   }
   bool has(const std::string& key) const { return flags.count(key) > 0; }
 };
@@ -195,12 +220,13 @@ int usage() {
 }
 
 int cmd_generate(const Args& args) {
-  const int sinks = static_cast<int>(args.get_long("sinks", 48));
-  const auto seed = static_cast<std::uint64_t>(args.get_long("seed", 1));
+  const int sinks = static_cast<int>(args.get_count("sinks", 48));
+  const auto seed = static_cast<std::uint64_t>(args.get_count("seed", 1));
   auto cfg = args.has("eu-heavy")
                  ? omn::topo::eu_heavy_event_config(sinks, seed)
                  : omn::topo::global_event_config(sinks, seed);
-  cfg.num_isps = static_cast<int>(args.get_long("isps", cfg.num_isps));
+  cfg.num_isps = static_cast<int>(
+      args.get_count("isps", static_cast<std::size_t>(cfg.num_isps)));
   const auto inst = omn::topo::make_akamai_like(cfg);
   const std::string out = args.get("out", "");
   if (out.empty()) {
@@ -218,10 +244,10 @@ int cmd_generate(const Args& args) {
 int cmd_design(const Args& args) {
   const auto inst = omn::net::load_file(args.get("instance", ""));
   omn::core::DesignerConfig cfg;
-  cfg.seed = static_cast<std::uint64_t>(args.get_long("seed", 1));
+  cfg.seed = static_cast<std::uint64_t>(args.get_count("seed", 1));
   cfg.c = args.get_double("c", cfg.c);
-  cfg.rounding_attempts = static_cast<int>(args.get_long("attempts", 3));
-  cfg.threads = static_cast<int>(args.get_long("threads", 0));
+  cfg.rounding_attempts = static_cast<int>(args.get_count("attempts", 3));
+  cfg.threads = static_cast<int>(args.get_count("threads", 0));
   cfg.color_constraints = args.has("colors");
   cfg.bandwidth_extension = args.has("bandwidth");
   const std::shared_ptr<omn::core::LpCache> cache = make_lp_cache(args);
@@ -295,19 +321,19 @@ int cmd_design(const Args& args) {
 
 int cmd_sweep(const Args& args) {
   const auto inst = omn::net::load_file(args.get("instance", ""));
-  const int seeds = static_cast<int>(args.get_long("seeds", 3));
-  const int attempts = static_cast<int>(args.get_long("attempts", 1));
+  const int seeds = static_cast<int>(args.get_count("seeds", 3));
+  const int attempts = static_cast<int>(args.get_count("attempts", 1));
 
   std::vector<double> cs;
   std::stringstream list(args.get("c", "0.5,2,8"));
   for (std::string item; std::getline(list, item, ',');) {
     if (item.empty()) continue;
-    std::size_t used = 0;
-    const double value = std::stod(item, &used);  // throws on non-numeric
-    if (used != item.size()) {
-      throw std::runtime_error("bad --c value: " + item);
+    const std::optional<double> value = omn::util::parse_double(item);
+    if (!value.has_value()) {
+      throw UsageError("bad --c value '" + item +
+                       "' (expected a comma-separated list of numbers)");
     }
-    cs.push_back(value);
+    cs.push_back(*value);
   }
 
   // All configs differ only in rounding knobs (c, seed), so the LP-reuse
@@ -326,10 +352,9 @@ int cmd_sweep(const Args& args) {
     }
   }
   omn::core::SweepOptions options;
-  options.threads = static_cast<std::size_t>(args.get_long("threads", 0));
+  options.threads = args.get_count("threads", 0);
   options.reuse_lp = !args.has("no-reuse-lp");
-  const std::size_t workers =
-      static_cast<std::size_t>(args.get_long("workers", 0));
+  const std::size_t workers = args.get_count("workers", 0);
 
   // Checkpoints are a distributed-engine feature (per-SHARD results);
   // silently ignoring the flag on an in-process sweep would let a
@@ -463,8 +488,8 @@ int cmd_simulate(const Args& args) {
   const auto design =
       omn::core::load_design_file(args.get("design", ""), inst);
   omn::sim::SimulationConfig cfg;
-  cfg.num_packets = args.get_long("packets", 100000);
-  cfg.seed = static_cast<std::uint64_t>(args.get_long("seed", 1));
+  cfg.num_packets = static_cast<long long>(args.get_count("packets", 100000));
+  cfg.seed = static_cast<std::uint64_t>(args.get_count("seed", 1));
   cfg.isp_outage_probability = args.get_double("isp-outage-prob", 0.0);
   const auto report = omn::sim::simulate(inst, design, cfg);
   std::printf("%lld packets: %.1f%% of sinks meet their threshold, %.1f%% "
@@ -524,40 +549,28 @@ int cmd_run(const std::vector<std::string>& tokens) {
   const std::string& path = tokens[0];
   std::ifstream script(path);
   if (!script) throw std::runtime_error("run: cannot open " + path);
-  std::string line;
-  int line_number = 0;
-  while (std::getline(script, line)) {
-    ++line_number;
-    while (!line.empty() && line.back() == '\\') {
-      line.pop_back();
-      std::string continuation;
-      if (!std::getline(script, continuation)) break;
-      ++line_number;
-      line += ' ';
-      line += continuation;
-    }
-    std::istringstream stream(line);
-    std::vector<std::string> words;
-    for (std::string word; stream >> word;) {
-      if (word[0] == '#') break;  // trailing comment
-      words.push_back(word);
-    }
-    if (words.empty()) continue;
+  // The tokenizer lives in util (omn/util/script.hpp) so the fuzz harness
+  // drives the exact reader this subcommand trusts.
+  const std::vector<omn::util::ScriptCommand> commands =
+      omn::util::parse_script(script);
+  for (const omn::util::ScriptCommand& command : commands) {
     const auto fail = [&](const std::string& why) {
       throw std::runtime_error("run: " + path + ":" +
-                               std::to_string(line_number) + ": " + why);
+                               std::to_string(command.line_number) + ": " +
+                               why);
     };
-    if (words[0] == "worker" || words[0] == "run") {
-      fail("'" + words[0] + "' is not scriptable");
+    if (command.tokens[0] == "worker" || command.tokens[0] == "run") {
+      fail("'" + command.tokens[0] + "' is not scriptable");
     }
-    std::printf("== %s:%d: %s\n", path.c_str(), line_number, line.c_str());
+    std::printf("== %s:%d: %s\n", path.c_str(), command.line_number,
+                command.text.c_str());
     int status = 0;
     try {
-      status = dispatch(parse(words));
+      status = dispatch(parse(command.tokens));
     } catch (const std::exception& ex) {
       fail(ex.what());
     }
-    if (status == -1) fail("unknown command '" + words[0] + "'");
+    if (status == -1) fail("unknown command '" + command.tokens[0] + "'");
     if (status != 0) {
       fail("command failed with exit status " + std::to_string(status));
     }
@@ -584,6 +597,9 @@ int main(int argc, char** argv) {
     const Args args = parse(argc, argv);
     const int status = dispatch(args);
     return status == -1 ? usage() : status;
+  } catch (const UsageError& ex) {
+    std::cerr << "error: " << ex.what() << "\n";
+    return usage();
   } catch (const std::exception& ex) {
     std::cerr << "error: " << ex.what() << "\n";
     return 1;

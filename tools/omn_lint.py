@@ -1,0 +1,400 @@
+#!/usr/bin/env python3
+"""omn-lint: repo-specific invariants clang-tidy cannot express.
+
+Rules (each scoped to where the invariant actually holds; see
+docs/ANALYSIS.md for the full rationale):
+
+  loose-number-parse
+      No std::sto*/ato*/strto* outside util/parse.hpp, in src/, tools/,
+      bench/, examples/.  These parsers stop at the first bad byte and
+      wrap or negate out-of-range values; every numeric token in this
+      repo goes through util::parse_count / util::parse_double, which
+      reject instead (the PR 6 bug class: `meta attempts 8x` loading as
+      8).  tests/ is exempt — rejection tests deliberately compare the
+      lax parsers against the strict ones.
+
+  unordered-iteration
+      No iteration over a std::unordered_map/set, anywhere in src/,
+      tools/, bench/, examples/.  Iteration order is
+      implementation-defined, so a serializer, hasher, or to_json that
+      walks one emits nondeterministic bytes — and this tree pins exact
+      bytes in golden tests, cache keys, and wire checksums.  Declaring
+      unordered containers for lookup is fine; only iteration is banned
+      (detected as a range-for over, or .begin() on, an identifier the
+      same file declares with an unordered type).
+
+  raw-concurrency
+      No raw std::thread / std::mutex / std::condition_variable /
+      std::lock_guard-family outside src/util/, in src/, tools/, bench/,
+      examples/.  Shared state must use the annotated omn::util::Mutex /
+      LockGuard / CondVar (thread-safety analysis coverage) and tasks
+      must run on the shared ThreadPool (no oversubscription).
+      std::thread::hardware_concurrency and std::this_thread are allowed.
+
+  no-rand
+      No rand()/srand()/random_shuffle, anywhere including tests/.  All
+      randomness goes through util::Rng with an explicit seed, or
+      results stop being reproducible.
+
+Waivers: a comment anywhere in a file
+
+    // omn-lint: allow(<rule>): <reason>
+
+disables <rule> for that whole file.  The reason is mandatory; a waiver
+without one is itself an error.  Waivers are file-granular on purpose —
+they are meant to be rare, and a reviewer should read one justification
+per file, not play whack-a-mole with line pragmas.
+
+Usage:
+    tools/omn_lint.py                  # lint the repo this script sits in
+    tools/omn_lint.py path [path...]   # lint specific files/directories
+    tools/omn_lint.py --self-test      # run the built-in fixtures
+
+Exit status: 0 clean, 1 findings, 2 bad invocation/self-test failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SOURCE_SUFFIXES = {".cpp", ".hpp", ".cc", ".h"}
+
+WAIVER_RE = re.compile(r"omn-lint:\s*allow\((?P<rule>[\w-]+)\)(?P<reason>.*)")
+
+# ---------------------------------------------------------------------------
+# Lexical stripping: rules must not fire on comments or string literals
+# (several headers *discuss* std::stod in prose).  Waivers are collected
+# from the raw text BEFORE stripping, since they live in comments.
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks comments/string/char literals, preserving line structure."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+            out.append("\n" if c == "\n" else " ")
+        i += 1
+    return "".join(out)
+
+
+# ---------------------------------------------------------------------------
+# Rule machinery
+
+
+@dataclass
+class Finding:
+    path: Path
+    line: int
+    rule: str
+    message: str
+
+    def render(self, root: Path) -> str:
+        try:
+            shown = self.path.resolve().relative_to(root)
+        except ValueError:
+            shown = self.path
+        return f"{shown}:{self.line}: [{self.rule}] {self.message}"
+
+
+def _in_dirs(rel: str, dirs: tuple[str, ...]) -> bool:
+    return any(rel == d or rel.startswith(d + "/") for d in dirs)
+
+
+LOOSE_PARSE_RE = re.compile(
+    r"\b(?:std::)?(?:stoi|stol|stoll|stoul|stoull|stof|stod|stold"
+    r"|atoi|atol|atoll|atof|strtol|strtoll|strtoul|strtoull|strtof"
+    r"|strtod|strtold)\s*\("
+)
+LOOSE_PARSE_EXEMPT = ("src/util/include/omn/util/parse.hpp",)
+
+UNORDERED_DECL_RE = re.compile(
+    r"\bstd::unordered_(?:map|set|multimap|multiset)\s*<[^;]*?>\s*\n?\s*"
+    r"(?P<name>\w+)\s*(?:;|=|\{|OMN_GUARDED_BY)"
+)
+RAW_CONCURRENCY_RE = re.compile(
+    r"\bstd::(?:thread\b(?!::)|jthread\b|mutex\b|shared_mutex\b"
+    r"|recursive_mutex\b|condition_variable\b|condition_variable_any\b"
+    r"|scoped_lock\b|lock_guard\b|unique_lock\b)"
+)
+RAND_RE = re.compile(r"\b(?:std::)?(?:rand|srand|random_shuffle)\s*\(")
+
+
+def check_loose_number_parse(rel: str, stripped: str) -> list[tuple[int, str]]:
+    if not _in_dirs(rel, ("src", "tools", "bench", "examples")):
+        return []
+    if rel in LOOSE_PARSE_EXEMPT:
+        return []
+    return [
+        (lineno, f"{m.group(0).rstrip('(').strip()} truncates/wraps bad "
+                 "input; use util::parse_count / util::parse_double")
+        for lineno, m in _matches(stripped, LOOSE_PARSE_RE)
+    ]
+
+
+def check_unordered_iteration(rel: str, stripped: str) -> list[tuple[int, str]]:
+    if not _in_dirs(rel, ("src", "tools", "bench", "examples")):
+        return []
+    names = {m.group("name") for m in UNORDERED_DECL_RE.finditer(stripped)}
+    if not names:
+        return []
+    pattern = re.compile(
+        r"(?:for\s*\([^;)]*:\s*(?P<range>" + "|".join(names) + r")\b"
+        r"|\b(?P<begin>" + "|".join(names) + r")\s*\.\s*(?:begin|cbegin)\s*\()"
+    )
+    return [
+        (lineno, f"iterating unordered container "
+                 f"'{m.group('range') or m.group('begin')}': order is "
+                 "implementation-defined, so serialized/hashed bytes become "
+                 "nondeterministic")
+        for lineno, m in _matches(stripped, pattern)
+    ]
+
+
+def check_raw_concurrency(rel: str, stripped: str) -> list[tuple[int, str]]:
+    if not _in_dirs(rel, ("src", "tools", "bench", "examples")):
+        return []
+    if _in_dirs(rel, ("src/util",)):
+        return []  # util implements the sanctioned primitives
+    findings = []
+    for lineno, m in _matches(stripped, RAW_CONCURRENCY_RE):
+        findings.append(
+            (lineno, f"{m.group(0)} outside util: use omn::util::Mutex / "
+                     "LockGuard / CondVar (annotated, analysis-checked) and "
+                     "the shared ThreadPool"))
+    return findings
+
+
+def check_no_rand(rel: str, stripped: str) -> list[tuple[int, str]]:
+    if not _in_dirs(rel, ("src", "tools", "bench", "examples", "tests")):
+        return []
+    return [
+        (lineno, f"{m.group(0).rstrip('(').strip()}() is unseeded global "
+                 "state; use util::Rng with an explicit seed")
+        for lineno, m in _matches(stripped, RAND_RE)
+    ]
+
+
+def _matches(stripped: str, pattern: re.Pattern):
+    for m in pattern.finditer(stripped):
+        yield stripped.count("\n", 0, m.start()) + 1, m
+
+
+RULES = {
+    "loose-number-parse": check_loose_number_parse,
+    "unordered-iteration": check_unordered_iteration,
+    "raw-concurrency": check_raw_concurrency,
+    "no-rand": check_no_rand,
+}
+
+
+def collect_waivers(path: Path, raw: str) -> tuple[dict[str, int], list[Finding]]:
+    """rule -> waiver line, plus findings for malformed waivers."""
+    waivers: dict[str, int] = {}
+    problems: list[Finding] = []
+    for lineno, line in enumerate(raw.splitlines(), start=1):
+        m = WAIVER_RE.search(line)
+        if not m:
+            continue
+        rule, reason = m.group("rule"), m.group("reason")
+        if rule not in RULES:
+            problems.append(Finding(path, lineno, "bad-waiver",
+                                    f"unknown rule '{rule}' in waiver"))
+            continue
+        if not reason.lstrip().startswith(":") or len(reason.lstrip(": ")) < 8:
+            problems.append(Finding(path, lineno, "bad-waiver",
+                                    f"waiver for '{rule}' needs a reason: "
+                                    "omn-lint: allow(rule): why"))
+            continue
+        waivers[rule] = lineno
+    return waivers, problems
+
+
+def lint_text(path: Path, rel: str, raw: str) -> list[Finding]:
+    waivers, findings = collect_waivers(path, raw)
+    stripped = strip_comments_and_strings(raw)
+    for rule, check in RULES.items():
+        if rule in waivers:
+            continue
+        for lineno, message in check(rel, stripped):
+            findings.append(Finding(path, lineno, rule, message))
+    return findings
+
+
+def lint_file(path: Path, root: Path) -> list[Finding]:
+    try:
+        rel = str(path.resolve().relative_to(root))
+    except ValueError:
+        rel = str(path)
+    raw = path.read_text(encoding="utf-8", errors="replace")
+    return lint_text(path, rel, raw)
+
+
+def iter_source_files(paths: list[Path]):
+    for p in paths:
+        if p.is_dir():
+            for f in sorted(p.rglob("*")):
+                if f.suffix in SOURCE_SUFFIXES and f.is_file():
+                    # Never descend into build trees or vendored deps.
+                    parts = f.parts
+                    if any(part in ("build", "_deps", ".git") for part in parts):
+                        continue
+                    yield f
+        elif p.is_file():
+            yield p
+        else:
+            raise FileNotFoundError(p)
+
+
+# ---------------------------------------------------------------------------
+# Self-test: fixture snippets with known findings, so CI proves the
+# checker itself works before trusting its "clean" verdict.
+
+SELF_TEST_FIXTURES = [
+    # (virtual path, snippet, expected rule hits)
+    ("src/core/src/bad_parse.cpp",
+     'int f(const std::string& s) { return std::stoi(s); }\n',
+     ["loose-number-parse"]),
+    ("src/core/src/bad_parse_c.cpp",
+     '#include <cstdlib>\nint f(const char* s) { return atoi(s); }\n',
+     ["loose-number-parse"]),
+    ("tests/test_ok_lax.cpp",
+     'TEST(X, Lax) { EXPECT_EQ(std::stod("0.5x"), 0.5); }\n',
+     []),  # tests are exempt from loose-number-parse
+    ("src/util/include/omn/util/parse.hpp",
+     'inline int p(const char* s) { return atoi(s); }\n',
+     []),  # the one sanctioned implementation site
+    ("src/net/src/bad_iter.cpp",
+     "std::unordered_map<int, int> m_;\n"
+     "void to_json() { for (const auto& kv : m_) { use(kv); } }\n",
+     ["unordered-iteration"]),
+    ("src/net/src/ok_lookup.cpp",
+     "std::unordered_map<int, int> m_;\n"
+     "bool has(int k) { return m_.find(k) != m_.end(); }\n",
+     []),  # lookup is fine, only iteration is banned
+    ("src/core/src/bad_thread.cpp",
+     "void f() { std::mutex m; std::thread t([]{}); t.join(); }\n",
+     ["raw-concurrency", "raw-concurrency"]),
+    ("src/core/src/ok_hw.cpp",
+     "std::size_t n() { return std::thread::hardware_concurrency(); }\n",
+     []),  # querying the core count is not spawning a thread
+    ("src/util/src/ok_util_impl.cpp",
+     "void f() { std::mutex m; (void)m; }\n",
+     []),  # util implements the primitives
+    ("src/core/src/waived_thread.cpp",
+     "// omn-lint: allow(raw-concurrency): scheduler threads block on "
+     "pipe I/O and must not occupy the pool\n"
+     "void f() { std::thread t([]{}); t.join(); }\n",
+     []),
+    ("src/core/src/bad_waiver.cpp",
+     "// omn-lint: allow(raw-concurrency)\n"
+     "void f() { std::thread t([]{}); t.join(); }\n",
+     ["bad-waiver"]),  # missing reason: waiver rejected, rule re-fires
+    ("tests/test_bad_rand.cpp",
+     "int f() { return rand(); }\n",
+     ["no-rand"]),
+    ("src/core/src/ok_comment.cpp",
+     "// std::stoi would truncate here, which is why we use parse_count\n"
+     'const char* s = "std::stoi(";\n',
+     []),  # comments and string literals never fire
+]
+
+
+def self_test() -> int:
+    failures = 0
+    for rel, snippet, expected in SELF_TEST_FIXTURES:
+        findings = lint_text(Path(rel), rel, snippet)
+        got = sorted(f.rule for f in findings
+                     if f.rule != "raw-concurrency" or "bad_waiver" not in rel)
+        # bad_waiver fixture: the malformed waiver is the interesting
+        # finding; the underlying rule firing as well is acceptable.
+        if rel.endswith("bad_waiver.cpp"):
+            got = sorted({f.rule for f in findings} & {"bad-waiver"})
+        if got != sorted(expected):
+            failures += 1
+            print(f"self-test FAIL {rel}: expected {sorted(expected)}, "
+                  f"got {got}", file=sys.stderr)
+    if failures:
+        return 2
+    print(f"self-test OK ({len(SELF_TEST_FIXTURES)} fixtures)")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*", type=Path,
+                        help="files/directories to lint (default: repo root)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in fixtures and exit")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+
+    paths = args.paths or [REPO_ROOT / d
+                           for d in ("src", "tools", "bench", "examples",
+                                     "tests", "fuzz")]
+    findings: list[Finding] = []
+    for f in iter_source_files(paths):
+        findings.extend(lint_file(f, REPO_ROOT))
+    for finding in findings:
+        print(finding.render(REPO_ROOT))
+    if findings:
+        print(f"\nomn-lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("omn-lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
