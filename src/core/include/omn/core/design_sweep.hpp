@@ -95,6 +95,14 @@ struct SweepReport {
   /// reuse_lp off — and lp_solves == lp_cache_misses when a cache is on.
   std::size_t lp_cache_hits = 0;
   std::size_t lp_cache_misses = 0;
+  /// Simplex work actually performed across the sweep's LP solves (cache
+  /// hits contribute 0 — no pivots ran): total and phase-1 pivot counts,
+  /// basis refactorizations, and how many solves started from a cached
+  /// same-shape basis (always 0 unless a config sets lp_warm_start).
+  std::size_t lp_iterations = 0;
+  std::size_t lp_phase1_iterations = 0;
+  std::size_t lp_refactorizations = 0;
+  std::size_t lp_warm_start_hits = 0;
   /// Wall-clock seconds for the whole grid (serial-vs-parallel speedup is
   /// the ratio of two runs' wall_seconds).  For a merged distributed
   /// report this is the end-to-end time the caller observed when it

@@ -56,6 +56,12 @@ struct DesignerConfig {
   bool prune_unused = true;
   /// Include the paper's cutting plane (4) in the LP.
   bool cutting_plane = true;
+  /// Warm-start LP solves from the optimal basis of a previously solved
+  /// same-shaped instance (needs an LpCache service on the context).  Off
+  /// by default: a warm-started solve can land on a different optimal
+  /// vertex, which breaks the bit-identity guarantees (serial vs parallel,
+  /// cache on/off) — opt in only when iteration speed matters more.
+  bool lp_warm_start = false;
   lp::SolveOptions lp_options;
   ColorRoundingOptions color_options;
   BoxNetworkOptions box_options;
@@ -87,6 +93,10 @@ struct DesignResult {
   FractionalDesign lp_design;
   double lp_objective = 0.0;
   int lp_iterations = 0;
+  int lp_phase1_iterations = 0;
+  /// Basis refactorizations the revised solver performed (0 for the dense
+  /// tableau oracle).
+  int lp_refactorizations = 0;
 
   /// cost(design) / lp_objective (>= 1; the measured approximation ratio).
   double cost_ratio = 0.0;
@@ -105,6 +115,10 @@ struct DesignResult {
   /// the execution context (lp_seconds then covers only the model
   /// rebuild + cache load).  Always false without a cache service.
   bool lp_cache_hit = false;
+
+  /// True when the LP solve started from a cached same-shape basis
+  /// (DesignerConfig::lp_warm_start and a shape-index hit).
+  bool lp_warm_start = false;
 
   bool ok() const { return status == DesignStatus::kOk; }
 };

@@ -35,14 +35,31 @@
 //    partial entry.  Corrupt, truncated, or version-mismatched entries
 //    are rejected (and re-solved), never trusted.
 //
-// Entry format v1 (all fields little-endian; see docs/ARCHITECTURE.md):
+// Entry format v2 (all fields little-endian; see docs/ARCHITECTURE.md):
 //
-//   u32 magic 0x4F4C5043 ("CPLO")   u32 version (1)
+//   u32 magic 0x4F4C5043 ("CPLO")   u32 version (2)
 //   u64 key.hi   u64 key.lo
 //   u32 solve status                i32 iterations   i32 phase1_iterations
 //   f64 objective                   f64 max_violation
 //   u64 n                           f64 x[n]            (exact bit patterns)
+//   i32 refactorizations            u8 warm_started
+//   u8 has_basis                    [u64 ns  u8 state[ns]  u64 nb  i32 basic[nb]]
 //   u64 checksum (util::Hasher digest.lo of all preceding bytes)
+//
+// v1 entries (the format without the refactorizations/warm_started/basis
+// block) are still read — old cache directories keep working; they just
+// carry no basis to warm-start from.  Writes always produce v2.
+//
+// Basis warm-start (opt-in): optimal bases are also indexed in memory by a
+// structural "shape" digest (lp_shape_digest: everything that determines
+// the LP's dimensions and sparsity pattern, but none of the float data).
+// A solve for a near-miss instance — same shape, different costs — can
+// fetch that basis and start from it instead of from scratch.  This is
+// off by default at every call site because a warm-started solve may
+// return a *different optimal vertex* than a cold one, which would break
+// the bit-identity guarantees (serial vs parallel, cache on/off,
+// distributed vs serial) the rest of the stack advertises; callers opt in
+// per run via DesignerConfig::lp_warm_start / --warm-start.
 
 #include <cstdint>
 #include <iosfwd>
@@ -66,13 +83,15 @@ struct LpCacheStats {
   std::size_t misses = 0;       ///< neither tier had a valid entry
   std::size_t insertions = 0;   ///< entries stored via insert()
   std::size_t rejected = 0;     ///< corrupt/mismatched disk entries refused
+  std::size_t warm_hits = 0;    ///< shape-index lookups that found a basis
 };
 
 class LpCache {
  public:
   /// On-disk entry format version; bumped on any layout change so stale
-  /// files are rejected instead of misread.
-  static constexpr std::uint32_t kFormatVersion = 1;
+  /// files are rejected instead of misread.  read_entry additionally
+  /// accepts the previous version (v1, basis-less).
+  static constexpr std::uint32_t kFormatVersion = 2;
 
   /// Memory-only cache.
   LpCache() = default;
@@ -99,6 +118,16 @@ class LpCache {
   /// temp-file + rename protocol keeps concurrent writers safe.
   void insert(const util::Digest128& key, const lp::Solution& solution);
 
+  /// Records `basis` as the latest optimal basis for LPs of `shape`
+  /// (lp_shape_digest).  Memory-only: shapes index far fewer, larger
+  /// objects than solves and a stale basis merely costs one rejected warm
+  /// start.  Thread-safe.
+  void note_basis(const util::Digest128& shape, const lp::Basis& basis);
+
+  /// The latest basis noted for `shape`, if any (counts as a warm hit in
+  /// stats()).  Thread-safe.
+  std::optional<lp::Basis> find_basis(const util::Digest128& shape);
+
   /// The cache directory, or empty for a memory-only cache.
   const std::string& directory() const { return directory_; }
 
@@ -106,12 +135,13 @@ class LpCache {
 
   // ---- entry (de)serialization, exposed for the format tests ------------
 
-  /// Writes one v1 entry for `key` to `os`.
+  /// Writes one v2 entry for `key` to `os`.
   static void write_entry(std::ostream& os, const util::Digest128& key,
                           const lp::Solution& solution);
-  /// Parses one entry, validating magic, version, key, structure, and
-  /// checksum.  Returns nullopt on any mismatch (including trailing or
-  /// missing bytes) — a rejected entry is indistinguishable from a miss.
+  /// Parses one entry (v2 or legacy v1), validating magic, version, key,
+  /// structure, and checksum.  Returns nullopt on any mismatch (including
+  /// trailing or missing bytes) — a rejected entry is indistinguishable
+  /// from a miss.
   static std::optional<lp::Solution> read_entry(std::istream& is,
                                                 const util::Digest128& key);
 
@@ -128,12 +158,23 @@ class LpCache {
   mutable util::Mutex mutex_;
   std::unordered_map<util::Digest128, lp::Solution, util::Digest128Hash>
       memory_ OMN_GUARDED_BY(mutex_);
+  std::unordered_map<util::Digest128, lp::Basis, util::Digest128Hash>
+      bases_ OMN_GUARDED_BY(mutex_);
   LpCacheStats stats_ OMN_GUARDED_BY(mutex_);
 };
 
 /// Canonical digest of the LP-relevant instance content (see the header
 /// comment for what is covered and why names/delays are excluded).
 util::Digest128 lp_instance_digest(const net::OverlayInstance& instance);
+
+/// Structural digest of the LP an instance+build would produce: entity and
+/// edge counts, edge endpoints, commodity/colors, the capacity-presence
+/// pattern, and the build options — but none of the float data.  Two
+/// instances with equal shape digests yield LPs with identical dimensions,
+/// variable order, and sparsity pattern, so an optimal basis for one is a
+/// valid (if not optimal) starting basis for the other.
+util::Digest128 lp_shape_digest(const net::OverlayInstance& instance,
+                                const LpBuildOptions& build);
 
 /// An LP build + solve with optional caching: the model is always (re)built
 /// — the build is cheap and deterministic — and the solve is served from
@@ -148,9 +189,15 @@ struct CachedLp {
 /// `cache` may be nullptr (plain build + solve).  This is the single entry
 /// point both OverlayDesigner and DesignSweep use, so the key derivation
 /// can never diverge between layers.
+///
+/// With `warm_start` set (and a cache), a byte-cache miss consults the
+/// cache's shape index for a basis from a same-shaped instance and solves
+/// from it; the result is still inserted into the byte cache under the
+/// cold key.  See the warm-start caveat in the header comment — callers
+/// that advertise bit-identity must leave this off.
 CachedLp solve_overlay_lp_cached(const net::OverlayInstance& instance,
                                  const LpBuildOptions& build,
                                  const lp::SolveOptions& solve,
-                                 LpCache* cache);
+                                 LpCache* cache, bool warm_start = false);
 
 }  // namespace omn::core

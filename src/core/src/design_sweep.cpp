@@ -48,6 +48,10 @@ void SweepReport::merge(const SweepReport& shard) {
   lp_solves += shard.lp_solves;
   lp_cache_hits += shard.lp_cache_hits;
   lp_cache_misses += shard.lp_cache_misses;
+  lp_iterations += shard.lp_iterations;
+  lp_phase1_iterations += shard.lp_phase1_iterations;
+  lp_refactorizations += shard.lp_refactorizations;
+  lp_warm_start_hits += shard.lp_warm_start_hits;
   // Shards run concurrently, so the merged wall is the slowest shard;
   // the merged cpu is the total machine time across all of them.
   if (shard.wall_seconds > wall_seconds) wall_seconds = shard.wall_seconds;
@@ -68,6 +72,10 @@ util::Json to_json(const SweepReport& report) {
   j.set("lp_solves", report.lp_solves);
   j.set("lp_cache_hits", report.lp_cache_hits);
   j.set("lp_cache_misses", report.lp_cache_misses);
+  j.set("lp_iterations", report.lp_iterations);
+  j.set("lp_phase1_iterations", report.lp_phase1_iterations);
+  j.set("lp_refactorizations", report.lp_refactorizations);
+  j.set("lp_warm_start_hits", report.lp_warm_start_hits);
   j.set("saved_by_reuse", report.saved_by_reuse());
   j.set("wall_seconds", report.wall_seconds);
   j.set("cpu_seconds", report.cpu_seconds);
@@ -108,13 +116,17 @@ SweepReport DesignSweep::run_range(std::size_t begin, std::size_t end,
   struct LpKey {
     LpBuildOptions build;
     lp::SolveOptions solve;
+    // Warm starting changes which optimal vertex the solve can return, so
+    // warm and cold configs must not share a solve.
+    bool warm_start = false;
     bool operator==(const LpKey&) const = default;
   };
   std::vector<LpKey> groups;
   std::vector<std::size_t> group_of_config(configs_.size(), 0);
   for (std::size_t c = 0; c < configs_.size(); ++c) {
     const LpKey key{lp_build_options(configs_[c].second),
-                    configs_[c].second.lp_options};
+                    configs_[c].second.lp_options,
+                    configs_[c].second.lp_warm_start};
     std::size_t g = 0;
     while (g < groups.size() && !(groups[g] == key)) ++g;
     if (g == groups.size()) groups.push_back(key);
@@ -178,6 +190,13 @@ SweepReport DesignSweep::run_range(std::size_t begin, std::size_t end,
       } else {
         ++report.lp_solves;
         if (cache != nullptr) ++report.lp_cache_misses;
+        report.lp_iterations +=
+            static_cast<std::size_t>(cell.result.lp_iterations);
+        report.lp_phase1_iterations +=
+            static_cast<std::size_t>(cell.result.lp_phase1_iterations);
+        report.lp_refactorizations +=
+            static_cast<std::size_t>(cell.result.lp_refactorizations);
+        if (cell.result.lp_warm_start) ++report.lp_warm_start_hits;
       }
     }
     report.wall_seconds = wall.seconds();
@@ -216,6 +235,10 @@ SweepReport DesignSweep::run_range(std::size_t begin, std::size_t end,
   std::vector<SolvedLp> solved(needed.size());
   std::atomic<std::size_t> solves{0};
   std::atomic<std::size_t> cache_hits{0};
+  std::atomic<std::size_t> iterations{0};
+  std::atomic<std::size_t> phase1_iterations{0};
+  std::atomic<std::size_t> refactorizations{0};
+  std::atomic<std::size_t> warm_hits{0};
   context.parallel_for(
       solved.size(),
       [&](std::size_t t) {
@@ -225,7 +248,7 @@ SweepReport DesignSweep::run_range(std::size_t begin, std::size_t end,
         SolvedLp& s = solved[t];
         CachedLp cached = solve_overlay_lp_cached(
             instances_[i].second, groups[g].build, groups[g].solve,
-            cache.get());
+            cache.get(), groups[g].warm_start);
         s.lp = std::move(cached.lp);
         s.solution = std::move(cached.solution);
         s.cache_hit = cached.cache_hit;
@@ -234,12 +257,27 @@ SweepReport DesignSweep::run_range(std::size_t begin, std::size_t end,
           cache_hits.fetch_add(1, std::memory_order_relaxed);
         } else {
           solves.fetch_add(1, std::memory_order_relaxed);
+          iterations.fetch_add(static_cast<std::size_t>(s.solution.iterations),
+                               std::memory_order_relaxed);
+          phase1_iterations.fetch_add(
+              static_cast<std::size_t>(s.solution.phase1_iterations),
+              std::memory_order_relaxed);
+          refactorizations.fetch_add(
+              static_cast<std::size_t>(s.solution.refactorizations),
+              std::memory_order_relaxed);
+          if (s.solution.warm_started) {
+            warm_hits.fetch_add(1, std::memory_order_relaxed);
+          }
         }
       },
       fan);
   report.lp_solves = solves.load();
   report.lp_cache_hits = cache_hits.load();
   if (cache != nullptr) report.lp_cache_misses = report.lp_solves;
+  report.lp_iterations = iterations.load();
+  report.lp_phase1_iterations = phase1_iterations.load();
+  report.lp_refactorizations = refactorizations.load();
+  report.lp_warm_start_hits = warm_hits.load();
 
   // Phase 2: fan the rounding cells out over the shared solves.  Nested
   // rounding attempts reuse the same context (and pool), so a sweep never

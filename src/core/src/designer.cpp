@@ -27,11 +27,14 @@ util::Json to_json(const DesignResult& result) {
   j.set("lp_objective", result.lp_objective);
   j.set("cost_ratio", result.cost_ratio);
   j.set("lp_iterations", result.lp_iterations);
+  j.set("lp_phase1_iterations", result.lp_phase1_iterations);
+  j.set("lp_refactorizations", result.lp_refactorizations);
   j.set("winning_attempt", result.winning_attempt);
   j.set("attempts_made", result.attempts_made);
   j.set("lp_seconds", result.lp_seconds);
   j.set("rounding_seconds", result.rounding_seconds);
   j.set("lp_cache_hit", result.lp_cache_hit);
+  j.set("lp_warm_start", result.lp_warm_start);
   return j;
 }
 
@@ -92,7 +95,8 @@ DesignResult OverlayDesigner::design(
   // bit-identical design.  Without a cache this is a plain build + solve.
   const std::shared_ptr<LpCache> cache = context.find_service<LpCache>();
   CachedLp solved = solve_overlay_lp_cached(
-      inst, lp_build_options(config_), config_.lp_options, cache.get());
+      inst, lp_build_options(config_), config_.lp_options, cache.get(),
+      config_.lp_warm_start);
   const double lp_seconds = lp_timer.seconds();
 
   DesignResult result = design_from_lp(inst, solved.lp, solved.solution, context);
@@ -113,6 +117,9 @@ DesignResult OverlayDesigner::design_from_lp(
     const util::ExecutionContext& context) const {
   DesignResult result;
   result.lp_iterations = lp_solution.iterations;
+  result.lp_phase1_iterations = lp_solution.phase1_iterations;
+  result.lp_refactorizations = lp_solution.refactorizations;
+  result.lp_warm_start = lp_solution.warm_started;
 
   switch (lp_solution.status) {
     case lp::SolveStatus::kOptimal:

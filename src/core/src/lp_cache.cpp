@@ -39,6 +39,12 @@ void hash_solve_options(util::Hasher& h, const lp::SolveOptions& o) {
   h.f64(o.feasibility_tol);
   h.f64(o.pivot_tol);
   h.i32(o.degenerate_switch);
+  h.u32(static_cast<std::uint32_t>(o.algorithm));
+  h.u32(static_cast<std::uint32_t>(o.pricing));
+  h.i32(o.refactor_interval);
+  // warm_start_basis is deliberately excluded: the starting basis changes
+  // where the solve starts, not which problem it solves, and the byte
+  // cache must serve one key to warm and cold callers alike.
 }
 
 }  // namespace
@@ -84,6 +90,41 @@ util::Digest128 lp_instance_digest(const net::OverlayInstance& instance) {
   return h.digest();
 }
 
+util::Digest128 lp_shape_digest(const net::OverlayInstance& instance,
+                                const LpBuildOptions& build) {
+  util::Hasher h;
+  h.str("omn-lp-shape-v1");
+  h.i32(instance.num_sources());
+  h.i32(instance.num_reflectors());
+  h.i32(instance.num_sinks());
+  h.u64(instance.sr_edges().size());
+  h.u64(instance.rd_edges().size());
+  // Structure only: colors and commodities select which constraint rows
+  // exist, optional capacities decide whether their rows are emitted, and
+  // edge endpoints fix the sparsity pattern.  No costs, losses, bandwidths,
+  // thresholds, or capacity *values* — those move the optimum, not the
+  // shape, and near-miss warm starts are exactly the same-shape case.
+  for (int i = 0; i < instance.num_reflectors(); ++i) {
+    const net::Reflector& r = instance.reflector(i);
+    h.i32(r.color);
+    h.boolean(r.stream_capacity.has_value());
+  }
+  for (int j = 0; j < instance.num_sinks(); ++j) {
+    h.i32(instance.sink(j).commodity);
+  }
+  for (const net::SourceReflectorEdge& e : instance.sr_edges()) {
+    h.i32(e.source);
+    h.i32(e.reflector);
+  }
+  for (const net::ReflectorSinkEdge& e : instance.rd_edges()) {
+    h.i32(e.reflector);
+    h.i32(e.sink);
+    h.boolean(e.capacity.has_value());
+  }
+  hash_build_options(h, build);
+  return h.digest();
+}
+
 util::Digest128 LpCache::key(const net::OverlayInstance& instance,
                              const LpBuildOptions& build,
                              const lp::SolveOptions& solve) {
@@ -126,6 +167,19 @@ void LpCache::insert(const util::Digest128& key, const lp::Solution& solution) {
     ++stats_.insertions;
   }
   if (!directory_.empty()) store_to_disk(key, solution);
+}
+
+void LpCache::note_basis(const util::Digest128& shape, const lp::Basis& basis) {
+  const util::LockGuard lock(mutex_);
+  bases_[shape] = basis;
+}
+
+std::optional<lp::Basis> LpCache::find_basis(const util::Digest128& shape) {
+  const util::LockGuard lock(mutex_);
+  const auto it = bases_.find(shape);
+  if (it == bases_.end()) return std::nullopt;
+  ++stats_.warm_hits;
+  return it->second;
 }
 
 LpCacheStats LpCache::stats() const {
@@ -185,6 +239,17 @@ void LpCache::write_entry(std::ostream& os, const util::Digest128& key,
   w.f64(solution.max_violation);
   w.u64(solution.x.size());
   for (double v : solution.x) w.f64(v);
+  w.i32(solution.refactorizations);
+  w.u8(solution.warm_started ? 1 : 0);
+  w.u8(solution.basis.has_value() ? 1 : 0);
+  if (solution.basis.has_value()) {
+    w.u64(solution.basis->state.size());
+    for (lp::VarStatus s : solution.basis->state) {
+      w.u8(static_cast<std::uint8_t>(s));
+    }
+    w.u64(solution.basis->basic.size());
+    for (std::int32_t row : solution.basis->basic) w.i32(row);
+  }
   const std::uint64_t checksum = util::content_checksum(w.bytes());
   w.u64(checksum);
   os.write(w.bytes().data(), static_cast<std::streamsize>(w.bytes().size()));
@@ -201,7 +266,11 @@ std::optional<lp::Solution> LpCache::read_entry(std::istream& is,
   std::uint32_t version = 0;
   util::Digest128 stored;
   if (!r.u32(magic) || magic != kMagic) return std::nullopt;
-  if (!r.u32(version) || version != kFormatVersion) return std::nullopt;
+  // v1 (basis-less) entries are still accepted so existing cache
+  // directories survive the upgrade; anything else is stale or foreign.
+  if (!r.u32(version) || (version != kFormatVersion && version != 1)) {
+    return std::nullopt;
+  }
   if (!r.u64(stored.hi) || !r.u64(stored.lo) || !(stored == key)) {
     return std::nullopt;
   }
@@ -227,6 +296,40 @@ std::optional<lp::Solution> LpCache::read_entry(std::istream& is,
     if (!r.f64(v)) return std::nullopt;
   }
 
+  if (version >= 2) {
+    std::uint8_t warm = 0;
+    std::uint8_t has_basis = 0;
+    if (!r.i32(solution.refactorizations) || !r.u8(warm) || warm > 1 ||
+        !r.u8(has_basis) || has_basis > 1) {
+      return std::nullopt;
+    }
+    solution.warm_started = warm != 0;
+    if (has_basis != 0) {
+      lp::Basis basis;
+      std::uint64_t num_states = 0;
+      if (!r.vec_size(num_states, 1)) return std::nullopt;
+      basis.state.resize(static_cast<std::size_t>(num_states));
+      for (lp::VarStatus& s : basis.state) {
+        std::uint8_t raw = 0;
+        if (!r.u8(raw) || raw > static_cast<std::uint8_t>(lp::VarStatus::kBasic)) {
+          return std::nullopt;
+        }
+        s = static_cast<lp::VarStatus>(raw);
+      }
+      std::uint64_t num_basic = 0;
+      if (!r.vec_size(num_basic, 4)) return std::nullopt;
+      basis.basic.resize(static_cast<std::size_t>(num_basic));
+      for (std::int32_t& row : basis.basic) {
+        // Basic entries index into state[]; anything outside is corruption.
+        if (!r.i32(row) || row < 0 ||
+            static_cast<std::uint64_t>(row) >= num_states) {
+          return std::nullopt;
+        }
+      }
+      solution.basis = std::move(basis);
+    }
+  }
+
   const std::size_t payload_size = r.position();
   std::uint64_t checksum = 0;
   if (!r.u64(checksum) || r.remaining() != 0) return std::nullopt;
@@ -240,7 +343,7 @@ std::optional<lp::Solution> LpCache::read_entry(std::istream& is,
 CachedLp solve_overlay_lp_cached(const net::OverlayInstance& instance,
                                  const LpBuildOptions& build,
                                  const lp::SolveOptions& solve,
-                                 LpCache* cache) {
+                                 LpCache* cache, bool warm_start) {
   CachedLp out;
   out.lp = build_overlay_lp(instance, build);
   if (cache == nullptr) {
@@ -257,11 +360,33 @@ CachedLp solve_overlay_lp_cached(const net::OverlayInstance& instance,
         hit->x.size() == static_cast<std::size_t>(out.lp.model.num_variables())) {
       out.solution = std::move(*hit);
       out.cache_hit = true;
+      // A disk hit from another process may carry a basis this process has
+      // not yet indexed; feed it into the shape index so later near-miss
+      // solves can warm-start from it.
+      if (out.solution.status == lp::SolveStatus::kOptimal &&
+          out.solution.basis.has_value()) {
+        cache->note_basis(lp_shape_digest(instance, build),
+                          *out.solution.basis);
+      }
       return out;
     }
   }
-  out.solution = lp::SimplexSolver().solve(out.lp.model, solve);
+  lp::SolveOptions effective = solve;
+  if (warm_start) {
+    if (std::optional<lp::Basis> basis =
+            cache->find_basis(lp_shape_digest(instance, build))) {
+      effective.warm_start_basis = std::move(*basis);
+    }
+  }
+  out.solution = lp::SimplexSolver().solve(out.lp.model, effective);
+  // Insert under the caller's key: warm_start_basis is excluded from the
+  // key, and an optimal warm-started point answers cold callers too (same
+  // objective; possibly a different vertex — see the header caveat).
   cache->insert(key, out.solution);
+  if (out.solution.status == lp::SolveStatus::kOptimal &&
+      out.solution.basis.has_value()) {
+    cache->note_basis(lp_shape_digest(instance, build), *out.solution.basis);
+  }
   return out;
 }
 

@@ -10,10 +10,12 @@
 // result-shaping options, shard count), valid checkpoints are merged
 // directly and only the missing shards are recomputed.
 //
-// Checkpoint format v1 (all fields little-endian; see
-// docs/ARCHITECTURE.md):
+// Checkpoint format v2 (all fields little-endian; see
+// docs/ARCHITECTURE.md).  v2 only bumps the version number: the payload
+// embeds the wire report encoding, which frame v2 extended, so v1
+// checkpoints must be rejected (and recomputed) rather than misread.
 //
-//   u32 magic 0x4B434D4F ("OMCK")   u32 version (1)
+//   u32 magic 0x4B434D4F ("OMCK")   u32 version (2)
 //   u64 digest.hi   u64 digest.lo   (grid_digest of the producing run)
 //   u64 shard index   u64 begin   u64 end
 //   u64 payload size   payload (wire.hpp report encoding)
@@ -34,9 +36,10 @@
 
 namespace omn::dist {
 
-/// On-disk checkpoint format version; bumped on any layout change so
-/// stale files are rejected instead of misread.
-inline constexpr std::uint32_t kCheckpointVersion = 1;
+/// On-disk checkpoint format version; bumped on any layout change —
+/// including changes to the embedded wire report encoding — so stale
+/// files are rejected instead of misread.
+inline constexpr std::uint32_t kCheckpointVersion = 2;
 
 /// The checkpoint path for shard `range` of the grid named by `digest`.
 std::string checkpoint_path(const std::string& directory,

@@ -29,7 +29,7 @@ namespace omn::dist {
 
 /// On-wire format version; bumped on any layout change so mismatched
 /// parent/worker binaries reject each other instead of misreading.
-inline constexpr std::uint32_t kFrameVersion = 1;
+inline constexpr std::uint32_t kFrameVersion = 2;
 
 /// Frames larger than this are rejected before allocation.  Far above any
 /// real grid or shard report, far below anything that could OOM a host.

@@ -17,18 +17,73 @@ using util::ByteWriter;
 // sides (and bump kFrameVersion in frame.hpp): the codec carries every
 // field that can change a cell's result.
 
+void encode_basis(ByteWriter& w, const lp::Basis& b) {
+  w.u64(b.state.size());
+  for (lp::VarStatus s : b.state) w.u8(static_cast<std::uint8_t>(s));
+  w.u64(b.basic.size());
+  for (std::int32_t row : b.basic) w.i32(row);
+}
+
+bool decode_basis(ByteReader& r, lp::Basis& b) {
+  std::uint64_t num_states = 0;
+  if (!r.vec_size(num_states, 1)) return false;
+  b.state.resize(static_cast<std::size_t>(num_states));
+  for (lp::VarStatus& s : b.state) {
+    std::uint8_t raw = 0;
+    if (!r.u8(raw) || raw > static_cast<std::uint8_t>(lp::VarStatus::kBasic)) {
+      return false;
+    }
+    s = static_cast<lp::VarStatus>(raw);
+  }
+  std::uint64_t num_basic = 0;
+  if (!r.vec_size(num_basic, 4)) return false;
+  b.basic.resize(static_cast<std::size_t>(num_basic));
+  for (std::int32_t& row : b.basic) {
+    if (!r.i32(row) || row < 0 || static_cast<std::uint64_t>(row) >= num_states) {
+      return false;
+    }
+  }
+  return true;
+}
+
 void encode_solve_options(ByteWriter& w, const lp::SolveOptions& o) {
   w.i32(o.max_iterations);
   w.f64(o.optimality_tol);
   w.f64(o.feasibility_tol);
   w.f64(o.pivot_tol);
   w.i32(o.degenerate_switch);
+  w.u8(static_cast<std::uint8_t>(o.algorithm));
+  w.u8(static_cast<std::uint8_t>(o.pricing));
+  w.i32(o.refactor_interval);
+  w.boolean(o.warm_start_basis.has_value());
+  if (o.warm_start_basis.has_value()) encode_basis(w, *o.warm_start_basis);
 }
 
 bool decode_solve_options(ByteReader& r, lp::SolveOptions& o) {
-  return r.i32(o.max_iterations) && r.f64(o.optimality_tol) &&
-         r.f64(o.feasibility_tol) && r.f64(o.pivot_tol) &&
-         r.i32(o.degenerate_switch);
+  if (!(r.i32(o.max_iterations) && r.f64(o.optimality_tol) &&
+        r.f64(o.feasibility_tol) && r.f64(o.pivot_tol) &&
+        r.i32(o.degenerate_switch))) {
+    return false;
+  }
+  std::uint8_t algorithm = 0;
+  std::uint8_t pricing = 0;
+  bool has_basis = false;
+  if (!r.u8(algorithm) ||
+      algorithm > static_cast<std::uint8_t>(lp::Algorithm::kDenseTableau) ||
+      !r.u8(pricing) ||
+      pricing > static_cast<std::uint8_t>(lp::Pricing::kSteepestEdge) ||
+      !r.i32(o.refactor_interval) || !r.boolean(has_basis)) {
+    return false;
+  }
+  o.algorithm = static_cast<lp::Algorithm>(algorithm);
+  o.pricing = static_cast<lp::Pricing>(pricing);
+  o.warm_start_basis.reset();
+  if (has_basis) {
+    lp::Basis basis;
+    if (!decode_basis(r, basis)) return false;
+    o.warm_start_basis = std::move(basis);
+  }
+  return true;
 }
 
 void encode_box_options(ByteWriter& w, const core::BoxNetworkOptions& o) {
@@ -51,6 +106,7 @@ void encode_config(ByteWriter& w, const core::DesignerConfig& c) {
   w.boolean(c.reflector_stream_capacities);
   w.boolean(c.prune_unused);
   w.boolean(c.cutting_plane);
+  w.boolean(c.lp_warm_start);
   encode_solve_options(w, c.lp_options);
   w.i64(c.color_options.color_capacity_scaled);
   w.f64(c.color_options.cost_drop_factor);
@@ -67,6 +123,7 @@ bool decode_config(ByteReader& r, core::DesignerConfig& c) {
          r.boolean(c.bandwidth_extension) && r.boolean(c.rd_capacities) &&
          r.boolean(c.reflector_stream_capacities) &&
          r.boolean(c.prune_unused) && r.boolean(c.cutting_plane) &&
+         r.boolean(c.lp_warm_start) &&
          decode_solve_options(r, c.lp_options) &&
          r.i64(c.color_options.color_capacity_scaled) &&
          r.f64(c.color_options.cost_drop_factor) &&
@@ -192,12 +249,15 @@ void encode_design_result(ByteWriter& w, const core::DesignResult& d) {
   encode_f64_vec(w, d.lp_design.x);
   w.f64(d.lp_objective);
   w.i32(d.lp_iterations);
+  w.i32(d.lp_phase1_iterations);
+  w.i32(d.lp_refactorizations);
   w.f64(d.cost_ratio);
   w.i32(d.winning_attempt);
   w.i32(d.attempts_made);
   w.f64(d.lp_seconds);
   w.f64(d.rounding_seconds);
   w.boolean(d.lp_cache_hit);
+  w.boolean(d.lp_warm_start);
 }
 
 bool decode_design_result(ByteReader& r, core::DesignResult& d) {
@@ -212,10 +272,11 @@ bool decode_design_result(ByteReader& r, core::DesignResult& d) {
          decode_u8_vec(r, d.design.x) && decode_evaluation(r, d.evaluation) &&
          decode_f64_vec(r, d.lp_design.z) && decode_f64_vec(r, d.lp_design.y) &&
          decode_f64_vec(r, d.lp_design.x) && r.f64(d.lp_objective) &&
-         r.i32(d.lp_iterations) && r.f64(d.cost_ratio) &&
+         r.i32(d.lp_iterations) && r.i32(d.lp_phase1_iterations) &&
+         r.i32(d.lp_refactorizations) && r.f64(d.cost_ratio) &&
          r.i32(d.winning_attempt) && r.i32(d.attempts_made) &&
          r.f64(d.lp_seconds) && r.f64(d.rounding_seconds) &&
-         r.boolean(d.lp_cache_hit);
+         r.boolean(d.lp_cache_hit) && r.boolean(d.lp_warm_start);
 }
 
 void encode_report(ByteWriter& w, const core::SweepReport& report) {
@@ -225,6 +286,10 @@ void encode_report(ByteWriter& w, const core::SweepReport& report) {
   w.u64(report.lp_solves);
   w.u64(report.lp_cache_hits);
   w.u64(report.lp_cache_misses);
+  w.u64(report.lp_iterations);
+  w.u64(report.lp_phase1_iterations);
+  w.u64(report.lp_refactorizations);
+  w.u64(report.lp_warm_start_hits);
   w.f64(report.wall_seconds);
   w.f64(report.cpu_seconds);
   w.u64(report.cells.size());
@@ -245,8 +310,14 @@ bool decode_report(ByteReader& r, core::SweepReport& report) {
   std::uint64_t lp_solves = 0;
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
+  std::uint64_t iterations = 0;
+  std::uint64_t phase1_iterations = 0;
+  std::uint64_t refactorizations = 0;
+  std::uint64_t warm_hits = 0;
   if (!(r.u64(num_instances) && r.u64(num_configs) && r.u64(lp_configs) &&
         r.u64(lp_solves) && r.u64(hits) && r.u64(misses) &&
+        r.u64(iterations) && r.u64(phase1_iterations) &&
+        r.u64(refactorizations) && r.u64(warm_hits) &&
         r.f64(report.wall_seconds) && r.f64(report.cpu_seconds))) {
     return false;
   }
@@ -256,6 +327,10 @@ bool decode_report(ByteReader& r, core::SweepReport& report) {
   report.lp_solves = static_cast<std::size_t>(lp_solves);
   report.lp_cache_hits = static_cast<std::size_t>(hits);
   report.lp_cache_misses = static_cast<std::size_t>(misses);
+  report.lp_iterations = static_cast<std::size_t>(iterations);
+  report.lp_phase1_iterations = static_cast<std::size_t>(phase1_iterations);
+  report.lp_refactorizations = static_cast<std::size_t>(refactorizations);
+  report.lp_warm_start_hits = static_cast<std::size_t>(warm_hits);
   std::uint64_t count = 0;
   // A cell is at least: two u64 indices, two str lengths, seconds, and
   // the result's fixed fields — bound the count well before allocating.

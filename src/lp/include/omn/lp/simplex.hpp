@@ -2,8 +2,22 @@
 // Two-phase primal simplex for linear programs with bounded variables.
 //
 // This is the LP substrate the paper's algorithm sits on (Section 2: "We
-// solve the LP to optimality and find a fractional solution").  It is a
-// dense-tableau bounded-variable simplex:
+// solve the LP to optimality and find a fractional solution").  Two
+// interchangeable cores sit behind one options struct:
+//
+//  - `Algorithm::kRevised` (default): a revised simplex that keeps the
+//    column-compressed A, maintains the basis as a sparse LU factorization
+//    with product-form (eta-file) updates and periodic refactorization, and
+//    solves B·y = a_q / Bᵀ·z = c_B by substitution.  Per-pivot work is
+//    proportional to basis fill, not to the full tableau, which is what the
+//    overlay LPs' extreme sparsity rewards.  Pricing is pluggable
+//    (`SolveOptions::pricing`): Dantzig or Devex-style steepest edge with
+//    reference-framework weight updates.
+//  - `Algorithm::kDenseTableau`: the original dense full-tableau core, kept
+//    as an in-tree differential oracle.  It always prices Dantzig (with the
+//    Bland switch), so its pivot sequences are bit-stable references.
+//
+// Shared mechanics (identical standard form in both cores):
 //
 //  - every row is normalized to `Ax <= b` (>= rows are negated; == rows get
 //    a slack fixed to [0,0]) and given a slack in [0, +inf);
@@ -11,13 +25,15 @@
 //    variable; phase I minimizes the sum of artificials;
 //  - variables may sit nonbasic at either bound; bound flips are handled
 //    without a basis change (Chvatal ch. 8 upper-bounding technique);
-//  - Dantzig pricing with an automatic switch to Bland's rule after a run
-//    of degenerate pivots, which guarantees termination.
+//  - an automatic switch to Bland's rule after a run of degenerate pivots
+//    guarantees termination.
 //
-// The dense tableau keeps the implementation transparent and exactly
-// reproducible; it is comfortably fast for the O(|S||R||D|)-variable
-// overlay LPs used in the paper's regime (thousands of variables).
+// Optimal solves export their final basis (`Solution::basis`); the revised
+// core accepts one back via `SolveOptions::warm_start_basis` and, when it is
+// still primal feasible for the new model, skips phase I entirely.
 
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -34,6 +50,41 @@ enum class SolveStatus {
 
 std::string to_string(SolveStatus status);
 
+/// Which simplex core executes the solve.
+enum class Algorithm : std::uint8_t {
+  kRevised = 0,       ///< sparse LU basis + eta updates (default)
+  kDenseTableau = 1,  ///< original dense tableau (differential oracle)
+};
+
+/// Entering-variable rule for the revised core.  The dense oracle ignores
+/// this and always prices Dantzig, so its pivot counts stay pinned.
+enum class Pricing : std::uint8_t {
+  kDantzig = 0,       ///< most-negative reduced cost
+  kSteepestEdge = 1,  ///< Devex reference-framework weights (default)
+};
+
+std::string to_string(Algorithm algorithm);
+std::string to_string(Pricing pricing);
+
+/// Per-column simplex status in an exported basis.
+enum class VarStatus : std::uint8_t {
+  kAtLower = 0,
+  kAtUpper = 1,
+  kBasic = 2,
+};
+
+/// A complete simplex basis over the standard form's n structural + m slack
+/// columns (artificials are never exported).  `state[j]` gives column j's
+/// status; `basic[r]` the column basic in row r.  A Basis is only meaningful
+/// for a model with matching dimensions — importers validate and fall back
+/// to a cold start on any mismatch.
+struct Basis {
+  std::vector<VarStatus> state;  ///< size n + m: structural, then slacks
+  std::vector<std::int32_t> basic;  ///< size m: column basic in row r
+
+  bool operator==(const Basis&) const = default;
+};
+
 struct SolveOptions {
   /// 0 = automatic: max(20000, 60 * (rows + vars)).
   int max_iterations = 0;
@@ -45,6 +96,18 @@ struct SolveOptions {
   double pivot_tol = 1e-8;
   /// Consecutive degenerate pivots before switching to Bland's rule.
   int degenerate_switch = 64;
+  /// Simplex core to run.
+  Algorithm algorithm = Algorithm::kRevised;
+  /// Entering rule for the revised core (measured default: steepest edge).
+  Pricing pricing = Pricing::kSteepestEdge;
+  /// Eta updates accumulated before the revised core refactorizes the basis
+  /// LU (numeric drift triggers an early refactorization regardless).
+  /// Values < 1 behave as 1.
+  int refactor_interval = 64;
+  /// Optional starting basis for the revised core (ignored by the dense
+  /// oracle).  An invalid, singular, or primal-infeasible basis falls back
+  /// to the ordinary cold start; a usable one skips phase I.
+  std::optional<Basis> warm_start_basis;
 
   /// The solver is deterministic, so equal options (and an equal model)
   /// produce the same Solution — used by LP-memoizing callers.
@@ -64,6 +127,15 @@ struct Solution {
   /// max constraint/bound violation of the returned point, as measured by
   /// Model::max_infeasibility (diagnostic; ~1e-9 for healthy solves).
   double max_violation = 0.0;
+  /// Basis LU refactorizations performed (revised core; 0 for dense).
+  int refactorizations = 0;
+  /// True when the solve started from SolveOptions::warm_start_basis
+  /// (i.e. the basis was accepted, not merely supplied).
+  bool warm_started = false;
+  /// Final basis of an optimal solve, exported unless an artificial column
+  /// remained basic (degenerate equality rows).  Feed back through
+  /// SolveOptions::warm_start_basis to re-solve perturbed instances.
+  std::optional<Basis> basis;
 
   bool optimal() const { return status == SolveStatus::kOptimal; }
 };

@@ -1,0 +1,187 @@
+#include "omn/lp/basis_lu.hpp"
+
+#include <cmath>
+#include <cstddef>
+
+namespace omn::lp {
+
+namespace {
+
+// Pivots below this absolute magnitude are treated as structural zeros; a
+// column whose best remaining pivot falls under it makes the basis singular.
+constexpr double kSingularTol = 1e-11;
+
+std::size_t uz(int v) { return static_cast<std::size_t>(v); }
+
+}  // namespace
+
+bool BasisLu::factorize(
+    int m, const std::vector<std::vector<std::pair<int, double>>>& columns) {
+  m_ = m;
+  pivot_row_.assign(uz(m), -1);
+  row_step_.assign(uz(m), -1);
+  diag_.assign(uz(m), 0.0);
+  l_ptr_.assign(uz(m) + 1, 0);
+  l_row_.clear();
+  l_val_.clear();
+  u_ptr_.assign(uz(m) + 1, 0);
+  u_step_.clear();
+  u_val_.clear();
+  etas_.clear();
+  eta_slot_.clear();
+  eta_val_.clear();
+  work_.assign(uz(m), 0.0);
+
+  // Left-looking: for each column, apply the eliminations of all previous
+  // steps in order, pick the largest remaining entry as pivot, store the
+  // above-diagonal part as a U column and the multipliers as an L column.
+  // The step scan is O(m) cheap integer work per column; numeric work only
+  // happens where the column (plus fill) is nonzero.
+  std::vector<double>& work = work_;
+  for (int k = 0; k < m; ++k) {
+    for (const auto& [row, value] : columns[uz(k)]) work[uz(row)] += value;
+
+    for (int t = 0; t < k; ++t) {
+      const double p = work[uz(pivot_row_[uz(t)])];
+      if (p == 0.0) continue;
+      for (int e = l_ptr_[uz(t)]; e < l_ptr_[uz(t) + 1]; ++e) {
+        work[uz(l_row_[uz(e)])] -= l_val_[uz(e)] * p;
+      }
+    }
+
+    int pivot = -1;
+    double pivot_abs = kSingularTol;
+    for (int i = 0; i < m; ++i) {
+      if (row_step_[uz(i)] >= 0) continue;
+      const double a = std::abs(work[uz(i)]);
+      if (a > pivot_abs) {
+        pivot_abs = a;
+        pivot = i;
+      }
+    }
+    if (pivot < 0) {
+      // Numerically singular: scrub the work vector and bail.
+      for (int i = 0; i < m; ++i) work[uz(i)] = 0.0;
+      m_ = 0;
+      return false;
+    }
+
+    for (int t = 0; t < k; ++t) {
+      const double u = work[uz(pivot_row_[uz(t)])];
+      if (u != 0.0) {
+        u_step_.push_back(t);
+        u_val_.push_back(u);
+        work[uz(pivot_row_[uz(t)])] = 0.0;
+      }
+    }
+    u_ptr_[uz(k) + 1] = static_cast<int>(u_step_.size());
+
+    const double d = work[uz(pivot)];
+    diag_[uz(k)] = d;
+    work[uz(pivot)] = 0.0;
+    for (int i = 0; i < m; ++i) {
+      if (row_step_[uz(i)] >= 0 || work[uz(i)] == 0.0) continue;
+      l_row_.push_back(i);
+      l_val_.push_back(work[uz(i)] / d);
+      work[uz(i)] = 0.0;
+    }
+    l_ptr_[uz(k) + 1] = static_cast<int>(l_row_.size());
+
+    pivot_row_[uz(k)] = pivot;
+    row_step_[uz(pivot)] = k;
+  }
+  ++factorizations_;
+  return true;
+}
+
+void BasisLu::ftran(std::vector<double>& x) const {
+  // B = P^T L U E_1 ... E_k, so x' = E_k^{-1}...E_1^{-1} U^{-1} L^{-1} P x.
+  // The LU stage works in the permuted work array (y_t lives at raw row
+  // pivot_row_[t]); the backward pass scatters into slot space.
+  std::vector<double>& work = work_;
+  work.swap(x);  // x currently row space; keep result buffer in x
+
+  // Forward: y = L^{-1} P b.
+  for (int t = 0; t < m_; ++t) {
+    const double p = work[uz(pivot_row_[uz(t)])];
+    if (p == 0.0) continue;
+    for (int e = l_ptr_[uz(t)]; e < l_ptr_[uz(t) + 1]; ++e) {
+      work[uz(l_row_[uz(e)])] -= l_val_[uz(e)] * p;
+    }
+  }
+  // Backward: solve U z = y column-wise; z_t lands in x (slot space).
+  for (int t = m_ - 1; t >= 0; --t) {
+    const double zt = work[uz(pivot_row_[uz(t)])] / diag_[uz(t)];
+    x[uz(t)] = zt;
+    work[uz(pivot_row_[uz(t)])] = 0.0;
+    if (zt == 0.0) continue;
+    for (int e = u_ptr_[uz(t)]; e < u_ptr_[uz(t) + 1]; ++e) {
+      work[uz(pivot_row_[uz(u_step_[uz(e)])])] -= u_val_[uz(e)] * zt;
+    }
+  }
+
+  // Eta sweep in append order: x <- E_i^{-1} x, where E^{-1} divides the
+  // spiked slot and back-substitutes it out of the others.
+  for (const Eta& eta : etas_) {
+    const double t = x[uz(eta.slot)] / eta.pivot;
+    if (t != 0.0) {
+      for (int e = eta.begin; e < eta.end; ++e) {
+        x[uz(eta_slot_[uz(e)])] -= eta_val_[uz(e)] * t;
+      }
+    }
+    x[uz(eta.slot)] = t;
+  }
+}
+
+void BasisLu::btran(std::vector<double>& x) const {
+  // Bᵀ = E_k^T ... E_1^T U^T L^T P, so y = P^T L^{-T} U^{-T} E_1^{-T} ... x.
+  // Eta transposes first, in reverse append order: solving E^T z = c leaves
+  // every component except the spiked slot unchanged.
+  for (auto it = etas_.rbegin(); it != etas_.rend(); ++it) {
+    double acc = x[uz(it->slot)];
+    for (int e = it->begin; e < it->end; ++e) {
+      acc -= eta_val_[uz(e)] * x[uz(eta_slot_[uz(e)])];
+    }
+    x[uz(it->slot)] = acc / it->pivot;
+  }
+
+  // U^{-T}: forward over steps (gather from U columns).
+  std::vector<double>& work = work_;
+  for (int t = 0; t < m_; ++t) {
+    double acc = x[uz(t)];
+    for (int e = u_ptr_[uz(t)]; e < u_ptr_[uz(t) + 1]; ++e) {
+      acc -= u_val_[uz(e)] * work[uz(u_step_[uz(e)])];
+    }
+    work[uz(t)] = acc / diag_[uz(t)];
+  }
+  // L^{-T}: backward; L column t's entries live at raw rows pivoted later.
+  for (int t = m_ - 1; t >= 0; --t) {
+    double acc = work[uz(t)];
+    for (int e = l_ptr_[uz(t)]; e < l_ptr_[uz(t) + 1]; ++e) {
+      acc -= l_val_[uz(e)] * work[uz(row_step_[uz(l_row_[uz(e)])])];
+    }
+    work[uz(t)] = acc;
+  }
+  // Undo the permutation: y[pivot_row_[t]] = w_t.
+  for (int t = 0; t < m_; ++t) x[uz(pivot_row_[uz(t)])] = work[uz(t)];
+  for (int t = 0; t < m_; ++t) work[uz(t)] = 0.0;
+}
+
+bool BasisLu::update(int slot, const std::vector<double>& w) {
+  const double pivot = w[uz(slot)];
+  if (std::abs(pivot) < kSingularTol) return false;
+  Eta eta;
+  eta.slot = slot;
+  eta.pivot = pivot;
+  eta.begin = static_cast<int>(eta_slot_.size());
+  for (int i = 0; i < m_; ++i) {
+    if (i == slot || w[uz(i)] == 0.0) continue;
+    eta_slot_.push_back(i);
+    eta_val_.push_back(w[uz(i)]);
+  }
+  eta.end = static_cast<int>(eta_slot_.size());
+  etas_.push_back(eta);
+  return true;
+}
+
+}  // namespace omn::lp

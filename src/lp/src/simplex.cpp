@@ -5,6 +5,10 @@
 #include <cmath>
 #include <cstdint>
 #include <stdexcept>
+#include <utility>
+
+#include "omn/lp/basis_lu.hpp"
+#include "omn/lp/pricing.hpp"
 
 namespace omn::lp {
 
@@ -18,25 +22,166 @@ std::string to_string(SolveStatus status) {
   return "unknown";
 }
 
+std::string to_string(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kRevised: return "revised";
+    case Algorithm::kDenseTableau: return "dense-tableau";
+  }
+  return "unknown";
+}
+
+std::string to_string(Pricing pricing) {
+  switch (pricing) {
+    case Pricing::kDantzig: return "dantzig";
+    case Pricing::kSteepestEdge: return "steepest-edge";
+  }
+  return "unknown";
+}
+
 namespace {
 
-enum VarState : std::int8_t { kAtLower = 0, kAtUpper = 1, kBasic = 2 };
+std::size_t uz(int v) { return static_cast<std::size_t>(v); }
 
-/// Working state of one solve.  Column layout: [0, n) structural,
-/// [n, n + m) slacks, [n + m, N) artificials.
-class Tableau {
+/// The standard form both cores share.  Column layout: [0, n) structural,
+/// [n, n + m) slacks; artificials (appended by each core from the residual)
+/// follow at [n + m, total).  Built once per solve; the arithmetic here is
+/// deliberately identical for both cores so the dense oracle and the revised
+/// kernel disagree only through pivoting, never through the model.
+struct StandardForm {
+  int n = 0;
+  int m = 0;
+  // Column-compressed structural matrix, rows sign-normalized to <=.
+  std::vector<int> col_ptr;
+  std::vector<int> col_row;
+  std::vector<double> col_val;
+  std::vector<double> row_rhs;    // sign-normalized rhs
+  std::vector<double> residual;   // residual at the all-at-lower point
+  std::vector<double> lower;      // n + m bounds (structural + slack)
+  std::vector<double> upper;
+  std::vector<std::uint8_t> eq_row;  // RowSense::kEqual?
+  double scale = 1.0;             // 1 + |b|_1, for relative checks
+
+  static StandardForm build(const Model& model) {
+    model.validate();
+    StandardForm sf;
+    sf.n = model.num_variables();
+    sf.m = model.num_rows();
+    const int n = sf.n;
+    const int m = sf.m;
+
+    // Normalized rows: every row becomes a.x <= rhs; == rows keep their
+    // orientation but get a [0,0] slack, making them equalities.
+    sf.row_rhs.assign(uz(m), 0.0);
+    sf.eq_row.assign(uz(m), 0);
+    std::vector<double> sign(uz(m), 1.0);
+    for (int r = 0; r < m; ++r) {
+      const Row& row = model.row(r);
+      sign[uz(r)] = row.sense == RowSense::kGreaterEqual ? -1.0 : 1.0;
+      sf.row_rhs[uz(r)] = sign[uz(r)] * row.rhs;
+      sf.eq_row[uz(r)] = row.sense == RowSense::kEqual ? 1 : 0;
+    }
+
+    // Column-compressed structural matrix (duplicates summed via map pass).
+    std::vector<std::vector<std::pair<int, double>>> cols(uz(n));
+    for (const Triplet& t : model.triplets()) {
+      cols[uz(t.var)].emplace_back(t.row, sign[uz(t.row)] * t.value);
+    }
+    sf.col_ptr.assign(uz(n) + 1, 0);
+    for (int j = 0; j < n; ++j) {
+      auto& entries = cols[uz(j)];
+      std::sort(entries.begin(), entries.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      // Merge duplicates.
+      std::size_t out = 0;
+      for (std::size_t k = 0; k < entries.size(); ++k) {
+        if (out > 0 && entries[out - 1].first == entries[k].first) {
+          entries[out - 1].second += entries[k].second;
+        } else {
+          entries[out++] = entries[k];
+        }
+      }
+      entries.resize(out);
+      sf.col_ptr[uz(j) + 1] = sf.col_ptr[uz(j)] + static_cast<int>(out);
+    }
+    sf.col_row.resize(uz(sf.col_ptr[uz(n)]));
+    sf.col_val.resize(uz(sf.col_ptr[uz(n)]));
+    for (int j = 0; j < n; ++j) {
+      int at = sf.col_ptr[uz(j)];
+      for (const auto& [r, v] : cols[uz(j)]) {
+        sf.col_row[uz(at)] = r;
+        sf.col_val[uz(at)] = v;
+        ++at;
+      }
+    }
+
+    // Bounds: structural from the model, slacks [0, inf) (or fixed [0,0]
+    // for equality rows).
+    sf.lower.assign(uz(n + m), 0.0);
+    sf.upper.assign(uz(n + m), kInfinity);
+    for (int j = 0; j < n; ++j) {
+      const Variable& v = model.variable(j);
+      sf.lower[uz(j)] = v.lower;
+      sf.upper[uz(j)] = v.upper;
+    }
+    for (int r = 0; r < m; ++r) {
+      sf.lower[uz(n + r)] = 0.0;
+      sf.upper[uz(n + r)] = sf.eq_row[uz(r)] ? 0.0 : kInfinity;
+    }
+
+    // Residuals at the all-at-lower-bound point.
+    sf.residual = sf.row_rhs;
+    for (int j = 0; j < n; ++j) {
+      const double xj = sf.lower[uz(j)];
+      if (xj == 0.0) continue;
+      for (int k = sf.col_ptr[uz(j)]; k < sf.col_ptr[uz(j) + 1]; ++k) {
+        sf.residual[uz(sf.col_row[uz(k)])] -= sf.col_val[uz(k)] * xj;
+      }
+    }
+    sf.scale = 1.0;
+    for (double b : sf.row_rhs) sf.scale += std::abs(b);
+    return sf;
+  }
+};
+
+int resolve_iteration_limit(const SolveOptions& opts, int n, int m) {
+  return opts.max_iterations > 0 ? opts.max_iterations
+                                 : std::max(20000, 60 * (m + n));
+}
+
+/// Exports the final basis over the n + m structural + slack columns.
+/// Returns nullopt when an artificial column is still basic (degenerate
+/// equality rows) — such a basis cannot be expressed, let alone re-imported.
+std::optional<Basis> export_basis(int n, int m,
+                                  const std::vector<VarStatus>& state,
+                                  const std::vector<int>& basis_rows) {
+  Basis b;
+  b.basic.resize(uz(m));
+  for (int r = 0; r < m; ++r) {
+    const int j = basis_rows[uz(r)];
+    if (j >= n + m) return std::nullopt;
+    b.basic[uz(r)] = j;
+  }
+  b.state.assign(state.begin(), state.begin() + n + m);
+  return b;
+}
+
+// ---------------------------------------------------------------------------
+// Dense tableau core (the differential oracle).
+// ---------------------------------------------------------------------------
+
+/// Working state of one dense solve.  Column layout: [0, n) structural,
+/// [n, n + m) slacks, [n + m, N) artificials.  Always prices Dantzig (plus
+/// the Bland switch) so pivot sequences stay pinned across releases.
+class DenseTableau {
  public:
-  Tableau(const Model& model, const SolveOptions& opts)
-      : model_(model), opts_(opts) {
+  DenseTableau(const Model& model, const SolveOptions& opts)
+      : model_(model), opts_(opts), sf_(StandardForm::build(model)) {
     build();
   }
 
   Solution run() {
     Solution out;
-    const int iter_limit =
-        opts_.max_iterations > 0
-            ? opts_.max_iterations
-            : std::max(20000, 60 * (m_ + n_));
+    const int iter_limit = resolve_iteration_limit(opts_, n_, m_);
 
     if (num_artificials_ > 0) {
       set_phase1_costs();
@@ -54,7 +199,7 @@ class Tableau {
         return out;
       }
       // Freeze artificials at zero for phase II.
-      for (int j = n_ + m_; j < total_; ++j) upper_[j] = 0.0;
+      for (int j = n_ + m_; j < total_; ++j) upper_[uz(j)] = 0.0;
     }
     set_phase2_costs();
     out.status = iterate(iter_limit, /*phase1=*/false);
@@ -66,172 +211,99 @@ class Tableau {
   // ---- setup -------------------------------------------------------------
 
   void build() {
-    model_.validate();
-    n_ = model_.num_variables();
-    m_ = model_.num_rows();
+    n_ = sf_.n;
+    m_ = sf_.m;
+    scale_ = sf_.scale;
 
-    // Normalized rows: every row becomes a.x <= rhs; == rows keep their
-    // orientation but get a [0,0] slack, making them equalities.
-    row_rhs_.assign(m_, 0.0);
-    std::vector<double> sign(m_, 1.0);
-    for (int r = 0; r < m_; ++r) {
-      const Row& row = model_.row(r);
-      sign[r] = row.sense == RowSense::kGreaterEqual ? -1.0 : 1.0;
-      row_rhs_[r] = sign[r] * row.rhs;
-    }
+    // Bounds and initial nonbasic states (artificial slots appended below).
+    lower_ = sf_.lower;
+    upper_ = sf_.upper;
+    state_.assign(uz(n_ + m_), VarStatus::kAtLower);
 
-    // Column-compressed structural matrix (duplicates summed via map pass).
-    std::vector<std::vector<std::pair<int, double>>> cols(n_);
-    for (const Triplet& t : model_.triplets()) {
-      cols[static_cast<std::size_t>(t.var)].emplace_back(t.row,
-                                                         sign[t.row] * t.value);
-    }
-    col_ptr_.assign(n_ + 1, 0);
-    for (int j = 0; j < n_; ++j) {
-      auto& entries = cols[static_cast<std::size_t>(j)];
-      std::sort(entries.begin(), entries.end(),
-                [](const auto& a, const auto& b) { return a.first < b.first; });
-      // Merge duplicates.
-      std::size_t out = 0;
-      for (std::size_t k = 0; k < entries.size(); ++k) {
-        if (out > 0 && entries[out - 1].first == entries[k].first) {
-          entries[out - 1].second += entries[k].second;
-        } else {
-          entries[out++] = entries[k];
-        }
-      }
-      entries.resize(out);
-      col_ptr_[j + 1] = col_ptr_[j] + static_cast<int>(out);
-    }
-    col_row_.resize(static_cast<std::size_t>(col_ptr_[n_]));
-    col_val_.resize(static_cast<std::size_t>(col_ptr_[n_]));
-    for (int j = 0; j < n_; ++j) {
-      int at = col_ptr_[j];
-      for (const auto& [r, v] : cols[static_cast<std::size_t>(j)]) {
-        col_row_[static_cast<std::size_t>(at)] = r;
-        col_val_[static_cast<std::size_t>(at)] = v;
-        ++at;
-      }
-    }
-
-    // Bounds and initial nonbasic states.
-    lower_.assign(static_cast<std::size_t>(n_ + 2 * m_), 0.0);
-    upper_.assign(static_cast<std::size_t>(n_ + 2 * m_), kInfinity);
-    state_.assign(static_cast<std::size_t>(n_ + 2 * m_), kAtLower);
-    for (int j = 0; j < n_; ++j) {
-      const Variable& v = model_.variable(j);
-      lower_[static_cast<std::size_t>(j)] = v.lower;
-      upper_[static_cast<std::size_t>(j)] = v.upper;
-    }
-    for (int r = 0; r < m_; ++r) {
-      const int js = n_ + r;
-      lower_[static_cast<std::size_t>(js)] = 0.0;
-      upper_[static_cast<std::size_t>(js)] =
-          model_.row(r).sense == RowSense::kEqual ? 0.0 : kInfinity;
-    }
-
-    // Residuals at the all-at-lower-bound point.
-    std::vector<double> residual = row_rhs_;
-    for (int j = 0; j < n_; ++j) {
-      const double xj = lower_[static_cast<std::size_t>(j)];
-      if (xj == 0.0) continue;
-      for (int k = col_ptr_[j]; k < col_ptr_[j + 1]; ++k) {
-        residual[static_cast<std::size_t>(col_row_[static_cast<std::size_t>(k)])] -=
-            col_val_[static_cast<std::size_t>(k)] * xj;
-      }
-    }
-    scale_ = 1.0;
-    for (double b : row_rhs_) scale_ += std::abs(b);
+    const std::vector<double>& residual = sf_.residual;
 
     // Decide basis per row: slack if it can absorb the residual, else an
     // artificial with coefficient sign matching the residual.
-    basis_.assign(static_cast<std::size_t>(m_), -1);
-    row_scale_.assign(static_cast<std::size_t>(m_), 1.0);
+    basis_.assign(uz(m_), -1);
+    row_scale_.assign(uz(m_), 1.0);
     std::vector<double> art_beta;
     art_rows_.clear();
     for (int r = 0; r < m_; ++r) {
-      const bool eq = model_.row(r).sense == RowSense::kEqual;
-      const double res = residual[static_cast<std::size_t>(r)];
+      const bool eq = sf_.eq_row[uz(r)] != 0;
+      const double res = residual[uz(r)];
       const bool slack_ok = eq ? res == 0.0 : res >= 0.0;
       if (slack_ok) {
-        basis_[static_cast<std::size_t>(r)] = n_ + r;
+        basis_[uz(r)] = n_ + r;
       } else {
-        row_scale_[static_cast<std::size_t>(r)] = res >= 0.0 ? 1.0 : -1.0;
+        row_scale_[uz(r)] = res >= 0.0 ? 1.0 : -1.0;
         art_rows_.push_back(r);
         art_beta.push_back(std::abs(res));
       }
     }
     num_artificials_ = static_cast<int>(art_rows_.size());
     total_ = n_ + m_ + num_artificials_;
-    lower_.resize(static_cast<std::size_t>(total_), 0.0);
-    upper_.resize(static_cast<std::size_t>(total_), kInfinity);
-    state_.resize(static_cast<std::size_t>(total_), kAtLower);
+    active_cols_ = total_;
+    lower_.resize(uz(total_), 0.0);
+    upper_.resize(uz(total_), kInfinity);
+    state_.resize(uz(total_), VarStatus::kAtLower);
 
     // Dense tableau T = B^-1 [A | I | A_art]; since the initial basis is
     // (signed) unit columns, T row r is the normalized row scaled by
     // row_scale_[r].
-    tab_.assign(static_cast<std::size_t>(m_) * static_cast<std::size_t>(total_),
-                0.0);
+    tab_.assign(uz(m_) * uz(total_), 0.0);
     for (int j = 0; j < n_; ++j) {
-      for (int k = col_ptr_[j]; k < col_ptr_[j + 1]; ++k) {
-        const int r = col_row_[static_cast<std::size_t>(k)];
-        at(r, j) = row_scale_[static_cast<std::size_t>(r)] *
-                   col_val_[static_cast<std::size_t>(k)];
+      for (int k = sf_.col_ptr[uz(j)]; k < sf_.col_ptr[uz(j) + 1]; ++k) {
+        const int r = sf_.col_row[uz(k)];
+        at(r, j) = row_scale_[uz(r)] * sf_.col_val[uz(k)];
       }
     }
     for (int r = 0; r < m_; ++r) {
-      at(r, n_ + r) = row_scale_[static_cast<std::size_t>(r)];  // slack column
+      at(r, n_ + r) = row_scale_[uz(r)];  // slack column
     }
     for (int a = 0; a < num_artificials_; ++a) {
-      const int r = art_rows_[static_cast<std::size_t>(a)];
+      const int r = art_rows_[uz(a)];
       // Artificial coefficient is row_scale_[r]; scaled by B^-1 it is +1.
       at(r, n_ + m_ + a) = 1.0;
     }
 
     // Basic values.
-    beta_.assign(static_cast<std::size_t>(m_), 0.0);
+    beta_.assign(uz(m_), 0.0);
     for (int r = 0; r < m_; ++r) {
-      if (basis_[static_cast<std::size_t>(r)] >= 0) {
-        beta_[static_cast<std::size_t>(r)] = residual[static_cast<std::size_t>(r)];
-      }
+      if (basis_[uz(r)] >= 0) beta_[uz(r)] = residual[uz(r)];
     }
     for (int a = 0; a < num_artificials_; ++a) {
-      const int r = art_rows_[static_cast<std::size_t>(a)];
-      basis_[static_cast<std::size_t>(r)] = n_ + m_ + a;
-      beta_[static_cast<std::size_t>(r)] = art_beta[static_cast<std::size_t>(a)];
-      state_[static_cast<std::size_t>(n_ + m_ + a)] = kBasic;
+      const int r = art_rows_[uz(a)];
+      basis_[uz(r)] = n_ + m_ + a;
+      beta_[uz(r)] = art_beta[uz(a)];
+      state_[uz(n_ + m_ + a)] = VarStatus::kBasic;
     }
-    for (int r = 0; r < m_; ++r) {
-      state_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(r)])] =
-          kBasic;
-    }
+    for (int r = 0; r < m_; ++r) state_[uz(basis_[uz(r)])] = VarStatus::kBasic;
 
-    cost_.assign(static_cast<std::size_t>(total_), 0.0);
-    d_.assign(static_cast<std::size_t>(total_), 0.0);
+    // Column -> basis-row index, kept in lockstep with basis_ so value_of
+    // is O(1) instead of an O(m) scan per lookup.
+    pos_.assign(uz(total_), -1);
+    for (int r = 0; r < m_; ++r) pos_[uz(basis_[uz(r)])] = r;
+
+    cost_.assign(uz(total_), 0.0);
+    d_.assign(uz(total_), 0.0);
   }
 
-  double& at(int r, int j) {
-    return tab_[static_cast<std::size_t>(r) * static_cast<std::size_t>(total_) +
-                static_cast<std::size_t>(j)];
-  }
-  double at(int r, int j) const {
-    return tab_[static_cast<std::size_t>(r) * static_cast<std::size_t>(total_) +
-                static_cast<std::size_t>(j)];
-  }
+  double& at(int r, int j) { return tab_[uz(r) * uz(total_) + uz(j)]; }
+  double at(int r, int j) const { return tab_[uz(r) * uz(total_) + uz(j)]; }
 
   void set_phase1_costs() {
+    active_cols_ = total_;
     std::fill(cost_.begin(), cost_.end(), 0.0);
-    for (int a = 0; a < num_artificials_; ++a) {
-      cost_[static_cast<std::size_t>(n_ + m_ + a)] = 1.0;
-    }
+    for (int a = 0; a < num_artificials_; ++a) cost_[uz(n_ + m_ + a)] = 1.0;
     recompute_reduced_costs();
   }
 
   void set_phase2_costs() {
+    // Frozen artificial columns are dead weight from here on: pricing,
+    // pivot-row scaling and reduced-cost updates all stop at n + m.
+    active_cols_ = n_ + m_;
     std::fill(cost_.begin(), cost_.end(), 0.0);
-    for (int j = 0; j < n_; ++j) {
-      cost_[static_cast<std::size_t>(j)] = model_.variable(j).objective;
-    }
+    for (int j = 0; j < n_; ++j) cost_[uz(j)] = model_.variable(j).objective;
     recompute_reduced_costs();
   }
 
@@ -239,44 +311,36 @@ class Tableau {
     // d = c - c_B^T T, computed row-wise over basic rows with nonzero cost.
     std::copy(cost_.begin(), cost_.end(), d_.begin());
     for (int r = 0; r < m_; ++r) {
-      const double cb = cost_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(r)])];
+      const double cb = cost_[uz(basis_[uz(r)])];
       if (cb == 0.0) continue;
-      const double* row = &tab_[static_cast<std::size_t>(r) *
-                                static_cast<std::size_t>(total_)];
-      for (int j = 0; j < total_; ++j) d_[static_cast<std::size_t>(j)] -= cb * row[j];
+      const double* row = &tab_[uz(r) * uz(total_)];
+      for (int j = 0; j < active_cols_; ++j) d_[uz(j)] -= cb * row[j];
     }
-    for (int r = 0; r < m_; ++r) {
-      d_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(r)])] = 0.0;
-    }
+    for (int r = 0; r < m_; ++r) d_[uz(basis_[uz(r)])] = 0.0;
   }
 
   double phase_objective() const {
     double z = 0.0;
     for (int j = 0; j < total_; ++j) {
-      if (cost_[static_cast<std::size_t>(j)] == 0.0) continue;
-      z += cost_[static_cast<std::size_t>(j)] * value_of(j);
+      if (cost_[uz(j)] == 0.0) continue;
+      z += cost_[uz(j)] * value_of(j);
     }
     return z;
   }
 
   double value_of(int j) const {
-    switch (state_[static_cast<std::size_t>(j)]) {
-      case kAtLower: return lower_[static_cast<std::size_t>(j)];
-      case kAtUpper: return upper_[static_cast<std::size_t>(j)];
-      default: break;
+    switch (state_[uz(j)]) {
+      case VarStatus::kAtLower: return lower_[uz(j)];
+      case VarStatus::kAtUpper: return upper_[uz(j)];
+      case VarStatus::kBasic: break;
     }
-    for (int r = 0; r < m_; ++r) {
-      if (basis_[static_cast<std::size_t>(r)] == j) {
-        return beta_[static_cast<std::size_t>(r)];
-      }
-    }
-    return 0.0;  // unreachable for consistent state
+    return beta_[uz(pos_[uz(j)])];
   }
 
   // ---- main loop ---------------------------------------------------------
 
   SolveStatus iterate(int iter_limit, bool phase1) {
-    std::vector<double> column(static_cast<std::size_t>(m_));
+    std::vector<double> column(uz(m_));
     int degenerate_streak = 0;
     bool bland = false;
 
@@ -285,41 +349,38 @@ class Tableau {
       if (q < 0) return SolveStatus::kOptimal;
 
       // Direction: +1 when increasing from the lower bound.
-      const double sigma = state_[static_cast<std::size_t>(q)] == kAtLower ? 1.0 : -1.0;
-      for (int r = 0; r < m_; ++r) column[static_cast<std::size_t>(r)] = at(r, q);
+      const double sigma =
+          state_[uz(q)] == VarStatus::kAtLower ? 1.0 : -1.0;
+      for (int r = 0; r < m_; ++r) column[uz(r)] = at(r, q);
 
       // Ratio test.
-      double best_t = upper_[static_cast<std::size_t>(q)] -
-                      lower_[static_cast<std::size_t>(q)];  // bound-flip range
+      double best_t = upper_[uz(q)] - lower_[uz(q)];  // bound-flip range
       int pivot_row = -1;
       bool leave_at_lower = true;
       double pivot_abs = 0.0;
       for (int r = 0; r < m_; ++r) {
-        const double a = column[static_cast<std::size_t>(r)];
+        const double a = column[uz(r)];
         if (std::abs(a) <= opts_.pivot_tol) continue;
-        const int b = basis_[static_cast<std::size_t>(r)];
+        const int b = basis_[uz(r)];
         const double delta = sigma * a;  // basic value moves by -delta * t
         double t;
         bool hits_lower;
         if (delta > 0.0) {
-          t = (beta_[static_cast<std::size_t>(r)] -
-               lower_[static_cast<std::size_t>(b)]) / delta;
+          t = (beta_[uz(r)] - lower_[uz(b)]) / delta;
           hits_lower = true;
         } else {
-          const double ub = upper_[static_cast<std::size_t>(b)];
+          const double ub = upper_[uz(b)];
           if (!std::isfinite(ub)) continue;
-          t = (ub - beta_[static_cast<std::size_t>(r)]) / (-delta);
+          t = (ub - beta_[uz(r)]) / (-delta);
           hits_lower = false;
         }
         t = std::max(t, 0.0);
         const bool strictly_better = t < best_t - 1e-12;
         const bool tie = !strictly_better && t < best_t + 1e-12;
-        const bool prefer = bland
-                                ? (strictly_better ||
-                                   (tie && pivot_row >= 0 &&
-                                    b < basis_[static_cast<std::size_t>(pivot_row)]))
-                                : (strictly_better ||
-                                   (tie && std::abs(a) > pivot_abs));
+        const bool prefer =
+            bland ? (strictly_better || (tie && pivot_row >= 0 &&
+                                         b < basis_[uz(pivot_row)]))
+                  : (strictly_better || (tie && std::abs(a) > pivot_abs));
         if (prefer) {
           best_t = std::min(best_t, t);
           pivot_row = r;
@@ -338,11 +399,11 @@ class Tableau {
         // Bound flip: the entering variable traverses to its other bound.
         const double range = best_t;
         for (int r = 0; r < m_; ++r) {
-          beta_[static_cast<std::size_t>(r)] -=
-              sigma * range * column[static_cast<std::size_t>(r)];
+          beta_[uz(r)] -= sigma * range * column[uz(r)];
         }
-        state_[static_cast<std::size_t>(q)] =
-            state_[static_cast<std::size_t>(q)] == kAtLower ? kAtUpper : kAtLower;
+        state_[uz(q)] = state_[uz(q)] == VarStatus::kAtLower
+                            ? VarStatus::kAtUpper
+                            : VarStatus::kAtLower;
         degenerate_streak = 0;
         bland = false;
         continue;
@@ -366,14 +427,13 @@ class Tableau {
     int best = -1;
     double best_score = opts_.optimality_tol;
     for (int j = 0; j < limit; ++j) {
-      const auto s = state_[static_cast<std::size_t>(j)];
-      if (s == kBasic) continue;
-      if (upper_[static_cast<std::size_t>(j)] -
-              lower_[static_cast<std::size_t>(j)] <= 0.0) {
+      const VarStatus s = state_[uz(j)];
+      if (s == VarStatus::kBasic) continue;
+      if (upper_[uz(j)] - lower_[uz(j)] <= 0.0) {
         continue;  // fixed variable can never improve
       }
-      const double dj = d_[static_cast<std::size_t>(j)];
-      const double score = s == kAtLower ? -dj : dj;
+      const double dj = d_[uz(j)];
+      const double score = s == VarStatus::kAtLower ? -dj : dj;
       if (score <= best_score) continue;
       if (bland) return j;  // first eligible index
       best_score = score;
@@ -384,102 +444,645 @@ class Tableau {
 
   void pivot(int r, int q, double sigma, double t, bool leave_at_lower,
              const std::vector<double>& column) {
-    const int leaving = basis_[static_cast<std::size_t>(r)];
+    const int leaving = basis_[uz(r)];
     const double entering_value =
-        (sigma > 0.0 ? lower_[static_cast<std::size_t>(q)]
-                     : upper_[static_cast<std::size_t>(q)]) +
-        sigma * t;
+        (sigma > 0.0 ? lower_[uz(q)] : upper_[uz(q)]) + sigma * t;
 
     for (int i = 0; i < m_; ++i) {
       if (i == r) continue;
-      beta_[static_cast<std::size_t>(i)] -=
-          sigma * t * column[static_cast<std::size_t>(i)];
+      beta_[uz(i)] -= sigma * t * column[uz(i)];
     }
-    beta_[static_cast<std::size_t>(r)] = entering_value;
+    beta_[uz(r)] = entering_value;
 
-    // Eliminate column q from all rows and the cost row.
-    const double inv = 1.0 / column[static_cast<std::size_t>(r)];
-    double* prow = &tab_[static_cast<std::size_t>(r) *
-                         static_cast<std::size_t>(total_)];
-    for (int j = 0; j < total_; ++j) prow[j] *= inv;
+    // Eliminate column q from all rows and the cost row.  Only the active
+    // columns are touched: in phase II the frozen artificial columns are
+    // never read again, so scaling them would be pure waste.
+    const double inv = 1.0 / column[uz(r)];
+    double* prow = &tab_[uz(r) * uz(total_)];
+    for (int j = 0; j < active_cols_; ++j) prow[j] *= inv;
     prow[q] = 1.0;
     for (int i = 0; i < m_; ++i) {
       if (i == r) continue;
       // prow is already normalized, so the elimination factor is the raw
       // column entry.
-      const double f = column[static_cast<std::size_t>(i)];
+      const double f = column[uz(i)];
       if (f == 0.0) continue;
-      double* row = &tab_[static_cast<std::size_t>(i) *
-                          static_cast<std::size_t>(total_)];
-      for (int j = 0; j < total_; ++j) row[j] -= f * prow[j];
+      double* row = &tab_[uz(i) * uz(total_)];
+      for (int j = 0; j < active_cols_; ++j) row[j] -= f * prow[j];
       row[q] = 0.0;
     }
-    const double dq = d_[static_cast<std::size_t>(q)];
+    const double dq = d_[uz(q)];
     if (dq != 0.0) {
-      for (int j = 0; j < total_; ++j) d_[static_cast<std::size_t>(j)] -= dq * prow[j];
+      for (int j = 0; j < active_cols_; ++j) d_[uz(j)] -= dq * prow[j];
     }
-    d_[static_cast<std::size_t>(q)] = 0.0;
+    d_[uz(q)] = 0.0;
 
-    basis_[static_cast<std::size_t>(r)] = q;
-    state_[static_cast<std::size_t>(q)] = kBasic;
-    state_[static_cast<std::size_t>(leaving)] = leave_at_lower ? kAtLower : kAtUpper;
+    basis_[uz(r)] = q;
+    pos_[uz(leaving)] = -1;
+    pos_[uz(q)] = r;
+    state_[uz(q)] = VarStatus::kBasic;
+    state_[uz(leaving)] =
+        leave_at_lower ? VarStatus::kAtLower : VarStatus::kAtUpper;
   }
 
-  // ---- extraction ----------------------------------------------------------
+  // ---- extraction --------------------------------------------------------
 
   void finalize(Solution& out) const {
     out.iterations = iterations_;
-    out.x.assign(static_cast<std::size_t>(n_), 0.0);
-    std::vector<double> value(static_cast<std::size_t>(total_), 0.0);
+    out.x.assign(uz(n_), 0.0);
+    std::vector<double> value(uz(total_), 0.0);
     for (int j = 0; j < total_; ++j) {
-      if (state_[static_cast<std::size_t>(j)] == kAtLower) {
-        value[static_cast<std::size_t>(j)] = lower_[static_cast<std::size_t>(j)];
-      } else if (state_[static_cast<std::size_t>(j)] == kAtUpper) {
-        value[static_cast<std::size_t>(j)] = upper_[static_cast<std::size_t>(j)];
+      if (state_[uz(j)] == VarStatus::kAtLower) {
+        value[uz(j)] = lower_[uz(j)];
+      } else if (state_[uz(j)] == VarStatus::kAtUpper) {
+        value[uz(j)] = upper_[uz(j)];
       }
     }
-    for (int r = 0; r < m_; ++r) {
-      value[static_cast<std::size_t>(basis_[static_cast<std::size_t>(r)])] =
-          beta_[static_cast<std::size_t>(r)];
-    }
+    for (int r = 0; r < m_; ++r) value[uz(basis_[uz(r)])] = beta_[uz(r)];
     for (int j = 0; j < n_; ++j) {
       // Clamp tiny numerical drift back into the variable's box.
-      double v = value[static_cast<std::size_t>(j)];
-      v = std::max(v, lower_[static_cast<std::size_t>(j)]);
-      if (std::isfinite(upper_[static_cast<std::size_t>(j)])) {
-        v = std::min(v, upper_[static_cast<std::size_t>(j)]);
-      }
-      out.x[static_cast<std::size_t>(j)] = v;
+      double v = value[uz(j)];
+      v = std::max(v, lower_[uz(j)]);
+      if (std::isfinite(upper_[uz(j)])) v = std::min(v, upper_[uz(j)]);
+      out.x[uz(j)] = v;
     }
     out.objective = model_.objective_value(out.x);
     out.max_violation = model_.max_infeasibility(out.x);
+    if (out.status == SolveStatus::kOptimal) {
+      out.basis = export_basis(n_, m_, state_, basis_);
+    }
   }
 
   const Model& model_;
   SolveOptions opts_;
+  StandardForm sf_;
 
   int n_ = 0;            // structural variables
   int m_ = 0;            // rows
   int total_ = 0;        // structural + slack + artificial columns
+  int active_cols_ = 0;  // columns touched by pivots in the current phase
   int num_artificials_ = 0;
   double scale_ = 1.0;   // 1 + |b|_1, for relative feasibility checks
 
-  std::vector<int> col_ptr_;
-  std::vector<int> col_row_;
-  std::vector<double> col_val_;
-  std::vector<double> row_rhs_;
   std::vector<double> row_scale_;
   std::vector<int> art_rows_;
 
   std::vector<double> lower_, upper_;
-  std::vector<std::int8_t> state_;
+  std::vector<VarStatus> state_;
   std::vector<int> basis_;
+  std::vector<int> pos_;  // column -> basis row, -1 when nonbasic
   std::vector<double> tab_;
   std::vector<double> beta_;
   std::vector<double> cost_;
   std::vector<double> d_;
 
   int iterations_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Revised simplex core.
+// ---------------------------------------------------------------------------
+
+/// Revised simplex over the same standard form: the basis lives in a
+/// BasisLu (sparse LU + eta file), entering columns come from ftran, pivot
+/// rows from btran, and reduced costs are maintained incrementally with a
+/// full recompute at every refactorization.  Numeric drift — a maintained
+/// reduced cost disagreeing with its freshly computed value — triggers an
+/// early refactorization instead of a bad pivot.
+class RevisedSolver {
+ public:
+  RevisedSolver(const Model& model, const SolveOptions& opts)
+      : model_(model), opts_(opts), sf_(StandardForm::build(model)) {
+    n_ = sf_.n;
+    m_ = sf_.m;
+  }
+
+  Solution run() {
+    Solution out;
+    iter_limit_ = resolve_iteration_limit(opts_, n_, m_);
+
+    bool warm = false;
+    if (opts_.warm_start_basis.has_value()) {
+      warm = try_warm_start(*opts_.warm_start_basis);
+    }
+    if (!warm) cold_start();
+    out.warm_started = warm;
+
+    if (num_artificials_ > 0) {
+      set_costs(/*phase1=*/true);
+      pricer_.reset(opts_.pricing, total_);
+      if (!refactorize(/*phase1=*/true)) return numeric_failure(out);
+      const SolveStatus s1 = iterate(/*phase1=*/true);
+      out.phase1_iterations = iterations_;
+      if (numeric_failure_ || s1 == SolveStatus::kIterationLimit) {
+        out.status = SolveStatus::kIterationLimit;
+        finalize(out);
+        return out;
+      }
+      if (phase1_objective() > opts_.feasibility_tol * sf_.scale) {
+        out.status = SolveStatus::kInfeasible;
+        finalize(out);
+        return out;
+      }
+      // Freeze artificials at zero for phase II.
+      for (int j = n_ + m_; j < total_; ++j) upper_[uz(j)] = 0.0;
+    } else if (!warm) {
+      if (!refactorize(/*phase1=*/false)) return numeric_failure(out);
+    }
+
+    set_costs(/*phase1=*/false);
+    recompute_reduced_costs(/*phase1=*/false);
+    pricer_.reset(opts_.pricing, n_ + m_);
+    out.status = iterate(/*phase1=*/false);
+    if (numeric_failure_) out.status = SolveStatus::kIterationLimit;
+    finalize(out);
+    return out;
+  }
+
+ private:
+  // ---- start bases -------------------------------------------------------
+
+  void cold_start() {
+    lower_ = sf_.lower;
+    upper_ = sf_.upper;
+    state_.assign(uz(n_ + m_), VarStatus::kAtLower);
+
+    const std::vector<double>& residual = sf_.residual;
+    basis_.assign(uz(m_), -1);
+    beta_.assign(uz(m_), 0.0);
+    art_rows_.clear();
+    art_sign_.clear();
+    for (int r = 0; r < m_; ++r) {
+      const bool eq = sf_.eq_row[uz(r)] != 0;
+      const double res = residual[uz(r)];
+      const bool slack_ok = eq ? res == 0.0 : res >= 0.0;
+      if (slack_ok) {
+        basis_[uz(r)] = n_ + r;
+        beta_[uz(r)] = res;
+      } else {
+        art_rows_.push_back(r);
+        art_sign_.push_back(res >= 0.0 ? 1.0 : -1.0);
+      }
+    }
+    num_artificials_ = static_cast<int>(art_rows_.size());
+    total_ = n_ + m_ + num_artificials_;
+    lower_.resize(uz(total_), 0.0);
+    upper_.resize(uz(total_), kInfinity);
+    state_.resize(uz(total_), VarStatus::kAtLower);
+    for (int a = 0; a < num_artificials_; ++a) {
+      const int r = art_rows_[uz(a)];
+      basis_[uz(r)] = n_ + m_ + a;
+      beta_[uz(r)] = std::abs(residual[uz(r)]);
+    }
+    for (int r = 0; r < m_; ++r) state_[uz(basis_[uz(r)])] = VarStatus::kBasic;
+    pos_.assign(uz(total_), -1);
+    for (int r = 0; r < m_; ++r) pos_[uz(basis_[uz(r)])] = r;
+    init_scratch();
+  }
+
+  /// Validates and installs a caller-supplied basis; returns false (leaving
+  /// the solver ready for cold_start) on any shape, consistency, linear
+  /// algebra, or primal feasibility problem.
+  bool try_warm_start(const Basis& b) {
+    if (static_cast<int>(b.state.size()) != n_ + m_) return false;
+    if (static_cast<int>(b.basic.size()) != m_) return false;
+    std::vector<std::uint8_t> used(uz(n_ + m_), 0);
+    for (int r = 0; r < m_; ++r) {
+      const int j = b.basic[uz(r)];
+      if (j < 0 || j >= n_ + m_ || used[uz(j)]) return false;
+      if (b.state[uz(j)] != VarStatus::kBasic) return false;
+      used[uz(j)] = 1;
+    }
+    for (int j = 0; j < n_ + m_; ++j) {
+      switch (b.state[uz(j)]) {
+        case VarStatus::kBasic:
+          if (!used[uz(j)]) return false;  // basic but assigned to no row
+          break;
+        case VarStatus::kAtLower:
+          break;
+        case VarStatus::kAtUpper:
+          if (!std::isfinite(sf_.upper[uz(j)])) return false;
+          break;
+        default:
+          return false;  // foreign byte pattern (e.g. from a v2 cache entry)
+      }
+    }
+
+    num_artificials_ = 0;
+    total_ = n_ + m_;
+    art_rows_.clear();
+    art_sign_.clear();
+    lower_ = sf_.lower;
+    upper_ = sf_.upper;
+    state_ = b.state;
+    basis_.assign(uz(m_), -1);
+    pos_.assign(uz(total_), -1);
+    for (int r = 0; r < m_; ++r) {
+      basis_[uz(r)] = b.basic[uz(r)];
+      pos_[uz(b.basic[uz(r)])] = r;
+    }
+    init_scratch();
+
+    if (!factorize_current_basis()) return false;
+    compute_beta();
+    // The imported basis must already be primal feasible for this model —
+    // the usual case when only costs were perturbed.  Otherwise phase I
+    // would be required anyway, so the cold start is no worse.
+    const double tol = opts_.feasibility_tol * sf_.scale;
+    for (int r = 0; r < m_; ++r) {
+      const int j = basis_[uz(r)];
+      if (beta_[uz(r)] < lower_[uz(j)] - tol) return false;
+      const double ub = upper_[uz(j)];
+      if (std::isfinite(ub) && beta_[uz(r)] > ub + tol) return false;
+    }
+    return true;
+  }
+
+  void init_scratch() {
+    cost_.assign(uz(total_), 0.0);
+    d_.assign(uz(total_), 0.0);
+    w_.assign(uz(m_), 0.0);
+    rho_.assign(uz(m_), 0.0);
+    alpha_.assign(uz(total_), 0.0);
+  }
+
+  // ---- columns of the standard form --------------------------------------
+
+  /// Adds raw column j (row space) into `out`, which must be zeroed.
+  void scatter_column(int j, std::vector<double>& out) const {
+    if (j < n_) {
+      for (int k = sf_.col_ptr[uz(j)]; k < sf_.col_ptr[uz(j) + 1]; ++k) {
+        out[uz(sf_.col_row[uz(k)])] += sf_.col_val[uz(k)];
+      }
+    } else if (j < n_ + m_) {
+      out[uz(j - n_)] += 1.0;
+    } else {
+      out[uz(art_rows_[uz(j - n_ - m_)])] += art_sign_[uz(j - n_ - m_)];
+    }
+  }
+
+  double column_dot(int j, const std::vector<double>& y) const {
+    if (j < n_) {
+      double acc = 0.0;
+      for (int k = sf_.col_ptr[uz(j)]; k < sf_.col_ptr[uz(j) + 1]; ++k) {
+        acc += sf_.col_val[uz(k)] * y[uz(sf_.col_row[uz(k)])];
+      }
+      return acc;
+    }
+    if (j < n_ + m_) return y[uz(j - n_)];
+    return art_sign_[uz(j - n_ - m_)] * y[uz(art_rows_[uz(j - n_ - m_)])];
+  }
+
+  // ---- factorization / recomputation -------------------------------------
+
+  bool factorize_current_basis() {
+    std::vector<std::vector<std::pair<int, double>>> columns(uz(m_));
+    for (int r = 0; r < m_; ++r) {
+      const int j = basis_[uz(r)];
+      auto& col = columns[uz(r)];
+      if (j < n_) {
+        col.reserve(uz(sf_.col_ptr[uz(j) + 1] - sf_.col_ptr[uz(j)]));
+        for (int k = sf_.col_ptr[uz(j)]; k < sf_.col_ptr[uz(j) + 1]; ++k) {
+          col.emplace_back(sf_.col_row[uz(k)], sf_.col_val[uz(k)]);
+        }
+      } else if (j < n_ + m_) {
+        col.emplace_back(j - n_, 1.0);
+      } else {
+        col.emplace_back(art_rows_[uz(j - n_ - m_)],
+                         art_sign_[uz(j - n_ - m_)]);
+      }
+    }
+    return lu_.factorize(m_, columns);
+  }
+
+  void compute_beta() {
+    // beta = B^{-1} (b - A_N x_N): subtract every nonbasic column at its
+    // bound value, then ftran.
+    std::vector<double>& rhs = w_;
+    for (int r = 0; r < m_; ++r) rhs[uz(r)] = sf_.row_rhs[uz(r)];
+    for (int j = 0; j < total_; ++j) {
+      if (state_[uz(j)] == VarStatus::kBasic) continue;
+      const double v = state_[uz(j)] == VarStatus::kAtLower ? lower_[uz(j)]
+                                                            : upper_[uz(j)];
+      if (v == 0.0) continue;
+      if (j < n_) {
+        for (int k = sf_.col_ptr[uz(j)]; k < sf_.col_ptr[uz(j) + 1]; ++k) {
+          rhs[uz(sf_.col_row[uz(k)])] -= sf_.col_val[uz(k)] * v;
+        }
+      } else if (j < n_ + m_) {
+        rhs[uz(j - n_)] -= v;
+      } else {
+        rhs[uz(art_rows_[uz(j - n_ - m_)])] -= art_sign_[uz(j - n_ - m_)] * v;
+      }
+    }
+    lu_.ftran(rhs);
+    beta_ = rhs;
+    std::fill(w_.begin(), w_.end(), 0.0);
+  }
+
+  void recompute_reduced_costs(bool phase1) {
+    // y = B^{-T} c_B via btran, then d_j = c_j - y . a_j per column.
+    for (int r = 0; r < m_; ++r) rho_[uz(r)] = cost_[uz(basis_[uz(r)])];
+    lu_.btran(rho_);
+    const int limit = phase1 ? total_ : n_ + m_;
+    for (int j = 0; j < limit; ++j) {
+      d_[uz(j)] = state_[uz(j)] == VarStatus::kBasic
+                      ? 0.0
+                      : cost_[uz(j)] - column_dot(j, rho_);
+    }
+    std::fill(rho_.begin(), rho_.end(), 0.0);
+  }
+
+  /// Rebuilds the LU from the current basis and refreshes beta and reduced
+  /// costs.  Returns false on a numerically singular basis.
+  bool refactorize(bool phase1) {
+    if (!factorize_current_basis()) return false;
+    ++refactorizations_;
+    compute_beta();
+    recompute_reduced_costs(phase1);
+    return true;
+  }
+
+  void set_costs(bool phase1) {
+    std::fill(cost_.begin(), cost_.end(), 0.0);
+    if (phase1) {
+      for (int j = n_ + m_; j < total_; ++j) cost_[uz(j)] = 1.0;
+    } else {
+      for (int j = 0; j < n_; ++j) cost_[uz(j)] = model_.variable(j).objective;
+    }
+  }
+
+  double phase1_objective() const {
+    double z = 0.0;
+    for (int j = n_ + m_; j < total_; ++j) {
+      if (state_[uz(j)] == VarStatus::kBasic) z += beta_[uz(pos_[uz(j)])];
+    }
+    return z;
+  }
+
+  // ---- main loop ---------------------------------------------------------
+
+  SolveStatus iterate(bool phase1) {
+    int degenerate_streak = 0;
+    bool bland = false;
+
+    while (iterations_ < iter_limit_) {
+      int q = choose_entering(bland, phase1);
+      if (q < 0) {
+        // Don't declare optimality off incrementally maintained reduced
+        // costs: refresh once and re-price.  A clean factorization that
+        // still finds no candidate is conclusive.
+        if (lu_.eta_count() > 0) {
+          if (!refactorize(phase1)) return fail();
+          q = choose_entering(bland, phase1);
+        }
+        if (q < 0) return SolveStatus::kOptimal;
+      }
+
+      // Entering direction w = B^{-1} a_q (slot space).
+      std::fill(w_.begin(), w_.end(), 0.0);
+      scatter_column(q, w_);
+      lu_.ftran(w_);
+
+      // Drift check: the maintained d_q against one computed from w.  A
+      // disagreement means the eta file has degraded — refactorize early
+      // and re-price rather than pivot on a stale direction.
+      double fresh = cost_[uz(q)];
+      for (int r = 0; r < m_; ++r) {
+        const double cb = cost_[uz(basis_[uz(r)])];
+        if (cb != 0.0) fresh -= cb * w_[uz(r)];
+      }
+      if (std::abs(fresh - d_[uz(q)]) >
+          1e-7 * (1.0 + std::abs(d_[uz(q)]))) {
+        if (lu_.eta_count() > 0) {
+          if (!refactorize(phase1)) return fail();
+          continue;  // re-price with clean numbers
+        }
+        d_[uz(q)] = fresh;
+        const double improve =
+            state_[uz(q)] == VarStatus::kAtLower ? -fresh : fresh;
+        if (improve <= opts_.optimality_tol) continue;  // was never eligible
+      } else {
+        d_[uz(q)] = fresh;
+      }
+
+      const double sigma =
+          state_[uz(q)] == VarStatus::kAtLower ? 1.0 : -1.0;
+
+      // Ratio test (same rules and tolerances as the dense oracle).
+      double best_t = upper_[uz(q)] - lower_[uz(q)];  // bound-flip range
+      int pivot_row = -1;
+      bool leave_at_lower = true;
+      double pivot_abs = 0.0;
+      for (int r = 0; r < m_; ++r) {
+        const double a = w_[uz(r)];
+        if (std::abs(a) <= opts_.pivot_tol) continue;
+        const int b = basis_[uz(r)];
+        const double delta = sigma * a;
+        double t;
+        bool hits_lower;
+        if (delta > 0.0) {
+          t = (beta_[uz(r)] - lower_[uz(b)]) / delta;
+          hits_lower = true;
+        } else {
+          const double ub = upper_[uz(b)];
+          if (!std::isfinite(ub)) continue;
+          t = (ub - beta_[uz(r)]) / (-delta);
+          hits_lower = false;
+        }
+        t = std::max(t, 0.0);
+        const bool strictly_better = t < best_t - 1e-12;
+        const bool tie = !strictly_better && t < best_t + 1e-12;
+        const bool prefer =
+            bland ? (strictly_better || (tie && pivot_row >= 0 &&
+                                         b < basis_[uz(pivot_row)]))
+                  : (strictly_better || (tie && std::abs(a) > pivot_abs));
+        if (prefer) {
+          best_t = std::min(best_t, t);
+          pivot_row = r;
+          leave_at_lower = hits_lower;
+          pivot_abs = std::abs(a);
+        }
+      }
+
+      if (!std::isfinite(best_t) && pivot_row < 0) {
+        return SolveStatus::kUnbounded;
+      }
+
+      ++iterations_;
+      if (pivot_row < 0) {
+        // Bound flip: no basis change, no eta, reduced costs unchanged.
+        const double range = best_t;
+        for (int r = 0; r < m_; ++r) {
+          beta_[uz(r)] -= sigma * range * w_[uz(r)];
+        }
+        state_[uz(q)] = state_[uz(q)] == VarStatus::kAtLower
+                            ? VarStatus::kAtUpper
+                            : VarStatus::kAtLower;
+        degenerate_streak = 0;
+        bland = false;
+        continue;
+      }
+
+      if (best_t <= 1e-12) {
+        if (++degenerate_streak >= opts_.degenerate_switch) bland = true;
+      } else {
+        degenerate_streak = 0;
+        bland = false;
+      }
+
+      if (!pivot(pivot_row, q, sigma, best_t, leave_at_lower, phase1)) {
+        return fail();
+      }
+    }
+    return SolveStatus::kIterationLimit;
+  }
+
+  int choose_entering(bool bland, bool phase1) const {
+    const int limit = phase1 ? total_ : n_ + m_;
+    int best = -1;
+    double best_score = 0.0;
+    for (int j = 0; j < limit; ++j) {
+      const VarStatus s = state_[uz(j)];
+      if (s == VarStatus::kBasic) continue;
+      if (upper_[uz(j)] - lower_[uz(j)] <= 0.0) continue;  // fixed
+      const double dj = d_[uz(j)];
+      const double improve = s == VarStatus::kAtLower ? -dj : dj;
+      if (improve <= opts_.optimality_tol) continue;
+      if (bland) return j;  // first eligible index
+      const double score = pricer_.score(j, improve);
+      if (score > best_score) {
+        best_score = score;
+        best = j;
+      }
+    }
+    return best;
+  }
+
+  bool pivot(int r, int q, double sigma, double t, bool leave_at_lower,
+             bool phase1) {
+    const int leaving = basis_[uz(r)];
+    const double entering_value =
+        (sigma > 0.0 ? lower_[uz(q)] : upper_[uz(q)]) + sigma * t;
+
+    for (int i = 0; i < m_; ++i) {
+      if (i == r) continue;
+      beta_[uz(i)] -= sigma * t * w_[uz(i)];
+    }
+    beta_[uz(r)] = entering_value;
+
+    // Pivot row rho^T A via btran(e_r); used for the incremental reduced
+    // cost update d' = d - (d_q / alpha_rq) * alpha_row and Devex weights.
+    std::fill(rho_.begin(), rho_.end(), 0.0);
+    rho_[uz(r)] = 1.0;
+    lu_.btran(rho_);
+
+    const int limit = phase1 ? total_ : n_ + m_;
+    const double alpha_q = w_[uz(r)];
+    const double ratio = d_[uz(q)] / alpha_q;
+    for (int j = 0; j < limit; ++j) {
+      if (j == q || state_[uz(j)] == VarStatus::kBasic) {
+        alpha_[uz(j)] = 0.0;
+        continue;
+      }
+      const double a = column_dot(j, rho_);
+      alpha_[uz(j)] = a;
+      if (a != 0.0) d_[uz(j)] -= ratio * a;
+    }
+    std::fill(rho_.begin(), rho_.end(), 0.0);
+    // The leaving column's tableau entry is exactly 1 (it IS basis column
+    // r), so its new reduced cost is -ratio without a dot product.
+    d_[uz(leaving)] = -ratio;
+    d_[uz(q)] = 0.0;
+    alpha_[uz(q)] = alpha_q;
+    if (leaving < limit) alpha_[uz(leaving)] = 1.0;
+    pricer_.on_pivot(q, leaving, alpha_q, alpha_);
+
+    basis_[uz(r)] = q;
+    pos_[uz(leaving)] = -1;
+    pos_[uz(q)] = r;
+    state_[uz(q)] = VarStatus::kBasic;
+    state_[uz(leaving)] =
+        leave_at_lower ? VarStatus::kAtLower : VarStatus::kAtUpper;
+
+    // Basis update: append an eta, or refactorize when the file is full or
+    // the eta pivot is numerically unusable.
+    const int interval = std::max(1, opts_.refactor_interval);
+    if (!lu_.update(r, w_) || lu_.eta_count() >= interval) {
+      if (!refactorize(phase1)) return false;
+    }
+    return true;
+  }
+
+  SolveStatus fail() {
+    numeric_failure_ = true;
+    return SolveStatus::kIterationLimit;
+  }
+
+  Solution numeric_failure(Solution& out) {
+    numeric_failure_ = true;
+    out.status = SolveStatus::kIterationLimit;
+    finalize(out);
+    return out;
+  }
+
+  // ---- extraction --------------------------------------------------------
+
+  void finalize(Solution& out) const {
+    out.iterations = iterations_;
+    out.refactorizations = refactorizations_;
+    out.x.assign(uz(n_), 0.0);
+    for (int j = 0; j < n_; ++j) {
+      double v;
+      switch (state_[uz(j)]) {
+        case VarStatus::kAtLower: v = lower_[uz(j)]; break;
+        case VarStatus::kAtUpper: v = upper_[uz(j)]; break;
+        default: v = beta_[uz(pos_[uz(j)])]; break;
+      }
+      // Clamp tiny numerical drift back into the variable's box.
+      v = std::max(v, lower_[uz(j)]);
+      if (std::isfinite(upper_[uz(j)])) v = std::min(v, upper_[uz(j)]);
+      out.x[uz(j)] = v;
+    }
+    out.objective = model_.objective_value(out.x);
+    out.max_violation = model_.max_infeasibility(out.x);
+    if (out.status == SolveStatus::kOptimal) {
+      out.basis = export_basis(n_, m_, state_, basis_);
+    }
+  }
+
+  const Model& model_;
+  SolveOptions opts_;
+  StandardForm sf_;
+
+  int n_ = 0;
+  int m_ = 0;
+  int total_ = 0;
+  int num_artificials_ = 0;
+  int iter_limit_ = 0;
+
+  std::vector<int> art_rows_;
+  std::vector<double> art_sign_;
+
+  std::vector<double> lower_, upper_;
+  std::vector<VarStatus> state_;
+  std::vector<int> basis_;
+  std::vector<int> pos_;  // column -> basis slot, -1 when nonbasic
+  std::vector<double> beta_;
+  std::vector<double> cost_;
+  std::vector<double> d_;
+
+  BasisLu lu_;
+  Pricer pricer_;
+
+  // Scratch (sized by init_scratch, reused across iterations).
+  std::vector<double> w_;      // entering direction, slot space
+  std::vector<double> rho_;    // btran workspace, row space
+  std::vector<double> alpha_;  // pivot row in column space
+
+  int iterations_ = 0;
+  int refactorizations_ = 0;
+  bool numeric_failure_ = false;
 };
 
 }  // namespace
@@ -491,23 +1094,31 @@ Solution SimplexSolver::solve(const Model& model,
     // objective coefficient.
     Solution out;
     out.status = SolveStatus::kOptimal;
-    out.x.resize(static_cast<std::size_t>(model.num_variables()));
+    out.x.resize(uz(model.num_variables()));
+    Basis basis;
+    basis.state.assign(uz(model.num_variables()), VarStatus::kAtLower);
     for (int j = 0; j < model.num_variables(); ++j) {
       const Variable& v = model.variable(j);
       if (v.objective >= 0.0) {
-        out.x[static_cast<std::size_t>(j)] = v.lower;
+        out.x[uz(j)] = v.lower;
       } else if (std::isfinite(v.upper)) {
-        out.x[static_cast<std::size_t>(j)] = v.upper;
+        out.x[uz(j)] = v.upper;
+        basis.state[uz(j)] = VarStatus::kAtUpper;
       } else {
         out.status = SolveStatus::kUnbounded;
-        out.x[static_cast<std::size_t>(j)] = v.lower;
+        out.x[uz(j)] = v.lower;
       }
     }
     out.objective = model.objective_value(out.x);
+    if (out.status == SolveStatus::kOptimal) out.basis = std::move(basis);
     return out;
   }
-  Tableau tableau(model, options);
-  return tableau.run();
+  if (options.algorithm == Algorithm::kDenseTableau) {
+    DenseTableau tableau(model, options);
+    return tableau.run();
+  }
+  RevisedSolver solver(model, options);
+  return solver.run();
 }
 
 }  // namespace omn::lp

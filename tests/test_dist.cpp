@@ -2,8 +2,9 @@
 //
 //   - ShardPlan: deterministic, covering, near-equal partitions.
 //   - Frame protocol: round trips plus one test per rejection status, and
-//     the golden file tests/data/dist_frame_v1.bin pinning the v1 bytes
-//     (truncation / checksum-mismatch / version-mismatch rejection).
+//     the golden file tests/data/dist_frame_v2.bin pinning the current
+//     bytes (truncation / checksum-mismatch / version-mismatch rejection);
+//     dist_frame_v1.bin stays as the version-skew rejection fixture.
 //   - Wire codecs: grid and result payloads round-trip bit-exactly.
 //   - Worker loop: protocol errors exit nonzero, a well-formed session
 //     produces a valid result frame (driven in-process through streams).
@@ -298,7 +299,7 @@ std::string golden_frame_payload() {
 }
 
 TEST(GoldenDistFrame, LoadsAndReserializesByteExact) {
-  const std::string golden = slurp(data_path("dist_frame_v1.bin"));
+  const std::string golden = slurp(data_path("dist_frame_v2.bin"));
   ASSERT_FALSE(golden.empty());
   std::istringstream in(golden);
   Frame frame;
@@ -316,7 +317,7 @@ TEST(GoldenDistFrame, LoadsAndReserializesByteExact) {
 }
 
 TEST(GoldenDistFrame, TruncationVersionAndChecksumRejected) {
-  const std::string golden = slurp(data_path("dist_frame_v1.bin"));
+  const std::string golden = slurp(data_path("dist_frame_v2.bin"));
   ASSERT_GT(golden.size(), 28u);
   Frame frame;
   for (const std::size_t keep :
@@ -327,13 +328,24 @@ TEST(GoldenDistFrame, TruncationVersionAndChecksumRejected) {
         << "prefix of " << keep << " bytes was accepted";
   }
   std::string bad_version = golden;
-  bad_version[4] = 2;  // version field (little-endian u32 after the magic)
+  bad_version[4] = 3;  // version field (little-endian u32 after the magic)
   std::istringstream vin(bad_version);
   EXPECT_EQ(omn::dist::read_frame(vin, frame), FrameStatus::kBadVersion);
   std::string bad_payload = golden;
   bad_payload[21] ^= 1;  // inside the payload: checksum must catch it
   std::istringstream cin(bad_payload);
   EXPECT_EQ(omn::dist::read_frame(cin, frame), FrameStatus::kBadChecksum);
+}
+
+TEST(GoldenDistFrame, RejectsLegacyV1Frames) {
+  // The frame version gates the PAYLOAD codecs, which v2 extended (solver
+  // options, warm-start basis, new counters).  A v1 peer must be rejected
+  // at the header, before any payload is misread.
+  const std::string golden = slurp(data_path("dist_frame_v1.bin"));
+  ASSERT_FALSE(golden.empty());
+  std::istringstream in(golden);
+  Frame frame;
+  EXPECT_EQ(omn::dist::read_frame(in, frame), FrameStatus::kBadVersion);
 }
 
 // ---- wire codecs ----------------------------------------------------------

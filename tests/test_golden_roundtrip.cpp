@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <optional>
@@ -162,9 +163,9 @@ TEST(GoldenDesign, WriteReadDeepEqual) {
   expect_deep_equal(design, reloaded);
 }
 
-// ---- LP cache entry (binary v1) -------------------------------------------
+// ---- LP cache entry (binary v2, legacy v1) --------------------------------
 
-/// The fixed (key, solution) pair the golden entry was generated from.
+/// The fixed (key, solution) pair the golden entries were generated from.
 omn::util::Digest128 golden_cache_key() {
   return {0x0123456789abcdefull, 0xfedcba9876543210ull};
 }
@@ -180,7 +181,48 @@ omn::lp::Solution golden_cache_solution() {
   return s;
 }
 
+/// The v2 golden extends the v1 value with the basis block.
+omn::lp::Solution golden_cache_solution_v2() {
+  using omn::lp::VarStatus;
+  omn::lp::Solution s = golden_cache_solution();
+  s.refactorizations = 3;
+  s.warm_started = true;
+  omn::lp::Basis basis;
+  basis.state = {VarStatus::kAtLower, VarStatus::kBasic, VarStatus::kAtUpper,
+                 VarStatus::kBasic, VarStatus::kAtLower};
+  basis.basic = {1, 3};
+  s.basis = std::move(basis);
+  return s;
+}
+
 TEST(GoldenLpCacheEntry, LoadsAndReserializesByteExact) {
+  const std::string golden = slurp(data_path("lp_cache_entry_v2.bin"));
+  ASSERT_FALSE(golden.empty());
+
+  std::istringstream in(golden);
+  const std::optional<omn::lp::Solution> loaded =
+      omn::core::LpCache::read_entry(in, golden_cache_key());
+  ASSERT_TRUE(loaded.has_value());
+  const omn::lp::Solution expected = golden_cache_solution_v2();
+  EXPECT_EQ(loaded->status, expected.status);
+  EXPECT_EQ(loaded->objective, expected.objective);
+  EXPECT_EQ(loaded->iterations, expected.iterations);
+  EXPECT_EQ(loaded->phase1_iterations, expected.phase1_iterations);
+  EXPECT_EQ(loaded->max_violation, expected.max_violation);
+  EXPECT_EQ(loaded->x, expected.x);
+  EXPECT_EQ(loaded->refactorizations, expected.refactorizations);
+  EXPECT_EQ(loaded->warm_started, expected.warm_started);
+  ASSERT_TRUE(loaded->basis.has_value());
+  EXPECT_TRUE(*loaded->basis == *expected.basis);
+
+  std::ostringstream out;
+  omn::core::LpCache::write_entry(out, golden_cache_key(), *loaded);
+  EXPECT_EQ(out.str(), golden);
+}
+
+TEST(GoldenLpCacheEntry, ReadsLegacyV1Entries) {
+  // Pre-basis cache directories must keep working: the committed v1 entry
+  // still loads, with the v2-only fields at their defaults.
   const std::string golden = slurp(data_path("lp_cache_entry_v1.bin"));
   ASSERT_FALSE(golden.empty());
 
@@ -195,15 +237,24 @@ TEST(GoldenLpCacheEntry, LoadsAndReserializesByteExact) {
   EXPECT_EQ(loaded->phase1_iterations, expected.phase1_iterations);
   EXPECT_EQ(loaded->max_violation, expected.max_violation);
   EXPECT_EQ(loaded->x, expected.x);
+  EXPECT_EQ(loaded->refactorizations, 0);
+  EXPECT_FALSE(loaded->warm_started);
+  EXPECT_FALSE(loaded->basis.has_value());
 
+  // Re-serializing writes v2 bytes: same value, current format.
   std::ostringstream out;
   omn::core::LpCache::write_entry(out, golden_cache_key(), *loaded);
-  EXPECT_EQ(out.str(), golden);
+  EXPECT_NE(out.str(), golden);
+  std::istringstream reread(out.str());
+  const std::optional<omn::lp::Solution> upgraded =
+      omn::core::LpCache::read_entry(reread, golden_cache_key());
+  ASSERT_TRUE(upgraded.has_value());
+  EXPECT_EQ(upgraded->x, expected.x);
 }
 
 TEST(GoldenLpCacheEntry, WriteReadRoundTripsExactly) {
   // Bit patterns must survive, including -0.0 and denormals.
-  omn::lp::Solution s = golden_cache_solution();
+  omn::lp::Solution s = golden_cache_solution_v2();
   s.x.push_back(-0.0);
   s.x.push_back(5e-324);
   std::ostringstream out;
@@ -220,37 +271,58 @@ TEST(GoldenLpCacheEntry, WriteReadRoundTripsExactly) {
 }
 
 TEST(GoldenLpCacheEntry, TruncatedEntryRejected) {
-  const std::string golden = slurp(data_path("lp_cache_entry_v1.bin"));
-  // Every proper prefix must be rejected — no partial-read acceptance.
-  for (const std::size_t keep :
-       {std::size_t{0}, std::size_t{4}, std::size_t{24}, golden.size() - 8,
-        golden.size() - 1}) {
-    std::istringstream in(golden.substr(0, keep));
+  // Every proper prefix of both format versions must be rejected — no
+  // partial-read acceptance.
+  for (const char* file : {"lp_cache_entry_v1.bin", "lp_cache_entry_v2.bin"}) {
+    const std::string golden = slurp(data_path(file));
+    for (const std::size_t keep :
+         {std::size_t{0}, std::size_t{4}, std::size_t{24}, golden.size() - 8,
+          golden.size() - 1}) {
+      std::istringstream in(golden.substr(0, keep));
+      EXPECT_FALSE(
+          omn::core::LpCache::read_entry(in, golden_cache_key()).has_value())
+          << file << ": prefix of " << keep << " bytes was accepted";
+    }
+    // ... and so must trailing garbage.
+    std::istringstream padded(golden + "x");
     EXPECT_FALSE(
-        omn::core::LpCache::read_entry(in, golden_cache_key()).has_value())
-        << "prefix of " << keep << " bytes was accepted";
+        omn::core::LpCache::read_entry(padded, golden_cache_key()).has_value())
+        << file;
   }
-  // ... and so must trailing garbage.
-  std::istringstream padded(golden + "x");
-  EXPECT_FALSE(
-      omn::core::LpCache::read_entry(padded, golden_cache_key()).has_value());
 }
 
 TEST(GoldenLpCacheEntry, VersionMismatchRejected) {
-  std::string golden = slurp(data_path("lp_cache_entry_v1.bin"));
-  ASSERT_GT(golden.size(), 8u);
-  golden[4] = 2;  // version field (little-endian u32 after the magic)
+  // v1 and v2 are the only versions read_entry accepts; anything newer (or
+  // zero) is a stale/foreign file.  Patching the version also breaks the
+  // checksum, but the version gate must reject first — a future v3 writer
+  // shares the magic, not the layout.
+  for (const std::uint8_t version : {std::uint8_t{0}, std::uint8_t{3}}) {
+    std::string golden = slurp(data_path("lp_cache_entry_v2.bin"));
+    ASSERT_GT(golden.size(), 8u);
+    golden[4] = static_cast<char>(version);  // little-endian u32 after magic
+    std::istringstream in(golden);
+    EXPECT_FALSE(
+        omn::core::LpCache::read_entry(in, golden_cache_key()).has_value());
+  }
+}
+
+TEST(GoldenLpCacheEntry, ChecksumMismatchRejected) {
+  std::string golden = slurp(data_path("lp_cache_entry_v2.bin"));
+  ASSERT_GT(golden.size(), 48u);
+  golden[40] = static_cast<char>(golden[40] ^ 0x01);  // a payload byte
   std::istringstream in(golden);
   EXPECT_FALSE(
       omn::core::LpCache::read_entry(in, golden_cache_key()).has_value());
 }
 
 TEST(GoldenLpCacheEntry, KeyMismatchRejected) {
-  const std::string golden = slurp(data_path("lp_cache_entry_v1.bin"));
-  omn::util::Digest128 other = golden_cache_key();
-  other.lo ^= 1;
-  std::istringstream in(golden);
-  EXPECT_FALSE(omn::core::LpCache::read_entry(in, other).has_value());
+  for (const char* file : {"lp_cache_entry_v1.bin", "lp_cache_entry_v2.bin"}) {
+    const std::string golden = slurp(data_path(file));
+    omn::util::Digest128 other = golden_cache_key();
+    other.lo ^= 1;
+    std::istringstream in(golden);
+    EXPECT_FALSE(omn::core::LpCache::read_entry(in, other).has_value()) << file;
+  }
 }
 
 }  // namespace

@@ -151,11 +151,17 @@ TEST(MetricsSchema, SweepReportGolden) {
   report.lp_solves = 5;
   report.lp_cache_hits = 1;
   report.lp_cache_misses = 5;
+  report.lp_iterations = 420;
+  report.lp_phase1_iterations = 130;
+  report.lp_refactorizations = 7;
+  report.lp_warm_start_hits = 2;
   report.wall_seconds = 1.5;
   report.cpu_seconds = 3.0;
   EXPECT_EQ(omn::core::to_json(report).dump(),
             "{\"cells\":12,\"instances\":3,\"configs\":4,\"lp_configs\":2,"
             "\"lp_solves\":5,\"lp_cache_hits\":1,\"lp_cache_misses\":5,"
+            "\"lp_iterations\":420,\"lp_phase1_iterations\":130,"
+            "\"lp_refactorizations\":7,\"lp_warm_start_hits\":2,"
             "\"saved_by_reuse\":6,\"wall_seconds\":1.5,\"cpu_seconds\":3.0}");
 }
 
@@ -194,17 +200,22 @@ TEST(MetricsSchema, DesignResultGolden) {
   result.lp_objective = 100.25;
   result.cost_ratio = 1.5;
   result.lp_iterations = 97;
+  result.lp_phase1_iterations = 31;
+  result.lp_refactorizations = 3;
   result.winning_attempt = 1;
   result.attempts_made = 2;
   result.lp_seconds = 0.5;
   result.rounding_seconds = 0.25;
   result.lp_cache_hit = true;
+  result.lp_warm_start = false;
   EXPECT_EQ(omn::core::to_json(result).dump(),
             "{\"status\":\"ok\",\"total_cost\":160.5,"
             "\"lp_objective\":100.25,\"cost_ratio\":1.5,"
-            "\"lp_iterations\":97,\"winning_attempt\":1,"
+            "\"lp_iterations\":97,\"lp_phase1_iterations\":31,"
+            "\"lp_refactorizations\":3,\"winning_attempt\":1,"
             "\"attempts_made\":2,\"lp_seconds\":0.5,"
-            "\"rounding_seconds\":0.25,\"lp_cache_hit\":true}");
+            "\"rounding_seconds\":0.25,\"lp_cache_hit\":true,"
+            "\"lp_warm_start\":false}");
 }
 
 }  // namespace

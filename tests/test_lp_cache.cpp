@@ -447,4 +447,116 @@ TEST(LpCacheSweep, DiskCachePersistsAcrossSweepObjects) {
   EXPECT_EQ(second.cell(0, 0).result.design.x, first.cell(0, 0).result.design.x);
 }
 
+// ---- shape index / basis warm starts --------------------------------------
+
+TEST(LpShapeDigest, InvariantToCostsButNotStructure) {
+  omn::net::OverlayInstance a = small_instance();
+  omn::net::OverlayInstance b = small_instance();
+  const Digest128 base = omn::core::lp_shape_digest(a, {});
+  EXPECT_TRUE(base == omn::core::lp_shape_digest(b, {}));
+
+  // Float perturbations keep the shape (that's the warm-start premise)...
+  b.reflector(0).build_cost *= 1.5;
+  b.sink(0).threshold *= 0.99;
+  EXPECT_TRUE(base == omn::core::lp_shape_digest(b, {}));
+  // ...while the byte-cache key, which covers the values, moves.
+  EXPECT_FALSE(LpCache::key(a, {}, {}) == LpCache::key(b, {}, {}));
+
+  // Structural changes move the shape: a different topology draw and a
+  // different set of LP constraints.
+  EXPECT_FALSE(base == omn::core::lp_shape_digest(small_instance(6), {}));
+  LpBuildOptions no_cut;
+  no_cut.cutting_plane = false;
+  EXPECT_FALSE(base == omn::core::lp_shape_digest(a, no_cut));
+}
+
+TEST(LpCacheShapeIndex, NoteAndFindBasisRoundTripsAndCountsWarmHits) {
+  LpCache cache;
+  const Digest128 shape{1, 2};
+  EXPECT_FALSE(cache.find_basis(shape).has_value());
+  EXPECT_EQ(cache.stats().warm_hits, 0u);
+
+  lp::Basis basis;
+  basis.state = {lp::VarStatus::kBasic, lp::VarStatus::kAtLower};
+  basis.basic = {0};
+  cache.note_basis(shape, basis);
+
+  const std::optional<lp::Basis> found = cache.find_basis(shape);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_TRUE(*found == basis);
+  EXPECT_EQ(cache.stats().warm_hits, 1u);
+  EXPECT_FALSE(cache.find_basis(Digest128{3, 4}).has_value());
+}
+
+TEST(LpCacheWarmStart, PerturbedInstanceWarmStartsFromShapeIndex) {
+  LpCache cache;
+  const omn::net::OverlayInstance first = small_instance();
+  const omn::core::CachedLp cold =
+      omn::core::solve_overlay_lp_cached(first, {}, {}, &cache,
+                                         /*warm_start=*/true);
+  ASSERT_EQ(cold.solution.status, lp::SolveStatus::kOptimal);
+  EXPECT_FALSE(cold.solution.warm_started);  // nothing to warm-start from yet
+
+  // Same shape, different costs: a different byte-cache key (so a real
+  // solve happens), served from the first solve's basis.
+  omn::net::OverlayInstance perturbed = small_instance();
+  for (int i = 0; i < perturbed.num_reflectors(); ++i) {
+    perturbed.reflector(i).build_cost *= 1.0 + 0.01 * (i + 1);
+  }
+  const omn::core::CachedLp warm =
+      omn::core::solve_overlay_lp_cached(perturbed, {}, {}, &cache,
+                                         /*warm_start=*/true);
+  ASSERT_EQ(warm.solution.status, lp::SolveStatus::kOptimal);
+  EXPECT_FALSE(warm.cache_hit);
+  EXPECT_TRUE(warm.solution.warm_started);
+  EXPECT_EQ(warm.solution.phase1_iterations, 0);
+  EXPECT_LT(warm.solution.iterations, cold.solution.iterations);
+  EXPECT_GE(cache.stats().warm_hits, 1u);
+
+  // The warm answer must match a cold solve of the same instance.
+  const omn::core::CachedLp verify =
+      omn::core::solve_overlay_lp_cached(perturbed, {}, {}, nullptr);
+  const double scale = 1.0 + std::abs(verify.solution.objective);
+  EXPECT_NEAR(warm.solution.objective, verify.solution.objective, 1e-7 * scale);
+}
+
+TEST(LpCacheWarmStart, OffByDefaultEvenWithBasesIndexed) {
+  LpCache cache;
+  const omn::net::OverlayInstance first = small_instance();
+  (void)omn::core::solve_overlay_lp_cached(first, {}, {}, &cache);
+
+  omn::net::OverlayInstance perturbed = small_instance();
+  perturbed.reflector(0).build_cost *= 2.0;
+  const omn::core::CachedLp cold =
+      omn::core::solve_overlay_lp_cached(perturbed, {}, {}, &cache);
+  EXPECT_FALSE(cold.cache_hit);
+  EXPECT_FALSE(cold.solution.warm_started);  // bit-identity default holds
+}
+
+TEST(LpCacheSweep, WarmStartConfigReportsWarmHitsAndIterationCounters) {
+  DesignSweep sweep;
+  omn::net::OverlayInstance perturbed = small_instance();
+  for (int i = 0; i < perturbed.num_reflectors(); ++i) {
+    perturbed.reflector(i).build_cost *= 1.0 + 0.02 * (i + 1);
+  }
+  sweep.add_instance("base", small_instance());
+  sweep.add_instance("perturbed", std::move(perturbed));
+  DesignerConfig cfg;
+  cfg.rounding_attempts = 1;
+  cfg.lp_warm_start = true;
+  sweep.add_config("warm", cfg);
+
+  // Serial context: instance 0 solves cold and notes its basis, instance 1
+  // (same shape) warm-starts from it.
+  omn::util::ExecutionContext context(1);
+  context.set_service(std::make_shared<LpCache>());
+  const SweepReport report = sweep.run({.threads = 1}, context);
+  EXPECT_EQ(report.lp_solves, 2u);
+  EXPECT_EQ(report.lp_warm_start_hits, 1u);
+  EXPECT_GT(report.lp_iterations, 0u);
+  EXPECT_GT(report.lp_phase1_iterations, 0u);
+  EXPECT_TRUE(report.cell(1, 0).result.lp_warm_start);
+  EXPECT_FALSE(report.cell(0, 0).result.lp_warm_start);
+}
+
 }  // namespace

@@ -4,6 +4,8 @@
 //   generate  --sinks N [--isps K] [--seed S] [--eu-heavy] --out inst.txt
 //   design    --instance inst.txt [--seed S] [--c C] [--colors]
 //             [--bandwidth] [--attempts A] [--threads T] [--lp-cache DIR]
+//             [--algorithm revised|dense-tableau]
+//             [--pricing steepest-edge|dantzig] [--warm-start]
 //             [--out design.txt] [--metrics out.json]
 //   sweep     --instance inst.txt [--c C1,C2,...] [--seeds K]
 //             [--attempts A] [--threads T] [--no-reuse-lp] [--lp-cache DIR]
@@ -38,6 +40,15 @@
 // for every thread count.  `design --out` records the knobs and per-stage
 // timings as `meta` lines in the design file; `evaluate` reports them back.
 //
+// design --algorithm / --pricing select the simplex core and entering
+// rule (see omn/lp/simplex.hpp); `--algorithm dense-tableau` keeps the
+// original dense oracle selectable for differential runs.  --warm-start
+// (requires --lp-cache) lets a structurally identical instance reuse the
+// cache's optimal basis: the LP solve skips phase I and typically needs a
+// small fraction of the cold pivots, at the price of possibly returning a
+// DIFFERENT optimal vertex than the cold solve — so warm runs trade the
+// repo's bit-identity guarantee for speed, and the flag is off by default.
+//
 // --lp-cache DIR installs a content-addressed core::LpCache over DIR:
 // the LP solve (the dominant design cost) is keyed on the instance's
 // canonical content plus the LP/solve options and persisted, so a second
@@ -69,6 +80,7 @@
 #include "omn/core/lp_cache.hpp"
 #include "omn/dist/dist_sweep.hpp"
 #include "omn/dist/worker.hpp"
+#include "omn/lp/simplex.hpp"
 #include "omn/net/serialize.hpp"
 #include "omn/sim/failures.hpp"
 #include "omn/sim/packet_sim.hpp"
@@ -200,12 +212,42 @@ std::shared_ptr<omn::core::LpCache> make_lp_cache(const Args& args) {
   return std::make_shared<omn::core::LpCache>(dir);
 }
 
+/// --algorithm / --pricing / --warm-start -> the designer's LP knobs.
+/// Unknown names are usage errors, not silent defaults.
+void apply_lp_flags(const Args& args, omn::core::DesignerConfig& cfg) {
+  const std::string algorithm = args.get("algorithm", "revised");
+  if (algorithm == "revised") {
+    cfg.lp_options.algorithm = omn::lp::Algorithm::kRevised;
+  } else if (algorithm == "dense-tableau") {
+    cfg.lp_options.algorithm = omn::lp::Algorithm::kDenseTableau;
+  } else {
+    throw UsageError("bad --algorithm value '" + algorithm +
+                     "' (expected 'revised' or 'dense-tableau')");
+  }
+  const std::string pricing = args.get("pricing", "steepest-edge");
+  if (pricing == "steepest-edge") {
+    cfg.lp_options.pricing = omn::lp::Pricing::kSteepestEdge;
+  } else if (pricing == "dantzig") {
+    cfg.lp_options.pricing = omn::lp::Pricing::kDantzig;
+  } else {
+    throw UsageError("bad --pricing value '" + pricing +
+                     "' (expected 'steepest-edge' or 'dantzig')");
+  }
+  cfg.lp_warm_start = args.has("warm-start");
+  if (cfg.lp_warm_start && lp_cache_dir(args).empty()) {
+    throw UsageError("--warm-start requires --lp-cache DIR (the shape-keyed "
+                     "basis index lives on the cache)");
+  }
+}
+
 int usage() {
   std::cerr <<
       "usage: omn_design <command> [options]\n"
       "  generate  --sinks N [--isps K] [--seed S] [--eu-heavy] --out F\n"
       "  design    --instance F [--seed S] [--c C] [--colors] [--bandwidth]\n"
       "            [--attempts A] [--threads T] [--lp-cache DIR] [--out F]\n"
+      "            [--algorithm revised|dense-tableau]\n"
+      "            [--pricing steepest-edge|dantzig] [--warm-start]\n"
       "            [--metrics F]\n"
       "  sweep     --instance F [--c C1,C2,...] [--seeds K] [--attempts A]\n"
       "            [--threads T] [--no-reuse-lp] [--lp-cache DIR]\n"
@@ -250,6 +292,7 @@ int cmd_design(const Args& args) {
   cfg.threads = static_cast<int>(args.get_count("threads", 0));
   cfg.color_constraints = args.has("colors");
   cfg.bandwidth_extension = args.has("bandwidth");
+  apply_lp_flags(args, cfg);
   const std::shared_ptr<omn::core::LpCache> cache = make_lp_cache(args);
   // The designer's own context choice, with the cache riding along as a
   // service when requested (a context without the service behaves exactly
@@ -275,6 +318,12 @@ int cmd_design(const Args& args) {
               "(attempts %d, threads %s)\n",
               result.lp_seconds, result.rounding_seconds,
               result.attempts_made, threads_label.c_str());
+  std::printf("lp: %s/%s | %d pivots (%d phase 1), %d refactorizations%s\n",
+              omn::lp::to_string(cfg.lp_options.algorithm).c_str(),
+              omn::lp::to_string(cfg.lp_options.pricing).c_str(),
+              result.lp_iterations, result.lp_phase1_iterations,
+              result.lp_refactorizations,
+              result.lp_warm_start ? ", warm-started" : "");
   if (cache != nullptr) {
     const omn::core::LpCacheStats stats = cache->stats();
     std::printf("lp cache: %s | %zu hits (%zu disk), %zu misses, "

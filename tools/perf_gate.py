@@ -31,7 +31,12 @@ TRAJECTORY_SCHEMA = "omn-bench-trajectory-v1"
 
 # Exact-match integer counters, per sweep record.  These count WORK, not
 # time: for a fixed grid and fixed flags they are deterministic across
-# machines, thread counts, and runs.
+# machines, thread counts, and runs.  The simplex is deterministic too, so
+# its pivot counters are exact as well — any unintended change to the
+# revised core's pivot sequence (pricing, refactorization cadence,
+# warm-start acceptance) moves them and fails the gate.  A record missing
+# a key on BOTH sides passes (kernel benches like e14 emit solver-only
+# records without the grid counters).
 EXACT_SWEEP_KEYS = (
     "cells",
     "instances",
@@ -41,6 +46,10 @@ EXACT_SWEEP_KEYS = (
     "lp_cache_hits",
     "lp_cache_misses",
     "saved_by_reuse",
+    "lp_iterations",
+    "lp_phase1_iterations",
+    "lp_refactorizations",
+    "lp_warm_start_hits",
 )
 
 # Envelope-level flags that must match for the comparison to be
@@ -136,6 +145,20 @@ def check(trajectory_path, metrics_path, max_wall_ratio):
         )
 
     for cur in cur_sweeps:
+        if cur.get("cells") is None:
+            # Solver-kernel record (e.g. e14): no grid, pivot counters only.
+            print(
+                "perf_gate: OK %s: %s pivots (%s phase 1), "
+                "%s refactorizations, %.2fs wall"
+                % (
+                    cur.get("label", "?"),
+                    cur.get("lp_iterations"),
+                    cur.get("lp_phase1_iterations"),
+                    cur.get("lp_refactorizations"),
+                    cur.get("wall_seconds", 0.0),
+                )
+            )
+            continue
         print(
             "perf_gate: OK %s: %s cells, %s lp_solves, "
             "%s hits / %s misses, %.2fs wall"
