@@ -1,0 +1,32 @@
+// Fuzz target: the serve event-line parser (serve::parse_event).  Event
+// lines arrive on the daemon's stdin from arbitrary supervisors and are
+// replayed from journals, so the parser must reject malformed input with
+// a diagnostic — never crash, hang, or accept a line it cannot render
+// back.
+//
+// Invariant checked beyond "no crash": parse -> to_line -> parse is the
+// identity on accepted events, and the canonical line is a fixed point.
+// That round-trip is what makes journal encoding deterministic, so a
+// violation is a real bug — the harness aborts on it.
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "omn/serve/event.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string line(reinterpret_cast<const char*>(data), size);
+  std::string error;
+  const auto event = omn::serve::parse_event(line, &error);
+  if (!event.has_value()) return 0;  // rejected (or blank/comment): fine
+  const std::string canonical = event->to_line();
+  std::string reparse_error;
+  const auto again = omn::serve::parse_event(canonical, &reparse_error);
+  if (!again.has_value() || !(*again == *event) ||
+      again->to_line() != canonical) {
+    std::abort();  // canonical form failed to round-trip
+  }
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Fuzz target: the serve journal reader (serve::Journal::decode).  A
+// journal is what a restarted daemon trusts to rebuild its design state,
+// and the file may be torn (crash mid-append) or corrupt (disk fault), so
+// decode must either return a consistent prefix or throw JournalError —
+// never crash, hang, or return events it could not have written.
+//
+// Invariant checked beyond "no crash": whatever decode accepts must
+// re-encode and decode to the same contents (decode and encode are
+// inverses on the accepted set).  A violation aborts.
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "omn/serve/journal.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view bytes(reinterpret_cast<const char*>(data), size);
+  omn::serve::JournalContents contents;
+  try {
+    contents = omn::serve::Journal::decode(bytes);
+  } catch (const omn::serve::JournalError&) {
+    return 0;  // rejected: the reader's contract for corrupt input
+  }
+  // Accepted: the decoded prefix must be canonically re-encodable.
+  const std::string canonical =
+      omn::serve::Journal::encode(contents.header, contents.events);
+  omn::serve::JournalContents again;
+  try {
+    again = omn::serve::Journal::decode(canonical);
+  } catch (const omn::serve::JournalError&) {
+    std::abort();  // re-encoding an accepted journal must never fail
+  }
+  if (again.dropped_partial_tail ||
+      !(again.header.config_digest == contents.header.config_digest) ||
+      again.header.instance_text != contents.header.instance_text ||
+      !(again.header.failed == contents.header.failed) ||
+      !(again.events == contents.events)) {
+    std::abort();  // decode/encode stopped being inverses
+  }
+  return 0;
+}

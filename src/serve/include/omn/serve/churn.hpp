@@ -1,0 +1,98 @@
+#pragma once
+// ChurnGenerator: deterministic, seeded streams of valid mutation events
+// against an evolving instance — the workload driver behind the serve
+// differential tests (tests/test_serve.cpp) and the E15 churn bench.
+//
+// The generator keeps its own lightweight model of the instance (names,
+// live/failed edges, which reflectors it added) and only ever emits
+// events the serve protocol will accept on the state it produced so far:
+// it fails only live edges, restores only failed ones, and removes only
+// reflectors it added itself (base reflectors stay, so topologies never
+// churn themselves into infeasibility).  Each emitted event is applied to
+// the internal model, so next() is a pure function of (base instance,
+// config, call count) — two generators with equal inputs produce equal
+// streams, which is what makes the differential suites and the committed
+// E15 counters reproducible.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "omn/net/instance.hpp"
+#include "omn/serve/event.hpp"
+#include "omn/util/rng.hpp"
+
+namespace omn::serve {
+
+struct ChurnConfig {
+  std::uint64_t seed = 1;
+
+  // Event mix (relative weights; normalized internally).  Categories that
+  // are impossible in the current model state (nothing failed yet,
+  // nothing left to remove) fall through to edge-fail.
+  double fail_weight = 0.35;
+  double restore_weight = 0.25;
+  double capacity_weight = 0.25;
+  double add_weight = 0.08;
+  double remove_weight = 0.07;
+
+  /// Cap on concurrently failed edges (past it, fail falls through to
+  /// capacity-set) so long streams cannot black out the network.
+  std::size_t max_failed = 6;
+  /// Cap on generator-added reflectors alive at once.
+  std::size_t max_added = 4;
+
+  // node-add parameter ranges.
+  double add_cost_min = 10.0;
+  double add_cost_max = 60.0;
+  double add_fanout_min = 6.0;
+  double add_fanout_max = 20.0;
+  double add_edge_cost_min = 0.5;
+  double add_edge_cost_max = 3.0;
+  double add_edge_loss_min = 0.002;
+  double add_edge_loss_max = 0.05;
+
+  // capacity-set fanout range.
+  double fanout_min = 4.0;
+  double fanout_max = 24.0;
+};
+
+class ChurnGenerator {
+ public:
+  ChurnGenerator(const net::OverlayInstance& base, ChurnConfig config);
+
+  /// The next mutation event (always valid against the state all prior
+  /// events produced).
+  Event next();
+
+  /// Convenience: the next `count` events.
+  std::vector<Event> take(std::size_t count);
+
+ private:
+  struct EdgeRef {
+    bool rd = false;
+    std::string a;
+    std::string b;
+  };
+
+  Event make_fail();
+  Event make_restore();
+  Event make_capacity();
+  Event make_add();
+  Event make_remove();
+  void note_added_reflector(const std::string& name);
+
+  ChurnConfig config_;
+  util::Rng rng_;
+  int num_colors_ = 1;
+  std::vector<std::string> sources_;
+  std::vector<std::string> reflectors_;
+  std::vector<std::string> sinks_;
+  std::vector<EdgeRef> live_edges_;
+  std::vector<EdgeRef> failed_edges_;
+  /// Generator-added reflectors still present (eligible for removal).
+  std::vector<std::string> added_;
+  std::uint64_t next_add_id_ = 0;
+};
+
+}  // namespace omn::serve

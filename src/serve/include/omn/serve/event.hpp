@@ -1,0 +1,85 @@
+#pragma once
+// The serve event protocol: one line-oriented event per network change.
+//
+// Grammar (whitespace-separated tokens, one event per line; blank lines
+// and lines starting with `#` are not events):
+//
+//   node-add <name> <build_cost> <fanout> <color> <edge_cost> <edge_loss>
+//   node-remove <name>
+//   edge-fail sr <source> <reflector>
+//   edge-fail rd <reflector> <sink>
+//   edge-restore sr <source> <reflector>
+//   edge-restore rd <reflector> <sink>
+//   capacity-set <reflector> <fanout>
+//   query
+//   snapshot
+//   quit
+//
+// Numbers go through the strict util parsers (parse_count for the color,
+// parse_double for the rest), so `1e3` is fine but `4O`, `-0x1`, `nan`,
+// and trailing garbage are parse errors — the daemon rejects the line and
+// keeps running; nothing is ever half-applied.  Ranges are validated at
+// parse time (fanout > 0, loss in [0, 1), color >= 0, costs >= 0) so a
+// journaled event can always be re-applied.
+//
+// to_line() renders the canonical text form: parse(to_line(e)) == e for
+// every valid event, and doubles round-trip exactly (shortest-exact
+// formatting).  The journal stores canonical lines, which is what makes
+// journal encoding deterministic and the golden-file test possible.
+
+#include <optional>
+#include <string>
+
+namespace omn::serve {
+
+enum class EventKind {
+  kNodeAdd,
+  kNodeRemove,
+  kEdgeFail,
+  kEdgeRestore,
+  kCapacitySet,
+  kQuery,
+  kSnapshot,
+  kQuit,
+};
+
+std::string to_string(EventKind kind);
+
+struct Event {
+  EventKind kind = EventKind::kQuery;
+
+  /// node-add / node-remove / capacity-set: the reflector name.
+  /// edge-fail / edge-restore: endpoint a (source for sr, reflector for
+  /// rd); `b` holds the other endpoint.
+  std::string a;
+  std::string b;
+
+  /// edge-fail / edge-restore: true selects the reflector->sink layer.
+  bool rd = false;
+
+  // node-add parameters (capacity-set reuses `fanout`).
+  double build_cost = 0.0;
+  double fanout = 0.0;
+  int color = 0;
+  double edge_cost = 0.0;
+  double edge_loss = 0.0;
+
+  bool operator==(const Event&) const = default;
+
+  /// True for events that mutate the instance (everything but
+  /// query/snapshot/quit) — exactly the events a journal records.
+  bool is_mutation() const;
+
+  /// Canonical line form (no trailing newline).
+  std::string to_line() const;
+};
+
+/// Parses one event line.  Returns nullopt and sets `*error` (when given)
+/// on any violation: unknown kind, wrong token count, malformed or
+/// out-of-range numbers, or a name that could not round-trip (names must
+/// be non-empty and whitespace-free by tokenization).  Blank/comment
+/// lines are NOT events and also return nullopt (with an empty error).
+std::optional<Event> parse_event(const std::string& line,
+                                 std::string* error = nullptr);
+
+}  // namespace omn::serve

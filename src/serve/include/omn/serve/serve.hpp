@@ -1,0 +1,141 @@
+#pragma once
+// ServeSession: the long-lived incremental-redesign daemon behind
+// `omn_design serve`.
+//
+// A session owns a core::DesignState (instance + warm solver state) and
+// an optional Journal, and speaks the line protocol of
+// omn/serve/event.hpp on an istream/ostream pair (stdin/stdout in the
+// CLI).  Lifecycle of one mutation event:
+//
+//   parse -> apply to the DesignState -> journal append + flush
+//         -> redesign (warm where the config allows) -> "ok ..." ack
+//
+// Apply precedes journal so only successfully applied events are ever
+// recorded (a rejected event must not poison replay); journal precedes
+// the ack so an acknowledged event survives SIGKILL.  A crash between
+// apply and the ack loses at most that unacknowledged event — the
+// consistency model a line client expects.
+//
+// Responses are single lines:
+//   ok <seq> <kind> status=<s> cost=<c> pivots=<p> warm=<0|1>
+//      cache=<0|1> wall_us=<n>          (mutations)
+//   ok <seq> design status=<s> cost=<c> reflectors=<n> digest=<hex32>
+//                                        (query)
+//   ok <seq> snapshot journal=<path|none>
+//   ok <seq> bye                         (quit; EOF behaves like quit)
+//   err parse: <why> | err apply: <why>  (the session keeps running)
+// run() additionally opens with `ok 0 ready ... replayed=<k>
+// digest=<hex32>` so a supervisor can see a resumed session converge
+// before sending anything.
+//
+// Threading: one session is confined to one thread (the redesigns fan
+// out on the session's ExecutionContext; a shared LpCache service may be
+// used concurrently by other threads).
+
+#include <cstddef>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "omn/core/design_state.hpp"
+#include "omn/serve/event.hpp"
+#include "omn/serve/journal.hpp"
+#include "omn/util/json.hpp"
+
+namespace omn::serve {
+
+/// Applies one mutation event to a DesignState (throws
+/// std::invalid_argument on a protocol violation, std::logic_error for
+/// non-mutations).  Shared by ServeSession, the churn bench, and the
+/// differential tests so "what an event means" has exactly one home.
+void apply_event(core::DesignState& state, const Event& event);
+
+struct ServeOptions {
+  core::DesignerConfig config;
+  /// Journal file ("" = run without crash durability).
+  std::string journal_path;
+  /// Metrics JSON file written at quit/EOF ("" = none).
+  std::string metrics_path;
+};
+
+struct ServeStats {
+  std::size_t events = 0;        ///< mutations accepted this session
+  std::size_t redesigns = 0;     ///< designer runs (initial + per event)
+  std::size_t replayed = 0;      ///< journal events re-applied on resume
+  std::size_t parse_errors = 0;
+  std::size_t apply_errors = 0;
+  std::size_t snapshots = 0;
+  // Work counters, summed over redesigns; LP cache hits contribute zero
+  // pivots (no simplex ran), mirroring the DesignSweep convention.
+  std::size_t lp_iterations = 0;
+  std::size_t lp_phase1_iterations = 0;
+  std::size_t lp_refactorizations = 0;
+  std::size_t lp_warm_start_hits = 0;
+  std::size_t lp_cache_hits = 0;
+  /// Wall seconds of each redesign, in order (p50/p99 in the metrics).
+  std::vector<double> redesign_seconds;
+};
+
+class ServeSession {
+ public:
+  /// Fresh session over `base`: runs the initial design and — when
+  /// options.journal_path is set — writes a new journal (overwriting any
+  /// existing file).
+  ServeSession(net::OverlayInstance base, ServeOptions options,
+               util::ExecutionContext context);
+
+  /// Resumes from options.journal_path: decodes the journal (JournalError
+  /// on corruption or a DesignerConfig digest mismatch), rebuilds the
+  /// snapshot base, re-applies every journaled event — redesigning after
+  /// each, so the warm-start trajectory matches the killed session's —
+  /// and reopens the journal for appending (torn tail rewritten away).
+  static ServeSession resume(const ServeOptions& options,
+                             util::ExecutionContext context);
+
+  /// Handles one input line; returns the response line ("" for blank or
+  /// comment input, which gets no response).  Protocol errors come back
+  /// as `err ...` responses; journal I/O failures throw (state and
+  /// journal could diverge past that point, so the session must die).
+  std::string handle_line(const std::string& line);
+
+  /// True once quit was handled; handle_line must not be called again.
+  bool done() const { return done_; }
+
+  /// The `ok 0 ready ...` line run() opens with.
+  std::string ready_line() const;
+
+  /// Drives the full loop: ready line, then one handle_line per input
+  /// line until quit or EOF (EOF behaves like quit).  Returns 0.
+  int run(std::istream& in, std::ostream& out);
+
+  core::DesignState& state() { return state_; }
+  const core::DesignState& state() const { return state_; }
+  const ServeStats& stats() const { return stats_; }
+
+  /// The "omn-metrics-v1" envelope for this session (events, redesigns,
+  /// pivot totals, warm/cache hits, p50/p99 redesign wall).
+  util::Json metrics_json() const;
+  /// Writes metrics_json() to options.metrics_path (no-op when unset).
+  void write_metrics() const;
+
+ private:
+  ServeSession(net::OverlayInstance base, ServeOptions options,
+               util::ExecutionContext context, bool fresh_journal);
+  /// The journal header describing the CURRENT state (compaction base).
+  JournalHeader current_header() const;
+  /// Applies + redesigns one mutation, updating the work counters.
+  const core::DesignResult& apply_and_redesign(const Event& event);
+  std::string ack_mutation(const Event& event,
+                           const core::DesignResult& result,
+                           double wall_seconds) const;
+  std::uint64_t seq() const { return stats_.replayed + stats_.events; }
+
+  ServeOptions options_;
+  core::DesignState state_;
+  std::optional<Journal> journal_;
+  ServeStats stats_;
+  bool done_ = false;
+};
+
+}  // namespace omn::serve

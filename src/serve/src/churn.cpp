@@ -1,0 +1,144 @@
+#include "omn/serve/churn.hpp"
+
+#include <algorithm>
+
+namespace omn::serve {
+
+ChurnGenerator::ChurnGenerator(const net::OverlayInstance& base,
+                               ChurnConfig config)
+    : config_(config), rng_(config.seed) {
+  num_colors_ = std::max(1, base.num_colors());
+  for (int k = 0; k < base.num_sources(); ++k) {
+    sources_.push_back(base.source(k).name);
+  }
+  for (int i = 0; i < base.num_reflectors(); ++i) {
+    reflectors_.push_back(base.reflector(i).name);
+  }
+  for (int j = 0; j < base.num_sinks(); ++j) {
+    sinks_.push_back(base.sink(j).name);
+  }
+  for (const net::SourceReflectorEdge& edge : base.sr_edges()) {
+    live_edges_.push_back(EdgeRef{false, sources_[static_cast<std::size_t>(
+                                             edge.source)],
+                                  reflectors_[static_cast<std::size_t>(
+                                      edge.reflector)]});
+  }
+  for (const net::ReflectorSinkEdge& edge : base.rd_edges()) {
+    live_edges_.push_back(EdgeRef{true, reflectors_[static_cast<std::size_t>(
+                                            edge.reflector)],
+                                  sinks_[static_cast<std::size_t>(edge.sink)]});
+  }
+}
+
+Event ChurnGenerator::next() {
+  const double total = config_.fail_weight + config_.restore_weight +
+                       config_.capacity_weight + config_.add_weight +
+                       config_.remove_weight;
+  double draw = rng_.uniform(0.0, total);
+  if ((draw -= config_.fail_weight) < 0.0) return make_fail();
+  if ((draw -= config_.restore_weight) < 0.0) return make_restore();
+  if ((draw -= config_.capacity_weight) < 0.0) return make_capacity();
+  if ((draw -= config_.add_weight) < 0.0) return make_add();
+  return make_remove();
+}
+
+std::vector<Event> ChurnGenerator::take(std::size_t count) {
+  std::vector<Event> events;
+  events.reserve(count);
+  for (std::size_t n = 0; n < count; ++n) events.push_back(next());
+  return events;
+}
+
+Event ChurnGenerator::make_fail() {
+  if (live_edges_.empty() || failed_edges_.size() >= config_.max_failed) {
+    return make_capacity();
+  }
+  const std::size_t at = static_cast<std::size_t>(
+      rng_.uniform_index(live_edges_.size()));
+  const EdgeRef edge = live_edges_[at];
+  live_edges_.erase(live_edges_.begin() + static_cast<std::ptrdiff_t>(at));
+  failed_edges_.push_back(edge);
+  Event event;
+  event.kind = EventKind::kEdgeFail;
+  event.rd = edge.rd;
+  event.a = edge.a;
+  event.b = edge.b;
+  return event;
+}
+
+Event ChurnGenerator::make_restore() {
+  if (failed_edges_.empty()) return make_fail();
+  const std::size_t at = static_cast<std::size_t>(
+      rng_.uniform_index(failed_edges_.size()));
+  const EdgeRef edge = failed_edges_[at];
+  failed_edges_.erase(failed_edges_.begin() + static_cast<std::ptrdiff_t>(at));
+  live_edges_.push_back(edge);
+  Event event;
+  event.kind = EventKind::kEdgeRestore;
+  event.rd = edge.rd;
+  event.a = edge.a;
+  event.b = edge.b;
+  return event;
+}
+
+Event ChurnGenerator::make_capacity() {
+  Event event;
+  event.kind = EventKind::kCapacitySet;
+  event.a = reflectors_[static_cast<std::size_t>(
+      rng_.uniform_index(reflectors_.size()))];
+  event.fanout = rng_.uniform(config_.fanout_min, config_.fanout_max);
+  return event;
+}
+
+Event ChurnGenerator::make_add() {
+  if (added_.size() >= config_.max_added) return make_capacity();
+  Event event;
+  event.kind = EventKind::kNodeAdd;
+  event.a = "churn" + std::to_string(next_add_id_++);
+  event.build_cost = rng_.uniform(config_.add_cost_min, config_.add_cost_max);
+  event.fanout = rng_.uniform(config_.add_fanout_min, config_.add_fanout_max);
+  event.color = static_cast<int>(
+      rng_.uniform_index(static_cast<std::uint64_t>(num_colors_)));
+  event.edge_cost =
+      rng_.uniform(config_.add_edge_cost_min, config_.add_edge_cost_max);
+  event.edge_loss =
+      rng_.uniform(config_.add_edge_loss_min, config_.add_edge_loss_max);
+  note_added_reflector(event.a);
+  return event;
+}
+
+void ChurnGenerator::note_added_reflector(const std::string& name) {
+  reflectors_.push_back(name);
+  added_.push_back(name);
+  for (const std::string& source : sources_) {
+    live_edges_.push_back(EdgeRef{false, source, name});
+  }
+  for (const std::string& sink : sinks_) {
+    live_edges_.push_back(EdgeRef{true, name, sink});
+  }
+}
+
+Event ChurnGenerator::make_remove() {
+  if (added_.empty()) return make_capacity();
+  const std::size_t at =
+      static_cast<std::size_t>(rng_.uniform_index(added_.size()));
+  const std::string name = added_[at];
+  added_.erase(added_.begin() + static_cast<std::ptrdiff_t>(at));
+  reflectors_.erase(
+      std::find(reflectors_.begin(), reflectors_.end(), name));
+  const auto touches = [&name](const EdgeRef& edge) {
+    return (edge.rd ? edge.a : edge.b) == name;
+  };
+  live_edges_.erase(
+      std::remove_if(live_edges_.begin(), live_edges_.end(), touches),
+      live_edges_.end());
+  failed_edges_.erase(
+      std::remove_if(failed_edges_.begin(), failed_edges_.end(), touches),
+      failed_edges_.end());
+  Event event;
+  event.kind = EventKind::kNodeRemove;
+  event.a = name;
+  return event;
+}
+
+}  // namespace omn::serve

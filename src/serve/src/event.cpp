@@ -1,0 +1,201 @@
+#include "omn/serve/event.hpp"
+
+#include <charconv>
+#include <sstream>
+#include <vector>
+
+#include "omn/util/parse.hpp"
+
+namespace omn::serve {
+
+namespace {
+
+/// Shortest exact decimal form (std::to_chars with no precision):
+/// util::parse_double(format(v)) == v bit-for-bit for every finite v,
+/// which is what makes canonical event lines (and hence the journal
+/// encoding) a lossless round trip.
+std::string format_value(double value) {
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  return ec == std::errc() ? std::string(buf, ptr) : std::string("0");
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream in(line);
+  for (std::string token; in >> token;) tokens.push_back(std::move(token));
+  return tokens;
+}
+
+bool set_error(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+bool parse_layer(const std::string& token, bool& rd, std::string* error) {
+  if (token == "sr") {
+    rd = false;
+    return true;
+  }
+  if (token == "rd") {
+    rd = true;
+    return true;
+  }
+  return set_error(error, "bad layer '" + token + "' (expected 'sr' or 'rd')");
+}
+
+bool parse_value(const std::string& token, const char* what, double& out,
+                 std::string* error) {
+  const std::optional<double> parsed = omn::util::parse_double(token);
+  if (!parsed.has_value()) {
+    return set_error(error, std::string("bad ") + what + " '" + token + "'");
+  }
+  out = *parsed;
+  return true;
+}
+
+}  // namespace
+
+std::string to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kNodeAdd: return "node-add";
+    case EventKind::kNodeRemove: return "node-remove";
+    case EventKind::kEdgeFail: return "edge-fail";
+    case EventKind::kEdgeRestore: return "edge-restore";
+    case EventKind::kCapacitySet: return "capacity-set";
+    case EventKind::kQuery: return "query";
+    case EventKind::kSnapshot: return "snapshot";
+    case EventKind::kQuit: return "quit";
+  }
+  return "?";
+}
+
+bool Event::is_mutation() const {
+  switch (kind) {
+    case EventKind::kNodeAdd:
+    case EventKind::kNodeRemove:
+    case EventKind::kEdgeFail:
+    case EventKind::kEdgeRestore:
+    case EventKind::kCapacitySet:
+      return true;
+    case EventKind::kQuery:
+    case EventKind::kSnapshot:
+    case EventKind::kQuit:
+      return false;
+  }
+  return false;
+}
+
+std::string Event::to_line() const {
+  switch (kind) {
+    case EventKind::kNodeAdd:
+      return "node-add " + a + " " + format_value(build_cost) + " " +
+             format_value(fanout) + " " + std::to_string(color) + " " +
+             format_value(edge_cost) + " " + format_value(edge_loss);
+    case EventKind::kNodeRemove:
+      return "node-remove " + a;
+    case EventKind::kEdgeFail:
+      return std::string("edge-fail ") + (rd ? "rd " : "sr ") + a + " " + b;
+    case EventKind::kEdgeRestore:
+      return std::string("edge-restore ") + (rd ? "rd " : "sr ") + a + " " + b;
+    case EventKind::kCapacitySet:
+      return "capacity-set " + a + " " + format_value(fanout);
+    case EventKind::kQuery:
+      return "query";
+    case EventKind::kSnapshot:
+      return "snapshot";
+    case EventKind::kQuit:
+      return "quit";
+  }
+  return "?";
+}
+
+std::optional<Event> parse_event(const std::string& line,
+                                 std::string* error) {
+  if (error != nullptr) error->clear();
+  const std::vector<std::string> tokens = tokenize(line);
+  if (tokens.empty() || tokens[0].front() == '#') return std::nullopt;
+
+  const auto want = [&](std::size_t count) {
+    if (tokens.size() == count) return true;
+    set_error(error, tokens[0] + " expects " + std::to_string(count - 1) +
+                         " argument(s), got " +
+                         std::to_string(tokens.size() - 1));
+    return false;
+  };
+
+  Event event;
+  if (tokens[0] == "node-add") {
+    event.kind = EventKind::kNodeAdd;
+    if (!want(7)) return std::nullopt;
+    event.a = tokens[1];
+    if (!parse_value(tokens[2], "build_cost", event.build_cost, error) ||
+        !parse_value(tokens[3], "fanout", event.fanout, error) ||
+        !parse_value(tokens[5], "edge_cost", event.edge_cost, error) ||
+        !parse_value(tokens[6], "edge_loss", event.edge_loss, error)) {
+      return std::nullopt;
+    }
+    const std::optional<std::size_t> color = omn::util::parse_count(tokens[4]);
+    if (!color.has_value() || *color > 1000000) {
+      set_error(error, "bad color '" + tokens[4] + "'");
+      return std::nullopt;
+    }
+    event.color = static_cast<int>(*color);
+    if (!(event.build_cost >= 0.0)) {
+      set_error(error, "build_cost must be non-negative");
+      return std::nullopt;
+    }
+    if (!(event.fanout > 0.0)) {
+      set_error(error, "fanout must be positive");
+      return std::nullopt;
+    }
+    if (!(event.edge_cost >= 0.0)) {
+      set_error(error, "edge_cost must be non-negative");
+      return std::nullopt;
+    }
+    if (!(event.edge_loss >= 0.0 && event.edge_loss < 1.0)) {
+      set_error(error, "edge_loss must lie in [0, 1)");
+      return std::nullopt;
+    }
+    return event;
+  }
+  if (tokens[0] == "node-remove") {
+    event.kind = EventKind::kNodeRemove;
+    if (!want(2)) return std::nullopt;
+    event.a = tokens[1];
+    return event;
+  }
+  if (tokens[0] == "edge-fail" || tokens[0] == "edge-restore") {
+    event.kind = tokens[0] == "edge-fail" ? EventKind::kEdgeFail
+                                          : EventKind::kEdgeRestore;
+    if (!want(4)) return std::nullopt;
+    if (!parse_layer(tokens[1], event.rd, error)) return std::nullopt;
+    event.a = tokens[2];
+    event.b = tokens[3];
+    return event;
+  }
+  if (tokens[0] == "capacity-set") {
+    event.kind = EventKind::kCapacitySet;
+    if (!want(3)) return std::nullopt;
+    event.a = tokens[1];
+    if (!parse_value(tokens[2], "fanout", event.fanout, error)) {
+      return std::nullopt;
+    }
+    if (!(event.fanout > 0.0)) {
+      set_error(error, "fanout must be positive");
+      return std::nullopt;
+    }
+    return event;
+  }
+  if (tokens[0] == "query" || tokens[0] == "snapshot" || tokens[0] == "quit") {
+    event.kind = tokens[0] == "query"      ? EventKind::kQuery
+                 : tokens[0] == "snapshot" ? EventKind::kSnapshot
+                                           : EventKind::kQuit;
+    if (!want(1)) return std::nullopt;
+    return event;
+  }
+  set_error(error, "unknown event '" + tokens[0] + "'");
+  return std::nullopt;
+}
+
+}  // namespace omn::serve

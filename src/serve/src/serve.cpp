@@ -1,0 +1,272 @@
+#include "omn/serve/serve.hpp"
+
+#include <chrono>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "omn/net/serialize.hpp"
+#include "omn/util/stats.hpp"
+#include "omn/util/table.hpp"
+
+namespace omn::serve {
+
+namespace {
+
+double seconds_since(
+    const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+double sum(const std::vector<double>& values) {
+  double total = 0.0;
+  for (double v : values) total += v;
+  return total;
+}
+
+}  // namespace
+
+void apply_event(core::DesignState& state, const Event& event) {
+  switch (event.kind) {
+    case EventKind::kNodeAdd:
+      state.add_reflector(event.a, event.build_cost, event.fanout,
+                          event.color, event.edge_cost, event.edge_loss);
+      return;
+    case EventKind::kNodeRemove:
+      state.remove_reflector(event.a);
+      return;
+    case EventKind::kEdgeFail:
+      state.fail_edge(event.rd, event.a, event.b);
+      return;
+    case EventKind::kEdgeRestore:
+      state.restore_edge(event.rd, event.a, event.b);
+      return;
+    case EventKind::kCapacitySet:
+      state.set_fanout(event.a, event.fanout);
+      return;
+    case EventKind::kQuery:
+    case EventKind::kSnapshot:
+    case EventKind::kQuit:
+      break;
+  }
+  throw std::logic_error("apply_event: '" + to_string(event.kind) +
+                         "' is not a mutation");
+}
+
+ServeSession::ServeSession(net::OverlayInstance base, ServeOptions options,
+                           util::ExecutionContext context)
+    : ServeSession(std::move(base), std::move(options), std::move(context),
+                   /*fresh_journal=*/true) {}
+
+ServeSession::ServeSession(net::OverlayInstance base, ServeOptions options,
+                           util::ExecutionContext context, bool fresh_journal)
+    : options_(std::move(options)),
+      state_(std::move(base), options_.config, std::move(context)) {
+  const auto start = std::chrono::steady_clock::now();
+  const core::DesignResult& result = state_.redesign();
+  ++stats_.redesigns;
+  stats_.redesign_seconds.push_back(seconds_since(start));
+  if (result.lp_cache_hit) {
+    ++stats_.lp_cache_hits;
+  } else {
+    stats_.lp_iterations += static_cast<std::size_t>(result.lp_iterations);
+    stats_.lp_phase1_iterations +=
+        static_cast<std::size_t>(result.lp_phase1_iterations);
+    stats_.lp_refactorizations +=
+        static_cast<std::size_t>(result.lp_refactorizations);
+  }
+  if (result.lp_warm_start) ++stats_.lp_warm_start_hits;
+  if (fresh_journal && !options_.journal_path.empty()) {
+    journal_ = Journal::rewrite(options_.journal_path, current_header(), {});
+  }
+}
+
+ServeSession ServeSession::resume(const ServeOptions& options,
+                                  util::ExecutionContext context) {
+  const JournalContents contents = Journal::load(options.journal_path);
+  if (contents.header.config_digest != config_digest(options.config)) {
+    throw JournalError(
+        "journal: designer config mismatch (the journal was written under "
+        "different design knobs; replaying it would converge to a different "
+        "design)");
+  }
+  net::OverlayInstance base = net::from_text(contents.header.instance_text);
+  ServeSession session(std::move(base), options, std::move(context),
+                       /*fresh_journal=*/false);
+  session.state_.adopt_failed_edges(contents.header.failed);
+  for (const Event& event : contents.events) {
+    // A journaled event applied cleanly once, to this same state sequence,
+    // so it applies cleanly again; apply_and_redesign keeps the warm-start
+    // trajectory identical to the killed session's.
+    (void)session.apply_and_redesign(event);
+    --session.stats_.events;  // re-applied, not new
+    ++session.stats_.replayed;
+  }
+  // Reopen for appending: rewriting the decoded prefix drops any torn
+  // final record, so the on-disk bytes are canonical again.
+  session.journal_ =
+      Journal::rewrite(options.journal_path, contents.header, contents.events);
+  return session;
+}
+
+JournalHeader ServeSession::current_header() const {
+  JournalHeader header;
+  header.config_digest = config_digest(options_.config);
+  header.instance_text = net::to_text(state_.instance());
+  header.failed = state_.failed_edges();
+  return header;
+}
+
+const core::DesignResult& ServeSession::apply_and_redesign(
+    const Event& event) {
+  apply_event(state_, event);
+  ++stats_.events;
+  const auto start = std::chrono::steady_clock::now();
+  const core::DesignResult& result = state_.redesign();
+  ++stats_.redesigns;
+  stats_.redesign_seconds.push_back(seconds_since(start));
+  if (result.lp_cache_hit) {
+    ++stats_.lp_cache_hits;
+  } else {
+    stats_.lp_iterations += static_cast<std::size_t>(result.lp_iterations);
+    stats_.lp_phase1_iterations +=
+        static_cast<std::size_t>(result.lp_phase1_iterations);
+    stats_.lp_refactorizations +=
+        static_cast<std::size_t>(result.lp_refactorizations);
+  }
+  if (result.lp_warm_start) ++stats_.lp_warm_start_hits;
+  return result;
+}
+
+std::string ServeSession::ack_mutation(const Event& event,
+                                       const core::DesignResult& result,
+                                       double wall_seconds) const {
+  const int pivots_worked = result.lp_cache_hit ? 0 : result.lp_iterations;
+  return "ok " + std::to_string(seq()) + " " + to_string(event.kind) +
+         " status=" + core::to_string(result.status) +
+         " cost=" + util::format_double(result.evaluation.total_cost, 2) +
+         " pivots=" + std::to_string(pivots_worked) +
+         " warm=" + (result.lp_warm_start ? "1" : "0") +
+         " cache=" + (result.lp_cache_hit ? "1" : "0") + " wall_us=" +
+         std::to_string(static_cast<long long>(1e6 * wall_seconds));
+}
+
+std::string ServeSession::ready_line() const {
+  const core::DesignResult& result = state_.last();
+  return "ok 0 ready status=" + core::to_string(result.status) +
+         " cost=" + util::format_double(result.evaluation.total_cost, 2) +
+         " reflectors=" + std::to_string(state_.instance().num_reflectors()) +
+         " replayed=" + std::to_string(stats_.replayed) +
+         " digest=" + state_.design_digest().hex();
+}
+
+std::string ServeSession::handle_line(const std::string& line) {
+  std::string error;
+  const std::optional<Event> event = parse_event(line, &error);
+  if (!event.has_value()) {
+    if (error.empty()) return "";  // blank or comment: no response
+    ++stats_.parse_errors;
+    return "err parse: " + error;
+  }
+  if (event->is_mutation()) {
+    const auto start = std::chrono::steady_clock::now();
+    const core::DesignResult* result = nullptr;
+    try {
+      result = &apply_and_redesign(*event);
+    } catch (const std::invalid_argument& ex) {
+      ++stats_.apply_errors;
+      return std::string("err apply: ") + ex.what();
+    }
+    // Journal AFTER a clean apply (rejected events must not poison the
+    // replay) and BEFORE the ack (an acknowledged event must survive a
+    // SIGKILL).  append() flushes; its exceptions propagate — past a
+    // journal write failure the ack would lie.
+    if (journal_.has_value()) journal_->append(*event);
+    return ack_mutation(*event, *result, seconds_since(start));
+  }
+  switch (event->kind) {
+    case EventKind::kQuery: {
+      const core::DesignResult& result = state_.last();
+      return "ok " + std::to_string(seq()) +
+             " design status=" + core::to_string(result.status) +
+             " cost=" + util::format_double(result.evaluation.total_cost, 2) +
+             " reflectors=" +
+             std::to_string(result.evaluation.reflectors_built) +
+             " digest=" + state_.design_digest().hex();
+    }
+    case EventKind::kSnapshot: {
+      ++stats_.snapshots;
+      if (journal_.has_value()) {
+        journal_ =
+            Journal::rewrite(options_.journal_path, current_header(), {});
+      }
+      return "ok " + std::to_string(seq()) + " snapshot journal=" +
+             (journal_.has_value() ? options_.journal_path : "none");
+    }
+    case EventKind::kQuit:
+      done_ = true;
+      write_metrics();
+      return "ok " + std::to_string(seq()) + " bye";
+    default:
+      break;
+  }
+  return "err parse: unhandled event";  // unreachable
+}
+
+int ServeSession::run(std::istream& in, std::ostream& out) {
+  out << ready_line() << "\n" << std::flush;
+  for (std::string line; !done_ && std::getline(in, line);) {
+    const std::string response = handle_line(line);
+    if (!response.empty()) out << response << "\n" << std::flush;
+  }
+  if (!done_) {
+    // EOF without quit: a clean shutdown, metrics included.
+    done_ = true;
+    write_metrics();
+  }
+  return 0;
+}
+
+util::Json ServeSession::metrics_json() const {
+  util::Json record = util::Json::object();
+  record.set("label", "serve");
+  record.set("events", stats_.events);
+  record.set("redesigns", stats_.redesigns);
+  record.set("replayed", stats_.replayed);
+  record.set("parse_errors", stats_.parse_errors);
+  record.set("apply_errors", stats_.apply_errors);
+  record.set("snapshots", stats_.snapshots);
+  record.set("lp_iterations", stats_.lp_iterations);
+  record.set("lp_phase1_iterations", stats_.lp_phase1_iterations);
+  record.set("lp_refactorizations", stats_.lp_refactorizations);
+  record.set("lp_warm_start_hits", stats_.lp_warm_start_hits);
+  record.set("lp_cache_hits", stats_.lp_cache_hits);
+  record.set("redesign_wall_p50",
+             util::percentile(stats_.redesign_seconds, 0.50));
+  record.set("redesign_wall_p99",
+             util::percentile(stats_.redesign_seconds, 0.99));
+  record.set("wall_seconds", sum(stats_.redesign_seconds));
+
+  util::Json envelope = util::Json::object();
+  envelope.set("schema", "omn-metrics-v1");
+  envelope.set("tool", "omn_design serve");
+  envelope.set("lp_cache", std::string());
+  util::Json sweeps = util::Json::array();
+  sweeps.push(std::move(record));
+  envelope.set("sweeps", std::move(sweeps));
+  return envelope;
+}
+
+void ServeSession::write_metrics() const {
+  if (options_.metrics_path.empty()) return;
+  std::ofstream out(options_.metrics_path, std::ios::trunc);
+  out << metrics_json().dump(2) << "\n";
+  if (!out.good()) {
+    throw std::runtime_error("serve: cannot write --metrics file " +
+                             options_.metrics_path);
+  }
+}
+
+}  // namespace omn::serve

@@ -1,0 +1,789 @@
+// Tests for the serve stack: the event protocol (omn/serve/event.hpp),
+// the crash journal (omn/serve/journal.hpp), the incremental
+// core::DesignState, and ServeSession end to end.
+//
+// The two suites that carry the correctness argument:
+//
+//  - ServeDifferential replays deterministic churn streams (>= 200 events
+//    across >= 3 topologies) and, after EVERY event, checks the
+//    incremental redesign against a cold OverlayDesigner::design on the
+//    same mutated instance: bit-identical with warm start off,
+//    objective/feasibility-equivalent within a pinned tolerance with it
+//    on.  This is what licenses `serve` to claim its designs are the
+//    designs a from-scratch rerun would produce.
+//
+//  - ServeCrash SIGKILLs a live daemon mid-stream (this binary re-invokes
+//    itself as `test_serve serve-child`, speaking the line protocol over
+//    pipes) and asserts the resumed session replays the journal to the
+//    bit-identical design digest.
+//
+// The committed golden journal (tests/data/serve_journal_v1.bin) pins the
+// v1 byte format: the file must decode, re-encode byte-identically, and
+// reject corruption.  Regenerate (only on a deliberate format bump, with
+// the version constant) via `test_serve write-golden <path>`.
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "omn/core/design_state.hpp"
+#include "omn/core/designer.hpp"
+#include "omn/net/serialize.hpp"
+#include "omn/serve/churn.hpp"
+#include "omn/serve/event.hpp"
+#include "omn/serve/journal.hpp"
+#include "omn/serve/serve.hpp"
+#include "omn/topo/akamai.hpp"
+#include "omn/topo/synthetic.hpp"
+#include "omn/util/subprocess.hpp"
+
+namespace {
+
+using omn::core::DesignerConfig;
+using omn::core::DesignResult;
+using omn::core::DesignState;
+using omn::core::FailedEdge;
+using omn::core::OverlayDesigner;
+using omn::serve::Event;
+using omn::serve::EventKind;
+using omn::serve::Journal;
+using omn::serve::JournalContents;
+using omn::serve::JournalError;
+using omn::serve::JournalHeader;
+using omn::serve::ServeOptions;
+using omn::serve::ServeSession;
+
+std::string data_path(const std::string& file) {
+  const char* dir = std::getenv("OMN_TEST_DATA_DIR");
+  return (dir != nullptr ? std::string(dir) : std::string("tests/data")) +
+         "/" + file;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+void spit(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << "cannot write " << path;
+}
+
+std::string temp_path(const std::string& name) {
+  const char* dir = std::getenv("TMPDIR");
+  return (dir != nullptr ? std::string(dir) : std::string("/tmp")) + "/" +
+         name + "." + std::to_string(::getpid());
+}
+
+/// The config every differential/replay suite runs under: serial and
+/// single-attempt so each redesign is one LP solve plus one rounding
+/// pass, keeping 400+ solves per suite affordable.
+DesignerConfig base_config() {
+  DesignerConfig cfg;
+  cfg.seed = 1;
+  cfg.rounding_attempts = 1;
+  cfg.threads = 1;
+  return cfg;
+}
+
+/// The fixed config of the self-spawned `serve-child` daemon; the parent
+/// side of the crash tests must use the identical config or resume will
+/// (correctly) refuse the journal.
+DesignerConfig serve_child_config() {
+  DesignerConfig cfg = base_config();
+  cfg.lp_warm_start = true;
+  return cfg;
+}
+
+Event parse_ok(const std::string& line) {
+  std::string error;
+  const std::optional<Event> event = omn::serve::parse_event(line, &error);
+  EXPECT_TRUE(event.has_value()) << line << ": " << error;
+  return event.value_or(Event{});
+}
+
+void expect_rejected(const std::string& line) {
+  std::string error;
+  const std::optional<Event> event = omn::serve::parse_event(line, &error);
+  EXPECT_FALSE(event.has_value()) << line;
+  EXPECT_FALSE(error.empty()) << line;
+}
+
+// ---------------------------------------------------------------------------
+// Event protocol
+
+TEST(ServeEvent, ParsesEveryKind) {
+  Event e = parse_ok("node-add r9 12.5 8 1 1.25 0.015");
+  EXPECT_EQ(e.kind, EventKind::kNodeAdd);
+  EXPECT_EQ(e.a, "r9");
+  EXPECT_DOUBLE_EQ(e.build_cost, 12.5);
+  EXPECT_DOUBLE_EQ(e.fanout, 8.0);
+  EXPECT_EQ(e.color, 1);
+  EXPECT_DOUBLE_EQ(e.edge_cost, 1.25);
+  EXPECT_DOUBLE_EQ(e.edge_loss, 0.015);
+
+  e = parse_ok("node-remove r9");
+  EXPECT_EQ(e.kind, EventKind::kNodeRemove);
+  EXPECT_EQ(e.a, "r9");
+
+  e = parse_ok("edge-fail sr s0 r1");
+  EXPECT_EQ(e.kind, EventKind::kEdgeFail);
+  EXPECT_FALSE(e.rd);
+  EXPECT_EQ(e.a, "s0");
+  EXPECT_EQ(e.b, "r1");
+
+  e = parse_ok("edge-restore rd r1 d3");
+  EXPECT_EQ(e.kind, EventKind::kEdgeRestore);
+  EXPECT_TRUE(e.rd);
+  EXPECT_EQ(e.a, "r1");
+  EXPECT_EQ(e.b, "d3");
+
+  e = parse_ok("capacity-set r1 7.5");
+  EXPECT_EQ(e.kind, EventKind::kCapacitySet);
+  EXPECT_DOUBLE_EQ(e.fanout, 7.5);
+
+  EXPECT_EQ(parse_ok("query").kind, EventKind::kQuery);
+  EXPECT_EQ(parse_ok("snapshot").kind, EventKind::kSnapshot);
+  EXPECT_EQ(parse_ok("quit").kind, EventKind::kQuit);
+}
+
+TEST(ServeEvent, BlankAndCommentAreNotEvents) {
+  for (const std::string line : {"", "   ", "# comment", "  # note"}) {
+    std::string error = "sentinel";
+    EXPECT_FALSE(omn::serve::parse_event(line, &error).has_value()) << line;
+    EXPECT_TRUE(error.empty()) << line;
+  }
+}
+
+TEST(ServeEvent, RejectsMalformedLines) {
+  expect_rejected("frobnicate");                       // unknown kind
+  expect_rejected("node-add r9 12.5 8 1 1.25");        // token count
+  expect_rejected("node-add r9 12.5 8 1 1.25 0.015 x");
+  expect_rejected("node-add r9 12.5 8 1.5 1.25 0.015");  // color not count
+  expect_rejected("node-add r9 12.5 0 1 1.25 0.015");  // fanout <= 0
+  expect_rejected("node-add r9 12.5 8 1 1.25 1");      // loss not in [0,1)
+  expect_rejected("node-add r9 12.5 8 1 1.25 nan");
+  expect_rejected("node-add r9 -1 8 1 1.25 0.015");    // negative cost
+  expect_rejected("edge-fail lr s0 r1");               // bad layer
+  expect_rejected("edge-fail sr s0");                  // missing endpoint
+  expect_rejected("capacity-set r1 4O");               // strict numbers
+  expect_rejected("capacity-set r1 -2");
+  expect_rejected("query extra");
+  expect_rejected("quit 0");
+}
+
+TEST(ServeEvent, CanonicalLineRoundTrips) {
+  const std::vector<std::string> lines = {
+      "node-add r9 12.5 8 1 1.25 0.015",
+      "node-add churn3 0.1 1e3 0 0.5 0.0123456789012345",
+      "node-remove r9",
+      "edge-fail sr s0 r1",
+      "edge-fail rd r1 d3",
+      "edge-restore sr s0 r1",
+      "capacity-set r1 7.5",
+      "query",
+      "snapshot",
+      "quit",
+  };
+  for (const std::string& line : lines) {
+    const Event event = parse_ok(line);
+    const std::string canonical = event.to_line();
+    const Event again = parse_ok(canonical);
+    EXPECT_EQ(event, again) << line;
+    // Canonical form is a fixed point: rendering it again changes nothing.
+    EXPECT_EQ(again.to_line(), canonical) << line;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Journal format
+
+omn::net::OverlayInstance golden_instance() {
+  omn::net::OverlayInstance inst;
+  const int s0 = inst.add_source({"s0", 1.0});
+  const int r0 = inst.add_reflector({"r0", 10.0, 8.0, 0});
+  const int r1 = inst.add_reflector({"r1", 12.0, 6.0, 1});
+  const int d0 = inst.add_sink({"d0", 0, 0.9});
+  const int d1 = inst.add_sink({"d1", 0, 0.9});
+  inst.add_source_reflector_edge({s0, r0, 1.0, 0.01});
+  inst.add_source_reflector_edge({s0, r1, 1.5, 0.02});
+  inst.add_reflector_sink_edge({r0, d0, 0.5, 0.03});
+  inst.add_reflector_sink_edge({r0, d1, 0.6, 0.04});
+  inst.add_reflector_sink_edge({r1, d0, 0.7, 0.05});
+  inst.add_reflector_sink_edge({r1, d1, 0.8, 0.06});
+  return inst;
+}
+
+JournalHeader golden_header() {
+  JournalHeader header;
+  header.config_digest = omn::serve::config_digest(base_config());
+  header.instance_text = omn::net::to_text(golden_instance());
+  header.failed = {FailedEdge{false, "s0", "r0", 0.01},
+                   FailedEdge{true, "r1", "d1", 0.06}};
+  return header;
+}
+
+std::vector<Event> golden_events() {
+  return {
+      parse_ok("capacity-set r1 7.5"),
+      parse_ok("node-add r9 12.5 8 1 1.25 0.015"),
+      parse_ok("edge-restore sr s0 r0"),
+      parse_ok("node-remove r9"),
+  };
+}
+
+TEST(ServeJournal, EncodeDecodeRoundTrips) {
+  const JournalHeader header = golden_header();
+  const std::vector<Event> events = golden_events();
+  const std::string bytes = Journal::encode(header, events);
+  const JournalContents contents = Journal::decode(bytes);
+  EXPECT_EQ(contents.header.config_digest, header.config_digest);
+  EXPECT_EQ(contents.header.instance_text, header.instance_text);
+  EXPECT_EQ(contents.header.failed, header.failed);
+  EXPECT_EQ(contents.events, events);
+  EXPECT_FALSE(contents.dropped_partial_tail);
+}
+
+TEST(ServeJournal, GoldenFileIsByteExact) {
+  const std::string bytes = slurp(data_path("serve_journal_v1.bin"));
+  ASSERT_FALSE(bytes.empty());
+  // The committed file is the canonical encoding — any formatting drift
+  // (field order, width, checksum scheme) breaks old journals and fails
+  // here.
+  EXPECT_EQ(bytes, Journal::encode(golden_header(), golden_events()));
+  const JournalContents contents = Journal::decode(bytes);
+  EXPECT_EQ(contents.events, golden_events());
+  EXPECT_EQ(contents.header.failed, golden_header().failed);
+  EXPECT_FALSE(contents.dropped_partial_tail);
+}
+
+TEST(ServeJournal, RejectsCorruptBytes) {
+  const std::string bytes = Journal::encode(golden_header(), golden_events());
+  // Header corruption (magic, digest, text, checksum) must throw.
+  for (const std::size_t at : {std::size_t{0}, std::size_t{9},
+                               std::size_t{40}}) {
+    std::string corrupt = bytes;
+    corrupt[at] = static_cast<char>(corrupt[at] ^ 0x40);
+    EXPECT_THROW((void)Journal::decode(corrupt), JournalError) << at;
+  }
+  // A flipped byte inside a complete, non-final record must throw too
+  // (only a *torn tail* is forgiven).
+  const std::string header_only = Journal::encode(golden_header(), {});
+  std::string corrupt = bytes;
+  corrupt[header_only.size() + 6] ^= 0x40;
+  EXPECT_THROW((void)Journal::decode(corrupt), JournalError);
+}
+
+TEST(ServeJournal, DropsTornFinalRecordOnly) {
+  const JournalHeader header = golden_header();
+  const std::vector<Event> events = golden_events();
+  const std::string bytes = Journal::encode(header, events);
+  const std::string prefix =
+      Journal::encode(header, {events.begin(), events.end() - 1});
+  // Tear the final record anywhere short of complete: the decoded prefix
+  // must survive and the tail must be reported, not thrown.
+  for (const std::size_t keep :
+       {prefix.size() + 1, prefix.size() + 5, bytes.size() - 1}) {
+    const JournalContents contents = Journal::decode(bytes.substr(0, keep));
+    EXPECT_TRUE(contents.dropped_partial_tail) << keep;
+    EXPECT_EQ(contents.events.size(), events.size() - 1) << keep;
+  }
+  // An empty tail is not a torn tail.
+  EXPECT_FALSE(Journal::decode(prefix).dropped_partial_tail);
+}
+
+TEST(ServeJournal, RejectsNonDenseSequenceNumbers) {
+  const std::string header = Journal::encode_header(golden_header());
+  const std::string skipped =
+      header + Journal::encode_record(1, parse_ok("capacity-set r1 7.5"));
+  EXPECT_THROW((void)Journal::decode(skipped), JournalError);
+}
+
+TEST(ServeJournal, RejectsNonMutationRecords) {
+  const std::string bytes = Journal::encode_header(golden_header()) +
+                            Journal::encode_record(0, parse_ok("query"));
+  EXPECT_THROW((void)Journal::decode(bytes), JournalError);
+}
+
+TEST(ServeJournal, LoadRejectsMissingFile) {
+  EXPECT_THROW((void)Journal::load(temp_path("serve_no_such_journal")),
+               JournalError);
+}
+
+TEST(ServeJournal, ConfigDigestPinsResultAffectingKnobsOnly) {
+  const DesignerConfig base = base_config();
+  DesignerConfig changed = base;
+  changed.c = base.c * 2;
+  EXPECT_NE(omn::serve::config_digest(base),
+            omn::serve::config_digest(changed));
+  changed = base;
+  changed.lp_warm_start = !base.lp_warm_start;
+  EXPECT_NE(omn::serve::config_digest(base),
+            omn::serve::config_digest(changed));
+  // Thread count never changes the design, so it must not split journals.
+  changed = base;
+  changed.threads = 7;
+  EXPECT_EQ(omn::serve::config_digest(base),
+            omn::serve::config_digest(changed));
+}
+
+// ---------------------------------------------------------------------------
+// DesignState mutators
+
+TEST(DesignState, FailRestoreIsExactRoundTrip) {
+  const auto inst =
+      omn::topo::make_akamai_like(omn::topo::global_event_config(6, 2));
+  DesignState state(inst, base_config(), omn::util::ExecutionContext::serial());
+  const DesignResult before = state.redesign();
+
+  const std::string refl = inst.reflector(0).name;
+  const std::string sink = inst.sink(0).name;
+  state.fail_edge(true, refl, sink);
+  ASSERT_EQ(state.failed_edges().size(), 1u);
+  EXPECT_EQ(state.failed_edges()[0].a, refl);
+  const int edge = inst.find_rd_edge(0, 0);
+  ASSERT_GE(edge, 0);
+  EXPECT_DOUBLE_EQ(state.instance().rd_edges()[edge].loss,
+                   omn::core::kFailedEdgeLoss);
+
+  state.restore_edge(true, refl, sink);
+  EXPECT_TRUE(state.failed_edges().empty());
+  EXPECT_DOUBLE_EQ(state.instance().rd_edges()[edge].loss,
+                   inst.rd_edges()[edge].loss);
+  // Warm start off: the restored state's redesign is bit-identical to the
+  // never-failed design.
+  const DesignResult& after = state.redesign();
+  EXPECT_EQ(after.design.z, before.design.z);
+  EXPECT_EQ(after.design.y, before.design.y);
+  EXPECT_EQ(after.design.x, before.design.x);
+  EXPECT_EQ(after.lp_objective, before.lp_objective);
+}
+
+TEST(DesignState, MutatorsRejectWithoutMutating) {
+  const auto inst =
+      omn::topo::make_akamai_like(omn::topo::global_event_config(6, 2));
+  DesignState state(inst, base_config(), omn::util::ExecutionContext::serial());
+  const std::string refl = inst.reflector(0).name;
+  const std::string sink = inst.sink(0).name;
+
+  EXPECT_THROW(state.fail_edge(true, "nope", sink), std::invalid_argument);
+  EXPECT_THROW(state.fail_edge(true, refl, "nope"), std::invalid_argument);
+  EXPECT_THROW(state.restore_edge(true, refl, sink), std::invalid_argument);
+  state.fail_edge(true, refl, sink);
+  EXPECT_THROW(state.fail_edge(true, refl, sink), std::invalid_argument);
+  state.restore_edge(true, refl, sink);
+
+  EXPECT_THROW(state.set_fanout(refl, 0.0), std::invalid_argument);
+  EXPECT_THROW(state.set_fanout("nope", 4.0), std::invalid_argument);
+  EXPECT_THROW(state.add_reflector(refl, 1, 4, 0, 1, 0.01),
+               std::invalid_argument);
+  EXPECT_THROW(state.remove_reflector("nope"), std::invalid_argument);
+
+  // Nothing above stuck: the instance still matches the original.
+  EXPECT_EQ(omn::net::to_text(state.instance()), omn::net::to_text(inst));
+  EXPECT_TRUE(state.failed_edges().empty());
+}
+
+TEST(DesignState, AddAndRemoveReflectorKeepRegistryByName) {
+  const auto inst =
+      omn::topo::make_akamai_like(omn::topo::global_event_config(6, 2));
+  DesignState state(inst, base_config(), omn::util::ExecutionContext::serial());
+  const std::string refl = inst.reflector(1).name;
+  const std::string sink = inst.sink(1).name;
+  state.fail_edge(true, refl, sink);
+
+  state.add_reflector("extra", 15.0, 9.0, 0, 1.0, 0.02);
+  const int added = state.find_reflector("extra");
+  ASSERT_GE(added, 0);
+  // Wired to every source and every sink.
+  for (int k = 0; k < state.instance().num_sources(); ++k) {
+    EXPECT_GE(state.instance().find_sr_edge(k, added), 0) << k;
+  }
+  for (int j = 0; j < state.instance().num_sinks(); ++j) {
+    EXPECT_GE(state.instance().find_rd_edge(added, j), 0) << j;
+  }
+
+  // Removing the unrelated reflector remaps indices; the name-keyed
+  // failed-edge registry must survive and still restore exactly.
+  state.remove_reflector("extra");
+  EXPECT_LT(state.find_reflector("extra"), 0);
+  ASSERT_EQ(state.failed_edges().size(), 1u);
+  state.restore_edge(true, refl, sink);
+  EXPECT_EQ(omn::net::to_text(state.instance()), omn::net::to_text(inst));
+}
+
+TEST(DesignState, AdoptFailedEdgesValidates) {
+  const auto inst =
+      omn::topo::make_akamai_like(omn::topo::global_event_config(6, 2));
+  DesignState state(inst, base_config(), omn::util::ExecutionContext::serial());
+  const std::string refl = inst.reflector(0).name;
+  const std::string sink = inst.sink(0).name;
+  state.adopt_failed_edges({FailedEdge{true, refl, sink, 0.05}});
+  EXPECT_EQ(state.failed_edges().size(), 1u);
+  EXPECT_THROW(state.adopt_failed_edges({FailedEdge{true, "nope", sink, 0.1}}),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Differential churn replay
+
+std::vector<omn::net::OverlayInstance> differential_topologies() {
+  omn::topo::UniformConfig uniform;
+  uniform.num_reflectors = 8;
+  uniform.num_sinks = 12;
+  uniform.seed = 13;
+  return {
+      omn::topo::make_akamai_like(omn::topo::global_event_config(10, 5)),
+      omn::topo::make_akamai_like(omn::topo::eu_heavy_event_config(8, 9)),
+      omn::topo::make_uniform_random(uniform),
+  };
+}
+
+// Warm start OFF: after every event the incremental redesign must be
+// bit-identical to a cold OverlayDesigner::design on the mutated
+// instance.  3 topologies x 70 events >= the 200-event floor.
+TEST(ServeDifferential, ColdEquivalenceBitIdentical) {
+  const DesignerConfig cfg = base_config();
+  std::size_t topo_index = 0;
+  for (const auto& inst : differential_topologies()) {
+    SCOPED_TRACE("topology " + std::to_string(topo_index++));
+    DesignState state(inst, cfg, omn::util::ExecutionContext::serial());
+    state.redesign();
+    omn::serve::ChurnConfig churn;
+    churn.seed = 17 + topo_index;
+    omn::serve::ChurnGenerator generator(inst, churn);
+    for (int step = 0; step < 70; ++step) {
+      const Event event = generator.next();
+      SCOPED_TRACE("event " + std::to_string(step) + ": " + event.to_line());
+      omn::serve::apply_event(state, event);
+      const DesignResult& incremental = state.redesign();
+      const DesignResult cold = OverlayDesigner(cfg).design(
+          state.instance(), omn::util::ExecutionContext::serial());
+      ASSERT_EQ(incremental.status, cold.status);
+      ASSERT_EQ(incremental.lp_objective, cold.lp_objective);
+      ASSERT_EQ(incremental.design.z, cold.design.z);
+      ASSERT_EQ(incremental.design.y, cold.design.y);
+      ASSERT_EQ(incremental.design.x, cold.design.x);
+      ASSERT_EQ(incremental.evaluation.total_cost, cold.evaluation.total_cost);
+    }
+  }
+}
+
+// Warm start ON: the redesign may land on a different optimal vertex, but
+// status and the LP optimum must agree with the cold solve to tight
+// tolerance, the rounded design must stay feasible-equivalent, and the
+// warm path must actually engage at least once over the stream.
+TEST(ServeDifferential, WarmEquivalenceWithinTolerance) {
+  DesignerConfig warm_cfg = base_config();
+  warm_cfg.lp_warm_start = true;
+  const DesignerConfig cold_cfg = base_config();
+  const auto inst =
+      omn::topo::make_akamai_like(omn::topo::global_event_config(10, 5));
+  DesignState state(inst, warm_cfg, omn::util::ExecutionContext::serial());
+  state.redesign();
+  omn::serve::ChurnConfig churn;
+  churn.seed = 29;
+  omn::serve::ChurnGenerator generator(inst, churn);
+  std::size_t warm_engagements = 0;
+  for (int step = 0; step < 40; ++step) {
+    const Event event = generator.next();
+    SCOPED_TRACE("event " + std::to_string(step) + ": " + event.to_line());
+    omn::serve::apply_event(state, event);
+    const DesignResult& incremental = state.redesign();
+    if (incremental.lp_warm_start || incremental.lp_cache_hit) {
+      ++warm_engagements;
+    }
+    const DesignResult cold = OverlayDesigner(cold_cfg).design(
+        state.instance(), omn::util::ExecutionContext::serial());
+    ASSERT_EQ(incremental.status, cold.status);
+    if (incremental.status != omn::core::DesignStatus::kOk) continue;
+    const double scale = std::max(1.0, std::abs(cold.lp_objective));
+    ASSERT_NEAR(incremental.lp_objective, cold.lp_objective, 1e-7 * scale);
+    ASSERT_EQ(incremental.evaluation.sinks_total,
+              cold.evaluation.sinks_total);
+    ASSERT_GE(incremental.evaluation.min_weight_ratio, 0.25);
+  }
+  EXPECT_GT(warm_engagements, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// ServeSession protocol + replay
+
+ServeOptions journal_options(const DesignerConfig& cfg,
+                             const std::string& journal_path) {
+  ServeOptions options;
+  options.config = cfg;
+  options.journal_path = journal_path;
+  return options;
+}
+
+TEST(ServeSession, SpeaksTheLineProtocol) {
+  const auto inst =
+      omn::topo::make_akamai_like(omn::topo::global_event_config(6, 2));
+  ServeSession session(inst, journal_options(base_config(), ""),
+                       omn::util::ExecutionContext::serial());
+  EXPECT_EQ(session.ready_line().rfind("ok 0 ready status=ok ", 0), 0u)
+      << session.ready_line();
+
+  EXPECT_EQ(session.handle_line(""), "");
+  EXPECT_EQ(session.handle_line("# comment"), "");
+  EXPECT_EQ(session.handle_line("frobnicate").rfind("err parse: ", 0), 0u);
+  EXPECT_EQ(session.handle_line("edge-fail rd nope nope").rfind("err apply: ",
+                                                                0),
+            0u);
+  EXPECT_EQ(session.stats().parse_errors, 1u);
+  EXPECT_EQ(session.stats().apply_errors, 1u);
+
+  const std::string refl = inst.reflector(0).name;
+  const std::string ack = session.handle_line("capacity-set " + refl + " 9");
+  EXPECT_EQ(ack.rfind("ok 1 capacity-set status=ok ", 0), 0u) << ack;
+  EXPECT_NE(ack.find(" pivots="), std::string::npos) << ack;
+
+  const std::string query = session.handle_line("query");
+  EXPECT_NE(query.find(" digest="), std::string::npos) << query;
+
+  EXPECT_FALSE(session.done());
+  EXPECT_EQ(session.handle_line("quit"), "ok 1 bye");
+  EXPECT_TRUE(session.done());
+}
+
+std::string digest_of(const ServeSession& session) {
+  return session.state().design_digest().hex();
+}
+
+TEST(ServeSession, ReplayConvergesToIdenticalDesign) {
+  const auto inst =
+      omn::topo::make_akamai_like(omn::topo::global_event_config(8, 4));
+  const std::string journal = temp_path("serve_replay_journal");
+  const DesignerConfig cfg = serve_child_config();
+  omn::serve::ChurnConfig churn;
+  churn.seed = 31;
+  const std::vector<Event> events =
+      omn::serve::ChurnGenerator(inst, churn).take(10);
+
+  std::string live_digest;
+  {
+    ServeSession session(inst, journal_options(cfg, journal),
+                         omn::util::ExecutionContext::serial());
+    for (const Event& event : events) {
+      ASSERT_EQ(session.handle_line(event.to_line()).rfind("ok ", 0), 0u);
+    }
+    live_digest = digest_of(session);
+    // Session dies here without quit — exactly what the journal is for.
+  }
+
+  ServeSession resumed = ServeSession::resume(
+      journal_options(cfg, journal), omn::util::ExecutionContext::serial());
+  EXPECT_EQ(resumed.stats().replayed, events.size());
+  EXPECT_EQ(digest_of(resumed), live_digest);
+  EXPECT_NE(resumed.ready_line().find("replayed=10"), std::string::npos);
+  std::remove(journal.c_str());
+}
+
+TEST(ServeSession, ResumeDropsTornTailAndRejectsConfigMismatch) {
+  const auto inst =
+      omn::topo::make_akamai_like(omn::topo::global_event_config(8, 4));
+  const std::string journal = temp_path("serve_torn_journal");
+  const DesignerConfig cfg = serve_child_config();
+  omn::serve::ChurnConfig churn;
+  churn.seed = 37;
+  const std::vector<Event> events =
+      omn::serve::ChurnGenerator(inst, churn).take(3);
+
+  std::string digest_after_two;
+  {
+    ServeSession session(inst, journal_options(cfg, journal),
+                         omn::util::ExecutionContext::serial());
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      ASSERT_EQ(session.handle_line(events[i].to_line()).rfind("ok ", 0), 0u);
+      if (i == 1) digest_after_two = digest_of(session);
+    }
+  }
+
+  // Tear the last record as a crash mid-append would.
+  const std::string bytes = slurp(journal);
+  spit(journal, bytes.substr(0, bytes.size() - 7));
+  ServeSession resumed = ServeSession::resume(
+      journal_options(cfg, journal), omn::util::ExecutionContext::serial());
+  EXPECT_EQ(resumed.stats().replayed, 2u);
+  EXPECT_EQ(digest_of(resumed), digest_after_two);
+  // The resume rewrote the journal canonically: the torn bytes are gone.
+  EXPECT_EQ(slurp(journal).size(),
+            Journal::encode(Journal::load(journal).header,
+                            Journal::load(journal).events)
+                .size());
+
+  // A journal written under different design knobs must be refused.
+  DesignerConfig other = cfg;
+  other.c = cfg.c * 2;
+  EXPECT_THROW((void)ServeSession::resume(journal_options(other, journal),
+                                          omn::util::ExecutionContext::serial()),
+               JournalError);
+  std::remove(journal.c_str());
+}
+
+TEST(ServeSession, SnapshotCompactsTheJournal) {
+  const auto inst =
+      omn::topo::make_akamai_like(omn::topo::global_event_config(8, 4));
+  const std::string journal = temp_path("serve_snapshot_journal");
+  const DesignerConfig cfg = serve_child_config();
+  omn::serve::ChurnConfig churn;
+  churn.seed = 41;
+  const std::vector<Event> events =
+      omn::serve::ChurnGenerator(inst, churn).take(6);
+
+  std::string digest;
+  {
+    ServeSession session(inst, journal_options(cfg, journal),
+                         omn::util::ExecutionContext::serial());
+    for (const Event& event : events) {
+      ASSERT_EQ(session.handle_line(event.to_line()).rfind("ok ", 0), 0u);
+    }
+    EXPECT_EQ(session.handle_line("snapshot").rfind("ok 6 snapshot ", 0), 0u);
+    digest = digest_of(session);
+  }
+  // Compaction folded every event into the header's base instance.
+  const JournalContents contents = Journal::load(journal);
+  EXPECT_TRUE(contents.events.empty());
+  ServeSession resumed = ServeSession::resume(
+      journal_options(cfg, journal), omn::util::ExecutionContext::serial());
+  EXPECT_EQ(contents.header.failed.size(),
+            resumed.state().failed_edges().size());
+  EXPECT_EQ(resumed.stats().replayed, 0u);
+  EXPECT_EQ(digest_of(resumed), digest);
+  std::remove(journal.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// SIGKILL crash replay (self-spawned daemon over pipes)
+
+std::string read_line_from(omn::util::Subprocess& child) {
+  std::string line;
+  char byte = 0;
+  while (child.read_exact(&byte, 1) == 1) {
+    if (byte == '\n') return line;
+    line.push_back(byte);
+  }
+  ADD_FAILURE() << "child stream ended mid-line: '" << line << "'";
+  return line;
+}
+
+void send_line_to(omn::util::Subprocess& child, const std::string& line) {
+  const std::string with_newline = line + "\n";
+  ASSERT_TRUE(child.write_exact(with_newline.data(), with_newline.size()));
+}
+
+std::string field_of(const std::string& line, const std::string& key) {
+  const std::size_t at = line.find(key + "=");
+  EXPECT_NE(at, std::string::npos) << key << " in: " << line;
+  if (at == std::string::npos) return "";
+  const std::size_t start = at + key.size() + 1;
+  const std::size_t end = line.find(' ', start);
+  return line.substr(start, end == std::string::npos ? end : end - start);
+}
+
+TEST(ServeCrash, SigkilledDaemonReplaysToIdenticalDigest) {
+  const std::string exe = omn::util::current_executable_path();
+  ASSERT_FALSE(exe.empty());
+  const auto inst =
+      omn::topo::make_akamai_like(omn::topo::global_event_config(8, 4));
+  const std::string inst_path = temp_path("serve_crash_instance");
+  const std::string journal = temp_path("serve_crash_journal");
+  std::remove(journal.c_str());
+  omn::net::save_file(inst, inst_path);
+
+  omn::serve::ChurnConfig churn;
+  churn.seed = 43;
+  const std::vector<Event> events =
+      omn::serve::ChurnGenerator(inst, churn).take(5);
+
+  // Session A: feed 5 events, read 5 acks, then SIGKILL — no quit, no
+  // chance to flush anything beyond what append() already forced out.
+  auto child = omn::util::Subprocess::spawn(
+      {exe, "serve-child", inst_path, journal});
+  ASSERT_TRUE(child.valid());
+  EXPECT_EQ(read_line_from(child).rfind("ok 0 ready ", 0), 0u);
+  for (const Event& event : events) {
+    send_line_to(child, event.to_line());
+    const std::string ack = read_line_from(child);
+    ASSERT_EQ(ack.rfind("ok ", 0), 0u) << ack;
+  }
+  child.kill();
+  EXPECT_EQ(child.wait(), 128 + 9);
+
+  // Session B resumes from the journal; its ready line carries the
+  // replayed count and the converged digest.
+  auto resumed = omn::util::Subprocess::spawn(
+      {exe, "serve-child", inst_path, journal});
+  const std::string ready = read_line_from(resumed);
+  EXPECT_EQ(field_of(ready, "replayed"), "5");
+  const std::string resumed_digest = field_of(ready, "digest");
+
+  // Reference: the same stream applied in-process under the same config.
+  DesignState reference(inst, serve_child_config(),
+                        omn::util::ExecutionContext::serial());
+  reference.redesign();
+  for (const Event& event : events) {
+    omn::serve::apply_event(reference, event);
+    reference.redesign();
+  }
+  EXPECT_EQ(resumed_digest, reference.design_digest().hex());
+
+  // And the resumed daemon keeps serving: one more event, clean quit.
+  send_line_to(resumed, "query");
+  EXPECT_EQ(field_of(read_line_from(resumed), "digest"), resumed_digest);
+  send_line_to(resumed, "quit");
+  EXPECT_EQ(read_line_from(resumed).rfind("ok 5 bye", 0), 0u);
+  EXPECT_EQ(resumed.wait(), 0);
+
+  std::remove(inst_path.c_str());
+  std::remove(journal.c_str());
+}
+
+}  // namespace
+
+// Self-spawned daemon entry for the crash tests: `test_serve serve-child
+// <instance> <journal>` runs a ServeSession on stdin/stdout under the
+// fixed serve_child_config(), resuming when the journal file exists.
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::string(argv[1]) == "serve-child") {
+    if (argc < 4) {
+      std::fprintf(stderr,
+                   "usage: test_serve serve-child <instance> <journal>\n");
+      return 2;
+    }
+    ServeOptions options;
+    options.config = serve_child_config();
+    options.journal_path = argv[3];
+    omn::util::ExecutionContext context =
+        omn::util::ExecutionContext::serial();
+    if (std::ifstream(options.journal_path).good()) {
+      ServeSession session = ServeSession::resume(options, context);
+      return session.run(std::cin, std::cout);
+    }
+    ServeSession session(omn::net::load_file(argv[2]), options, context);
+    return session.run(std::cin, std::cout);
+  }
+  if (argc >= 3 && std::string(argv[1]) == "write-golden") {
+    const std::string bytes = Journal::encode(golden_header(), golden_events());
+    std::ofstream out(argv[2], std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    return out.good() ? 0 : 1;
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

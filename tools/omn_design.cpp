@@ -10,6 +10,10 @@
 //   sweep     --instance inst.txt [--c C1,C2,...] [--seeds K]
 //             [--attempts A] [--threads T] [--no-reuse-lp] [--lp-cache DIR]
 //             [--workers N] [--checkpoints DIR] [--metrics out.json]
+//   serve     --instance inst.txt [--journal F] [--seed S] [--c C]
+//             [--colors] [--bandwidth] [--attempts A] [--threads T]
+//             [--warm-start] [--lp-cache DIR]
+//             [--algorithm ...] [--pricing ...] [--metrics F]
 //   run       script.omn          (command file: one subcommand per line)
 //   evaluate  --instance inst.txt --design design.txt
 //   simulate  --instance inst.txt --design design.txt [--packets P]
@@ -57,6 +61,17 @@
 // The design is bit-identical with the cache on or off; cache traffic is
 // reported with the timings.
 //
+// serve is the long-lived incremental-redesign daemon (omn::serve): it
+// loads the instance, designs it once, then consumes the line-oriented
+// event protocol on stdin (node-add/node-remove/edge-fail/edge-restore/
+// capacity-set/query/snapshot/quit; see docs/ARCHITECTURE.md), mutating
+// the in-memory instance and re-designing after every event.  With
+// --journal F every applied event is appended (checksummed, flushed
+// before the ack) so a killed daemon restarted with the same --journal
+// replays to the identical design; `snapshot` compacts the journal.
+// serve allows --warm-start WITHOUT --lp-cache: the session installs a
+// memory-only LpCache for its own basis reuse when none is configured.
+//
 // sweep --workers N shards the grid across N `omn_design worker`
 // subprocesses (omn::dist): the report is bit-identical to the in-process
 // sweep, workers share the --lp-cache directory (a warm distributed
@@ -82,6 +97,7 @@
 #include "omn/dist/worker.hpp"
 #include "omn/lp/simplex.hpp"
 #include "omn/net/serialize.hpp"
+#include "omn/serve/serve.hpp"
 #include "omn/sim/failures.hpp"
 #include "omn/sim/packet_sim.hpp"
 #include "omn/topo/akamai.hpp"
@@ -214,7 +230,11 @@ std::shared_ptr<omn::core::LpCache> make_lp_cache(const Args& args) {
 
 /// --algorithm / --pricing / --warm-start -> the designer's LP knobs.
 /// Unknown names are usage errors, not silent defaults.
-void apply_lp_flags(const Args& args, omn::core::DesignerConfig& cfg) {
+/// `warm_needs_cache` enforces the design/sweep pairing of --warm-start
+/// with --lp-cache; serve passes false because its DesignState installs a
+/// memory-only cache itself when none is configured.
+void apply_lp_flags(const Args& args, omn::core::DesignerConfig& cfg,
+                    bool warm_needs_cache = true) {
   const std::string algorithm = args.get("algorithm", "revised");
   if (algorithm == "revised") {
     cfg.lp_options.algorithm = omn::lp::Algorithm::kRevised;
@@ -234,7 +254,7 @@ void apply_lp_flags(const Args& args, omn::core::DesignerConfig& cfg) {
                      "' (expected 'steepest-edge' or 'dantzig')");
   }
   cfg.lp_warm_start = args.has("warm-start");
-  if (cfg.lp_warm_start && lp_cache_dir(args).empty()) {
+  if (cfg.lp_warm_start && warm_needs_cache && lp_cache_dir(args).empty()) {
     throw UsageError("--warm-start requires --lp-cache DIR (the shape-keyed "
                      "basis index lives on the cache)");
   }
@@ -249,6 +269,10 @@ int usage() {
       "            [--algorithm revised|dense-tableau]\n"
       "            [--pricing steepest-edge|dantzig] [--warm-start]\n"
       "            [--metrics F]\n"
+      "  serve     --instance F [--journal F] [--seed S] [--c C] [--colors]\n"
+      "            [--bandwidth] [--attempts A] [--threads T] [--warm-start]\n"
+      "            [--lp-cache DIR] [--algorithm ...] [--pricing ...]\n"
+      "            [--metrics F]    (event protocol on stdin; see header)\n"
       "  sweep     --instance F [--c C1,C2,...] [--seeds K] [--attempts A]\n"
       "            [--threads T] [--no-reuse-lp] [--lp-cache DIR]\n"
       "            [--workers N] [--checkpoints DIR] [--metrics F]\n"
@@ -366,6 +390,44 @@ int cmd_design(const Args& args) {
     std::printf("wrote %s\n", out.c_str());
   }
   return 0;
+}
+
+int cmd_serve(const Args& args) {
+  omn::core::DesignerConfig cfg;
+  cfg.seed = static_cast<std::uint64_t>(args.get_count("seed", 1));
+  cfg.c = args.get_double("c", cfg.c);
+  cfg.rounding_attempts = static_cast<int>(args.get_count("attempts", 3));
+  cfg.threads = static_cast<int>(args.get_count("threads", 0));
+  cfg.color_constraints = args.has("colors");
+  cfg.bandwidth_extension = args.has("bandwidth");
+  apply_lp_flags(args, cfg, /*warm_needs_cache=*/false);
+
+  omn::serve::ServeOptions options;
+  options.config = cfg;
+  options.journal_path = args.get("journal", "");
+  options.metrics_path = metrics_path(args);
+
+  const std::shared_ptr<omn::core::LpCache> cache = make_lp_cache(args);
+  omn::util::ExecutionContext context =
+      omn::core::OverlayDesigner::default_context(cfg);
+  if (cache != nullptr) context.set_service(cache);
+
+  // An existing journal means resume (replay to the killed session's
+  // state); otherwise a fresh session — which overwrites any --journal
+  // path it is given, so a *corrupt* journal must not silently fall
+  // through to "fresh".  Journal::load draws that line: resume for any
+  // readable file, and corruption is a loud JournalError.
+  const bool resume = !options.journal_path.empty() &&
+                      std::ifstream(options.journal_path).good();
+  if (resume) {
+    omn::serve::ServeSession session =
+        omn::serve::ServeSession::resume(options, std::move(context));
+    return session.run(std::cin, std::cout);
+  }
+  const auto inst = omn::net::load_file(args.get("instance", ""));
+  omn::serve::ServeSession session(inst, std::move(options),
+                                   std::move(context));
+  return session.run(std::cin, std::cout);
 }
 
 int cmd_sweep(const Args& args) {
@@ -576,6 +638,7 @@ int cmd_run(const std::vector<std::string>& tokens);
 int dispatch(const Args& args) {
   if (args.command == "generate") return cmd_generate(args);
   if (args.command == "design") return cmd_design(args);
+  if (args.command == "serve") return cmd_serve(args);
   if (args.command == "sweep") return cmd_sweep(args);
   if (args.command == "evaluate") return cmd_evaluate(args);
   if (args.command == "simulate") return cmd_simulate(args);
@@ -608,7 +671,8 @@ int cmd_run(const std::vector<std::string>& tokens) {
                                std::to_string(command.line_number) + ": " +
                                why);
     };
-    if (command.tokens[0] == "worker" || command.tokens[0] == "run") {
+    if (command.tokens[0] == "worker" || command.tokens[0] == "run" ||
+        command.tokens[0] == "serve") {
       fail("'" + command.tokens[0] + "' is not scriptable");
     }
     std::printf("== %s:%d: %s\n", path.c_str(), command.line_number,

@@ -38,6 +38,8 @@ TRAJECTORY_SCHEMA = "omn-bench-trajectory-v1"
 # a key on BOTH sides passes (kernel benches like e14 emit solver-only
 # records without the grid counters).
 EXACT_SWEEP_KEYS = (
+    "events",
+    "redesigns",
     "cells",
     "instances",
     "configs",
