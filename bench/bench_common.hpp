@@ -31,6 +31,16 @@
 //                   workers, shards, and the per-worker thread cap.
 //                   The committed BENCH_*.json perf trajectories and the
 //                   CI perf gate are built from these files.
+//   --trace FILE    record hierarchical spans (designer stages, LP
+//                   phases, cache traffic, ExecutionContext chunks) and
+//                   write a Chrome trace-event JSON timeline at exit —
+//                   load FILE in chrome://tracing or Perfetto.  With
+//                   --workers N the workers record too (the flag
+//                   propagates as `--trace-spans` on their argv) and
+//                   their spans merge into the same file as per-pid
+//                   lanes.  Tracing never changes work: the perf gate
+//                   runs with --trace on and exact-matches the
+//                   counters against an untraced run.
 //
 // Worker mode: parse_args() routes `<bench> worker [--lp-cache DIR]` to
 // omn::dist::worker_main before any flag parsing, so every bench built on
@@ -49,10 +59,12 @@
 #include "omn/core/lp_cache.hpp"
 #include "omn/dist/dist_sweep.hpp"
 #include "omn/dist/worker.hpp"
+#include "omn/obs/chrome_trace.hpp"
 #include "omn/util/execution_context.hpp"
 #include "omn/util/json.hpp"
 #include "omn/util/parse.hpp"
 #include "omn/util/table.hpp"
+#include "omn/util/trace.hpp"
 
 namespace omn::bench {
 
@@ -67,6 +79,8 @@ struct BenchArgs {
   std::size_t workers = 0;
   /// Output path from --metrics, empty = no metrics file.
   std::string metrics_path;
+  /// Output path from --trace, empty = tracing off.
+  std::string trace_path;
 };
 
 inline BenchArgs parse_args(int argc, char** argv, const char* bench_name) {
@@ -109,10 +123,20 @@ inline BenchArgs parse_args(int argc, char** argv, const char* bench_name) {
         std::fprintf(stderr, "%s: --metrics needs a file path\n", bench_name);
         std::exit(2);
       }
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      args.trace_path = argv[++i];
+      if (args.trace_path.empty()) {
+        std::fprintf(stderr, "%s: --trace needs a file path\n", bench_name);
+        std::exit(2);
+      }
+      // Record from here on; the merged Chrome trace (this process plus
+      // any dist worker lanes) is written once, at exit.
+      util::Trace::set_enabled(true);
+      obs::export_merged_trace_at_exit(args.trace_path, bench_name);
     } else {
       std::fprintf(stderr,
                    "usage: %s [--threads N] [--smoke] [--lp-cache DIR] "
-                   "[--workers N] [--metrics FILE]\n",
+                   "[--workers N] [--metrics FILE] [--trace FILE]\n",
                    bench_name);
       std::exit(2);
     }

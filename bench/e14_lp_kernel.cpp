@@ -31,7 +31,6 @@
 // accepted (shared flag parser) but idle: the kernel runs single-threaded
 // solves by construction.
 
-#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -41,6 +40,7 @@
 #include "omn/lp/simplex.hpp"
 #include "omn/topo/synthetic.hpp"
 #include "omn/util/table.hpp"
+#include "omn/util/timer.hpp"
 
 namespace {
 
@@ -52,11 +52,9 @@ struct Timed {
 Timed solve_timed(const omn::lp::Model& model,
                   const omn::lp::SolveOptions& options) {
   Timed timed;
-  const auto start = std::chrono::steady_clock::now();
+  const omn::util::Timer timer;
   timed.solution = omn::lp::SimplexSolver().solve(model, options);
-  timed.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+  timed.wall_seconds = timer.seconds();
   return timed;
 }
 

@@ -32,6 +32,7 @@
 #include "omn/serve/serve.hpp"
 #include "omn/topo/akamai.hpp"
 #include "omn/util/stats.hpp"
+#include "omn/util/timer.hpp"
 
 namespace {
 
@@ -86,11 +87,9 @@ ChurnRun replay(const omn::net::OverlayInstance& base,
   };
 
   const auto timed_redesign = [&]() {
-    const auto start = std::chrono::steady_clock::now();
+    const omn::util::Timer timer;
     const omn::core::DesignResult& result = state.redesign();
-    account(result, std::chrono::duration<double>(
-                        std::chrono::steady_clock::now() - start)
-                        .count());
+    account(result, timer.seconds());
   };
 
   timed_redesign();  // the initial design both variants start from

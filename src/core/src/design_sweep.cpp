@@ -7,6 +7,7 @@
 
 #include "omn/core/lp_cache.hpp"
 #include "omn/util/timer.hpp"
+#include "omn/util/trace.hpp"
 
 namespace omn::core {
 
@@ -176,6 +177,8 @@ SweepReport DesignSweep::run_range(std::size_t begin, std::size_t end,
         count,
         [&](std::size_t t) {
           SweepCell& cell = fill_cell_labels(begin + t);
+          OMN_TRACE_SPAN(
+              [&] { return "sweep.cell " + std::to_string(begin + t); });
           const DesignerConfig config =
               config_for_cell(cell.instance_index, cell.config_index);
           util::Timer cell_timer;
@@ -244,6 +247,10 @@ SweepReport DesignSweep::run_range(std::size_t begin, std::size_t end,
       [&](std::size_t t) {
         const std::size_t i = needed[t] / groups.size();
         const std::size_t g = needed[t] % groups.size();
+        OMN_TRACE_SPAN([&] {
+          return "sweep.lp_group i" + std::to_string(i) + " g" +
+                 std::to_string(g);
+        });
         util::Timer timer;
         SolvedLp& s = solved[t];
         CachedLp cached = solve_overlay_lp_cached(
@@ -286,6 +293,8 @@ SweepReport DesignSweep::run_range(std::size_t begin, std::size_t end,
       count,
       [&](std::size_t t) {
         SweepCell& cell = fill_cell_labels(begin + t);
+        OMN_TRACE_SPAN(
+            [&] { return "sweep.cell " + std::to_string(begin + t); });
         const std::size_t i = cell.instance_index;
         const std::size_t c = cell.config_index;
         const DesignerConfig config = config_for_cell(i, c);

@@ -8,6 +8,7 @@
 #include "omn/core/lp_cache.hpp"
 #include "omn/util/execution_context.hpp"
 #include "omn/util/timer.hpp"
+#include "omn/util/trace.hpp"
 
 namespace omn::core {
 
@@ -94,9 +95,13 @@ DesignResult OverlayDesigner::design(
   // installed; the solver is deterministic, so a cached point yields a
   // bit-identical design.  Without a cache this is a plain build + solve.
   const std::shared_ptr<LpCache> cache = context.find_service<LpCache>();
-  CachedLp solved = solve_overlay_lp_cached(
-      inst, lp_build_options(config_), config_.lp_options, cache.get(),
-      config_.lp_warm_start);
+  CachedLp solved;
+  {
+    OMN_TRACE_SPAN("designer.lp");
+    solved = solve_overlay_lp_cached(
+        inst, lp_build_options(config_), config_.lp_options, cache.get(),
+        config_.lp_warm_start);
+  }
   const double lp_seconds = lp_timer.seconds();
 
   DesignResult result = design_from_lp(inst, solved.lp, solved.solution, context);
@@ -148,6 +153,8 @@ DesignResult OverlayDesigner::design_from_lp(
   };
 
   const auto compute_attempt = [&](int attempt) -> AttemptOutcome {
+    OMN_TRACE_SPAN(
+        [&] { return "designer.attempt " + std::to_string(attempt); });
     const std::uint64_t seed =
         config_.seed + 0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(attempt);
 
@@ -190,6 +197,7 @@ DesignResult OverlayDesigner::design_from_lp(
   AttemptOutcome winner;
   int best_attempt = 0;
 
+  OMN_TRACE_SPAN("designer.rounding");
   const std::size_t cap =
       config_.threads > 0 ? static_cast<std::size_t>(config_.threads) : 0;
   if (attempts > 1 && cap != 1 && context.concurrency() > 1) {

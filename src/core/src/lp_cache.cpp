@@ -10,6 +10,7 @@
 
 #include "omn/util/atomic_file.hpp"
 #include "omn/util/bytes.hpp"
+#include "omn/util/trace.hpp"
 
 namespace omn::core {
 
@@ -143,18 +144,23 @@ LpCache::LpCache(std::string directory) : directory_(std::move(directory)) {
 }
 
 std::optional<lp::Solution> LpCache::find(const util::Digest128& key) {
+  OMN_TRACE_SPAN("cache.find");
   {
     const util::LockGuard lock(mutex_);
     const auto it = memory_.find(key);
     if (it != memory_.end()) {
       ++stats_.hits;
       ++stats_.memory_hits;
+      OMN_TRACE_INSTANT("cache.hit_memory");
+      OMN_COUNTER_ADD("cache.hits", 1);
       return it->second;
     }
   }
   if (directory_.empty()) {
     const util::LockGuard lock(mutex_);
     ++stats_.misses;
+    OMN_TRACE_INSTANT("cache.miss");
+    OMN_COUNTER_ADD("cache.misses", 1);
     return std::nullopt;
   }
   return load_from_disk(key);
@@ -193,6 +199,7 @@ std::string LpCache::path_for(const util::Digest128& key) const {
 
 std::optional<lp::Solution> LpCache::load_from_disk(
     const util::Digest128& key) {
+  OMN_TRACE_SPAN("cache.disk_read");
   std::optional<lp::Solution> entry;
   bool rejected = false;
   {
@@ -207,16 +214,23 @@ std::optional<lp::Solution> LpCache::load_from_disk(
   if (!entry.has_value()) {
     ++stats_.misses;
     if (rejected) ++stats_.rejected;
+    OMN_TRACE_INSTANT("cache.miss");
+    OMN_COUNTER_ADD("cache.misses", 1);
     return std::nullopt;
   }
   memory_[key] = *entry;  // promote: later finds skip the disk
   ++stats_.hits;
   ++stats_.disk_hits;
+  OMN_TRACE_INSTANT("cache.hit_disk");
+  OMN_COUNTER_ADD("cache.hits", 1);
+  OMN_COUNTER_ADD("cache.disk_reads", 1);
   return entry;
 }
 
 void LpCache::store_to_disk(const util::Digest128& key,
                             const lp::Solution& solution) {
+  OMN_TRACE_SPAN("cache.disk_write");
+  OMN_COUNTER_ADD("cache.disk_writes", 1);
   // Readers (this process or another sharing the directory) only ever
   // observe complete entries; the tier is advisory, so a failed store —
   // write_file_atomic returns false — must never fail the solve.
@@ -345,8 +359,12 @@ CachedLp solve_overlay_lp_cached(const net::OverlayInstance& instance,
                                  const lp::SolveOptions& solve,
                                  LpCache* cache, bool warm_start) {
   CachedLp out;
-  out.lp = build_overlay_lp(instance, build);
+  {
+    OMN_TRACE_SPAN("lp.build");
+    out.lp = build_overlay_lp(instance, build);
+  }
   if (cache == nullptr) {
+    OMN_TRACE_SPAN("lp.solve");
     out.solution = lp::SimplexSolver().solve(out.lp.model, solve);
     return out;
   }
@@ -378,7 +396,10 @@ CachedLp solve_overlay_lp_cached(const net::OverlayInstance& instance,
       effective.warm_start_basis = std::move(*basis);
     }
   }
-  out.solution = lp::SimplexSolver().solve(out.lp.model, effective);
+  {
+    OMN_TRACE_SPAN("lp.solve");
+    out.solution = lp::SimplexSolver().solve(out.lp.model, effective);
+  }
   // Insert under the caller's key: warm_start_basis is excluded from the
   // key, and an optimal warm-started point answers cold callers too (same
   // objective; possibly a different vertex — see the header caveat).

@@ -29,7 +29,9 @@ namespace omn::dist {
 
 /// On-wire format version; bumped on any layout change so mismatched
 /// parent/worker binaries reject each other instead of misreading.
-inline constexpr std::uint32_t kFrameVersion = 2;
+/// v3: result payloads carry a trailing omn-trace blob (worker span
+/// buffers for the merged --trace timeline; empty when tracing is off).
+inline constexpr std::uint32_t kFrameVersion = 3;
 
 /// Frames larger than this are rejected before allocation.  Far above any
 /// real grid or shard report, far below anything that could OOM a host.

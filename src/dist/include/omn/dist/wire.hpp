@@ -53,6 +53,11 @@ struct WireShard {
 struct WireResult {
   std::uint64_t shard_index = 0;
   core::SweepReport report;
+  /// Opaque omn-trace blob (obs::encode_trace) holding the span buffer
+  /// the worker drained after computing this shard; empty when tracing
+  /// is off.  Frame v3 field — purely observational: it never enters
+  /// the grid digest, checkpoints, or the merged report.
+  std::string trace;
 };
 
 std::string encode_grid(const core::DesignSweep& sweep,

@@ -29,16 +29,19 @@ namespace omn::dist {
 int run_worker(std::istream& in, std::ostream& out,
                std::shared_ptr<core::LpCache> lp_cache);
 
-/// Entry point for `<exe> worker [--lp-cache DIR]`: parses the flags,
-/// builds the cache, and runs run_worker over stdin/stdout.  Call from
+/// Entry point for `<exe> worker [--lp-cache DIR] [--trace-spans]`:
+/// parses the flags, builds the cache, and runs run_worker over
+/// stdin/stdout.  --trace-spans turns span recording on; drained spans
+/// ride back to the parent inside each result frame (v3).  Call from
 /// main() when argv[1] == "worker" (omn_design, every bench on
 /// bench_common.hpp, and the test binaries all do).
 int worker_main(int argc, char** argv);
 
 /// The argv that re-invokes the CURRENT executable as a worker:
 /// {util::current_executable_path(), "worker"} plus, when `lp_cache_dir`
-/// is non-empty, {"--lp-cache", lp_cache_dir}.  Throws std::runtime_error
-/// when the executable path cannot be recovered.
+/// is non-empty, {"--lp-cache", lp_cache_dir}, plus "--trace-spans" when
+/// the calling process is tracing.  Throws std::runtime_error when the
+/// executable path cannot be recovered.
 std::vector<std::string> self_worker_command(const std::string& lp_cache_dir);
 
 }  // namespace omn::dist

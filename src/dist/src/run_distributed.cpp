@@ -26,8 +26,12 @@
 #include "omn/dist/process_pool.hpp"
 #include "omn/dist/shard_plan.hpp"
 #include "omn/dist/wire.hpp"
+#include "omn/obs/collector.hpp"
+#include "omn/obs/timeline.hpp"
+#include "omn/obs/trace_codec.hpp"
 #include "omn/util/thread_annotations.hpp"
 #include "omn/util/timer.hpp"
+#include "omn/util/trace.hpp"
 
 namespace omn::core {
 
@@ -101,6 +105,7 @@ SweepReport DesignSweep::run_distributed(
   }
 
   util::Timer wall;
+  OMN_TRACE_SPAN("dist.run_distributed");
   const std::size_t num_shards =
       dist_options.shards == 0 ? workers * dist::kDefaultShardsPerWorker
                                : dist_options.shards;
@@ -170,6 +175,13 @@ SweepReport DesignSweep::run_distributed(
     }
 
     const auto drive_worker = [&](std::size_t w) {
+      // Parent-clock placement of this worker's trace epoch: the worker
+      // enables tracing at exec, which is (to visualization accuracy)
+      // right now.  See obs::TimelineProcess::offset_micros.
+      const std::int64_t trace_offset =
+          util::Trace::enabled()
+              ? static_cast<std::int64_t>(util::Trace::now_micros())
+              : 0;
       // Every failure drops this worker for good, so a shard is retried
       // at most once per spawned worker; the terminal state is simply
       // "no workers left" below.
@@ -227,6 +239,19 @@ SweepReport DesignSweep::run_distributed(
           return;
         }
 
+        if (!result.trace.empty()) {
+          // Worker span buffers for this shard (frame v3).  A blob that
+          // fails to decode is dropped, not fatal: the trace is an
+          // observation of the result, never part of it.
+          obs::ProcessTrace worker_trace;
+          if (obs::decode_trace(result.trace, worker_trace)) {
+            worker_trace.name = "worker " + std::to_string(w);
+            obs::add_child_trace(obs::TimelineProcess{
+                static_cast<std::uint32_t>(w + 1), trace_offset,
+                std::move(worker_trace)});
+          }
+        }
+
         bool checkpointed = false;
         if (!dist_options.checkpoint_dir.empty()) {
           dist::write_checkpoint(dist_options.checkpoint_dir, digest, shard,
@@ -234,6 +259,9 @@ SweepReport DesignSweep::run_distributed(
           checkpointed = true;
         }
         {
+          OMN_TRACE_SPAN([&] {
+            return "dist.merge_shard " + std::to_string(shard.index);
+          });
           const util::LockGuard lock(state.mutex);
           state.merged.merge(result.report);
           ++state.completed;

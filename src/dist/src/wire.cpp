@@ -429,13 +429,14 @@ std::string encode_result(const WireResult& result) {
   ByteWriter w;
   w.u64(result.shard_index);
   encode_report(w, result.report);
+  w.str(result.trace);  // v3: trailing span-buffer blob (may be empty)
   return w.bytes();
 }
 
 bool decode_result(std::string_view payload, WireResult& out) {
   ByteReader r(payload);
   return r.u64(out.shard_index) && decode_report(r, out.report) &&
-         r.remaining() == 0;
+         r.str(out.trace) && r.remaining() == 0;
 }
 
 util::Digest128 grid_digest(const core::DesignSweep& sweep,

@@ -9,8 +9,11 @@
 
 #include "omn/dist/frame.hpp"
 #include "omn/dist/wire.hpp"
+#include "omn/obs/timeline.hpp"
+#include "omn/obs/trace_codec.hpp"
 #include "omn/util/execution_context.hpp"
 #include "omn/util/subprocess.hpp"
+#include "omn/util/trace.hpp"
 
 namespace omn::dist {
 
@@ -58,9 +61,20 @@ int run_worker(std::istream& in, std::ostream& out,
         }
         WireResult result;
         result.shard_index = shard.shard_index;
-        result.report = grid->sweep.run_range(
-            static_cast<std::size_t>(shard.begin),
-            static_cast<std::size_t>(shard.end), grid->options, context);
+        {
+          OMN_TRACE_SPAN([&] {
+            return "worker.shard " + std::to_string(shard.shard_index);
+          });
+          result.report = grid->sweep.run_range(
+              static_cast<std::size_t>(shard.begin),
+              static_cast<std::size_t>(shard.end), grid->options, context);
+        }
+        if (util::Trace::enabled()) {
+          // Drain this shard's spans into the result frame; ticks keep
+          // increasing across drains, so the parent can concatenate
+          // per-thread streams from successive shards.
+          result.trace = obs::encode_trace(obs::drain_process_trace("worker"));
+        }
         write_frame(out, FrameType::kResult, encode_result(result));
         out.flush();
         if (!out.good()) {
@@ -83,8 +97,13 @@ int worker_main(int argc, char** argv) {
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--lp-cache") == 0 && i + 1 < argc) {
       lp_cache_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace-spans") == 0) {
+      // Parent runs with --trace: record spans and ship them in result
+      // frames.  No file — the parent owns the merged export.
+      util::Trace::set_enabled(true);
     } else {
-      std::cerr << "usage: " << argv[0] << " worker [--lp-cache DIR]\n";
+      std::cerr << "usage: " << argv[0]
+                << " worker [--lp-cache DIR] [--trace-spans]\n";
       return 2;
     }
   }
@@ -111,6 +130,11 @@ std::vector<std::string> self_worker_command(const std::string& lp_cache_dir) {
     command.push_back("--lp-cache");
     command.push_back(lp_cache_dir);
   }
+  // Tracing propagates by inheritance: when the parent is tracing, its
+  // workers record spans too and ship them back in result frames.  The
+  // flag rides on argv, never in the grid payload, so the grid digest —
+  // and with it checkpoint identity — is the same traced or not.
+  if (util::Trace::enabled()) command.push_back("--trace-spans");
   return command;
 }
 

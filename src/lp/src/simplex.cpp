@@ -9,6 +9,7 @@
 
 #include "omn/lp/basis_lu.hpp"
 #include "omn/lp/pricing.hpp"
+#include "omn/util/trace.hpp"
 
 namespace omn::lp {
 
@@ -569,11 +570,13 @@ class RevisedSolver {
     out.warm_started = warm;
 
     if (num_artificials_ > 0) {
+      OMN_TRACE_SPAN("simplex.phase1");
       set_costs(/*phase1=*/true);
       pricer_.reset(opts_.pricing, total_);
       if (!refactorize(/*phase1=*/true)) return numeric_failure(out);
       const SolveStatus s1 = iterate(/*phase1=*/true);
       out.phase1_iterations = iterations_;
+      OMN_TRACE_SAMPLE("simplex.pivots", iterations_);
       if (numeric_failure_ || s1 == SolveStatus::kIterationLimit) {
         out.status = SolveStatus::kIterationLimit;
         finalize(out);
@@ -590,10 +593,14 @@ class RevisedSolver {
       if (!refactorize(/*phase1=*/false)) return numeric_failure(out);
     }
 
-    set_costs(/*phase1=*/false);
-    recompute_reduced_costs(/*phase1=*/false);
-    pricer_.reset(opts_.pricing, n_ + m_);
-    out.status = iterate(/*phase1=*/false);
+    {
+      OMN_TRACE_SPAN("simplex.phase2");
+      set_costs(/*phase1=*/false);
+      recompute_reduced_costs(/*phase1=*/false);
+      pricer_.reset(opts_.pricing, n_ + m_);
+      out.status = iterate(/*phase1=*/false);
+      OMN_TRACE_SAMPLE("simplex.pivots", iterations_);
+    }
     if (numeric_failure_) out.status = SolveStatus::kIterationLimit;
     finalize(out);
     return out;
@@ -798,6 +805,8 @@ class RevisedSolver {
   bool refactorize(bool phase1) {
     if (!factorize_current_basis()) return false;
     ++refactorizations_;
+    OMN_TRACE_INSTANT("simplex.refactorize");
+    OMN_TRACE_SAMPLE("simplex.pivots", iterations_);
     compute_beta();
     recompute_reduced_costs(phase1);
     return true;
@@ -1087,6 +1096,19 @@ class RevisedSolver {
 
 }  // namespace
 
+namespace {
+
+/// Live-counter bookkeeping shared by both solver backends; feeds the
+/// serve `stats` event and the counter tracks of a --trace export.
+void count_solve(const Solution& out) {
+  OMN_COUNTER_ADD("lp.solves", 1);
+  OMN_COUNTER_ADD("lp.pivots", static_cast<std::uint64_t>(out.iterations));
+  OMN_COUNTER_ADD("lp.refactorizations",
+                  static_cast<std::uint64_t>(out.refactorizations));
+}
+
+}  // namespace
+
 Solution SimplexSolver::solve(const Model& model,
                               const SolveOptions& options) const {
   if (model.num_rows() == 0) {
@@ -1115,10 +1137,14 @@ Solution SimplexSolver::solve(const Model& model,
   }
   if (options.algorithm == Algorithm::kDenseTableau) {
     DenseTableau tableau(model, options);
-    return tableau.run();
+    Solution out = tableau.run();
+    count_solve(out);
+    return out;
   }
   RevisedSolver solver(model, options);
-  return solver.run();
+  Solution out = solver.run();
+  count_solve(out);
+  return out;
 }
 
 }  // namespace omn::lp

@@ -1,0 +1,27 @@
+#pragma once
+// Cross-process trace collector: where omn::dist deposits the worker
+// timelines it decoded from result frames, and where the export path
+// (bench_common / omn_design --trace) picks them up.
+//
+// The scheduler threads that receive worker frames live deep inside
+// run_distributed, which returns only a SweepReport — threading a trace
+// sink through every call signature would couple the sweep API to the
+// observability layer.  Instead the collector is a tiny process-global
+// mailbox: deposit under a mutex, drain once at export.
+
+#include <vector>
+
+#include "omn/obs/timeline.hpp"
+
+namespace omn::obs {
+
+/// Deposits one worker timeline (thread-safe; called by the dist
+/// scheduler threads as result frames arrive).  Multiple deposits with
+/// the same pid are merged at take_child_traces time.
+void add_child_trace(TimelineProcess process);
+
+/// Drains every deposited timeline, merged per pid (earliest offset
+/// wins) and sorted by pid.  Returns empty when nothing was deposited.
+std::vector<TimelineProcess> take_child_traces();
+
+}  // namespace omn::obs

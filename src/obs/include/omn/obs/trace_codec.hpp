@@ -1,0 +1,39 @@
+#pragma once
+// Binary codec for ProcessTrace — the payload dist workers append to
+// their result frames (frame protocol v3) so the parent can merge one
+// timeline across processes.
+//
+// Format "omn-trace v1" (all integers little-endian, via ByteWriter):
+//
+//   u32  magic "OMNT"
+//   u8   version (1)
+//   str  process name
+//   u64  thread count
+//   per thread:
+//     u32  tid
+//     u64  event count
+//     per event: u8 kind, str name, u64 tick, u64 micros, f64 value
+//   u64  counter count
+//   per counter: str name, u64 value
+//   u64  content_checksum over every preceding byte
+//
+// decode_trace is defensive like every other wire reader in the tree:
+// truncation, bad magic/version/kind, checksum mismatch, and trailing
+// garbage all return false — a corrupt worker frame must never become a
+// half-parsed timeline.
+
+#include <string>
+#include <string_view>
+
+#include "omn/obs/timeline.hpp"
+
+namespace omn::obs {
+
+/// Serializes a ProcessTrace to the omn-trace v1 byte format.
+std::string encode_trace(const ProcessTrace& trace);
+
+/// Parses omn-trace v1 bytes; returns false (leaving `trace` in an
+/// unspecified state) on any malformation.
+bool decode_trace(std::string_view bytes, ProcessTrace& trace);
+
+}  // namespace omn::obs

@@ -1,0 +1,59 @@
+#include "omn/obs/collector.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "omn/util/thread_annotations.hpp"
+
+namespace omn::obs {
+namespace {
+
+/// Leaked global mailbox: deposits can come from detached scheduler
+/// threads during shutdown races, so the storage must never be torn
+/// down under them.
+struct Mailbox {
+  omn::util::Mutex mutex;
+  std::vector<TimelineProcess> deposits OMN_GUARDED_BY(mutex);
+};
+
+Mailbox& mailbox() {
+  static Mailbox* box = new Mailbox;
+  return *box;
+}
+
+}  // namespace
+
+void add_child_trace(TimelineProcess process) {
+  Mailbox& box = mailbox();
+  omn::util::LockGuard lock(box.mutex);
+  box.deposits.push_back(std::move(process));
+}
+
+std::vector<TimelineProcess> take_child_traces() {
+  std::vector<TimelineProcess> deposits;
+  {
+    Mailbox& box = mailbox();
+    omn::util::LockGuard lock(box.mutex);
+    deposits.swap(box.deposits);
+  }
+
+  std::map<std::uint32_t, TimelineProcess> merged;
+  for (auto& deposit : deposits) {
+    auto [slot, inserted] = merged.try_emplace(deposit.pid);
+    if (inserted) {
+      slot->second = std::move(deposit);
+    } else {
+      slot->second.offset_micros =
+          std::min(slot->second.offset_micros, deposit.offset_micros);
+      merge_process_trace(slot->second.trace, deposit.trace);
+    }
+  }
+
+  std::vector<TimelineProcess> out;
+  out.reserve(merged.size());
+  for (auto& [pid, process] : merged) out.push_back(std::move(process));
+  return out;
+}
+
+}  // namespace omn::obs

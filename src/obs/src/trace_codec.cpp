@@ -1,0 +1,110 @@
+#include "omn/obs/trace_codec.hpp"
+
+#include <cstdint>
+
+#include "omn/util/bytes.hpp"
+#include "omn/util/hash.hpp"
+
+namespace omn::obs {
+namespace {
+
+// "OMNT" little-endian.
+constexpr std::uint32_t kTraceMagic = 0x544E4D4Fu;
+constexpr std::uint8_t kTraceVersion = 1;
+
+// Minimum encoded bytes per element, for ByteReader::vec_size count
+// validation before any allocation.
+constexpr std::size_t kMinThreadBytes = 4 + 8;               // tid + count
+constexpr std::size_t kMinEventBytes = 1 + 8 + 8 + 8 + 8;    // kind..value
+constexpr std::size_t kMinCounterBytes = 8 + 8;              // name + value
+
+}  // namespace
+
+std::string encode_trace(const ProcessTrace& trace) {
+  omn::util::ByteWriter w;
+  w.u32(kTraceMagic);
+  w.u8(kTraceVersion);
+  w.str(trace.name);
+  w.u64(trace.threads.size());
+  for (const auto& thread : trace.threads) {
+    w.u32(thread.tid);
+    w.u64(thread.events.size());
+    for (const auto& event : thread.events) {
+      w.u8(static_cast<std::uint8_t>(event.kind));
+      w.str(event.name);
+      w.u64(event.tick);
+      w.u64(event.micros);
+      w.f64(event.value);
+    }
+  }
+  w.u64(trace.counters.size());
+  for (const auto& [name, value] : trace.counters) {
+    w.str(name);
+    w.u64(value);
+  }
+  w.u64(omn::util::content_checksum(w.bytes()));
+  return w.bytes();
+}
+
+bool decode_trace(std::string_view bytes, ProcessTrace& trace) {
+  if (bytes.size() < 8) return false;
+  const std::string_view body = bytes.substr(0, bytes.size() - 8);
+  {
+    omn::util::ByteReader trailer(bytes.substr(bytes.size() - 8));
+    std::uint64_t checksum = 0;
+    if (!trailer.u64(checksum) ||
+        checksum != omn::util::content_checksum(body)) {
+      return false;
+    }
+  }
+
+  omn::util::ByteReader r(body);
+  std::uint32_t magic = 0;
+  std::uint8_t version = 0;
+  if (!r.u32(magic) || magic != kTraceMagic) return false;
+  if (!r.u8(version) || version != kTraceVersion) return false;
+  if (!r.str(trace.name)) return false;
+
+  std::uint64_t thread_count = 0;
+  if (!r.vec_size(thread_count, kMinThreadBytes)) return false;
+  trace.threads.clear();
+  trace.threads.reserve(static_cast<std::size_t>(thread_count));
+  for (std::uint64_t t = 0; t < thread_count; ++t) {
+    omn::util::ThreadTrace thread;
+    if (!r.u32(thread.tid)) return false;
+    std::uint64_t event_count = 0;
+    if (!r.vec_size(event_count, kMinEventBytes)) return false;
+    thread.events.reserve(static_cast<std::size_t>(event_count));
+    for (std::uint64_t e = 0; e < event_count; ++e) {
+      omn::util::TraceEvent event;
+      std::uint8_t kind = 0;
+      if (!r.u8(kind) ||
+          kind > static_cast<std::uint8_t>(
+                     omn::util::TraceEvent::Kind::kCounter)) {
+        return false;
+      }
+      event.kind = static_cast<omn::util::TraceEvent::Kind>(kind);
+      if (!r.str(event.name) || !r.u64(event.tick) || !r.u64(event.micros) ||
+          !r.f64(event.value)) {
+        return false;
+      }
+      thread.events.push_back(std::move(event));
+    }
+    trace.threads.push_back(std::move(thread));
+  }
+
+  std::uint64_t counter_count = 0;
+  if (!r.vec_size(counter_count, kMinCounterBytes)) return false;
+  trace.counters.clear();
+  trace.counters.reserve(static_cast<std::size_t>(counter_count));
+  for (std::uint64_t c = 0; c < counter_count; ++c) {
+    std::string name;
+    std::uint64_t value = 0;
+    if (!r.str(name) || !r.u64(value)) return false;
+    trace.counters.emplace_back(std::move(name), value);
+  }
+
+  return r.remaining() == 0;
+}
+
+}  // namespace omn::obs

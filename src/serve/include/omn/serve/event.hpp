@@ -12,6 +12,7 @@
 //   edge-restore rd <reflector> <sink>
 //   capacity-set <reflector> <fanout>
 //   query
+//   stats
 //   snapshot
 //   quit
 //
@@ -39,6 +40,7 @@ enum class EventKind {
   kEdgeRestore,
   kCapacitySet,
   kQuery,
+  kStats,  ///< live session/process counters, no state change
   kSnapshot,
   kQuit,
 };
@@ -67,7 +69,7 @@ struct Event {
   bool operator==(const Event&) const = default;
 
   /// True for events that mutate the instance (everything but
-  /// query/snapshot/quit) — exactly the events a journal records.
+  /// query/stats/snapshot/quit) — exactly the events a journal records.
   bool is_mutation() const;
 
   /// Canonical line form (no trailing newline).

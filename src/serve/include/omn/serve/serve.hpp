@@ -21,6 +21,11 @@
 //      cache=<0|1> wall_us=<n>          (mutations)
 //   ok <seq> design status=<s> cost=<c> reflectors=<n> digest=<hex32>
 //                                        (query)
+//   ok <seq> stats events=<n> redesigns=<n> replayed=<n> pivots=<n>
+//      refactorizations=<n> warm_hits=<n> cache_hits=<n> cache_misses=<n>
+//      cache_disk_reads=<n> cache_disk_writes=<n> journal_seq=<seq>
+//      uptime_us=<n>                      (stats — live counters, no
+//                                         state change, never journaled)
 //   ok <seq> snapshot journal=<path|none>
 //   ok <seq> bye                         (quit; EOF behaves like quit)
 //   err parse: <why> | err apply: <why>  (the session keeps running)
@@ -42,6 +47,7 @@
 #include "omn/serve/event.hpp"
 #include "omn/serve/journal.hpp"
 #include "omn/util/json.hpp"
+#include "omn/util/timer.hpp"
 
 namespace omn::serve {
 
@@ -124,6 +130,8 @@ class ServeSession {
                util::ExecutionContext context, bool fresh_journal);
   /// The journal header describing the CURRENT state (compaction base).
   JournalHeader current_header() const;
+  /// The `ok <seq> stats ...` live-counter response.
+  std::string stats_line() const;
   /// Applies + redesigns one mutation, updating the work counters.
   const core::DesignResult& apply_and_redesign(const Event& event);
   std::string ack_mutation(const Event& event,
@@ -135,6 +143,9 @@ class ServeSession {
   core::DesignState state_;
   std::optional<Journal> journal_;
   ServeStats stats_;
+  /// Session uptime reported by the `stats` event (starts at
+  /// construction, so a resumed session's uptime includes its replay).
+  util::Timer uptime_;
   bool done_ = false;
 };
 

@@ -64,6 +64,7 @@ std::string to_string(EventKind kind) {
     case EventKind::kEdgeRestore: return "edge-restore";
     case EventKind::kCapacitySet: return "capacity-set";
     case EventKind::kQuery: return "query";
+    case EventKind::kStats: return "stats";
     case EventKind::kSnapshot: return "snapshot";
     case EventKind::kQuit: return "quit";
   }
@@ -79,6 +80,7 @@ bool Event::is_mutation() const {
     case EventKind::kCapacitySet:
       return true;
     case EventKind::kQuery:
+    case EventKind::kStats:
     case EventKind::kSnapshot:
     case EventKind::kQuit:
       return false;
@@ -102,6 +104,8 @@ std::string Event::to_line() const {
       return "capacity-set " + a + " " + format_value(fanout);
     case EventKind::kQuery:
       return "query";
+    case EventKind::kStats:
+      return "stats";
     case EventKind::kSnapshot:
       return "snapshot";
     case EventKind::kQuit:
@@ -187,8 +191,10 @@ std::optional<Event> parse_event(const std::string& line,
     }
     return event;
   }
-  if (tokens[0] == "query" || tokens[0] == "snapshot" || tokens[0] == "quit") {
+  if (tokens[0] == "query" || tokens[0] == "stats" ||
+      tokens[0] == "snapshot" || tokens[0] == "quit") {
     event.kind = tokens[0] == "query"      ? EventKind::kQuery
+                 : tokens[0] == "stats"    ? EventKind::kStats
                  : tokens[0] == "snapshot" ? EventKind::kSnapshot
                                            : EventKind::kQuit;
     if (!want(1)) return std::nullopt;

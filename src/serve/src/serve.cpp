@@ -1,6 +1,5 @@
 #include "omn/serve/serve.hpp"
 
-#include <chrono>
 #include <fstream>
 #include <istream>
 #include <ostream>
@@ -8,17 +7,12 @@
 #include "omn/net/serialize.hpp"
 #include "omn/util/stats.hpp"
 #include "omn/util/table.hpp"
+#include "omn/util/timer.hpp"
+#include "omn/util/trace.hpp"
 
 namespace omn::serve {
 
 namespace {
-
-double seconds_since(
-    const std::chrono::steady_clock::time_point& start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       start)
-      .count();
-}
 
 double sum(const std::vector<double>& values) {
   double total = 0.0;
@@ -47,6 +41,7 @@ void apply_event(core::DesignState& state, const Event& event) {
       state.set_fanout(event.a, event.fanout);
       return;
     case EventKind::kQuery:
+    case EventKind::kStats:
     case EventKind::kSnapshot:
     case EventKind::kQuit:
       break;
@@ -64,10 +59,16 @@ ServeSession::ServeSession(net::OverlayInstance base, ServeOptions options,
                            util::ExecutionContext context, bool fresh_journal)
     : options_(std::move(options)),
       state_(std::move(base), options_.config, std::move(context)) {
-  const auto start = std::chrono::steady_clock::now();
-  const core::DesignResult& result = state_.redesign();
+  const util::Timer redesign_timer;
+  const core::DesignResult* result_ptr = nullptr;
+  {
+    OMN_TRACE_SPAN("serve.initial_design");
+    result_ptr = &state_.redesign();
+  }
+  const core::DesignResult& result = *result_ptr;
   ++stats_.redesigns;
-  stats_.redesign_seconds.push_back(seconds_since(start));
+  OMN_COUNTER_ADD("serve.redesigns", 1);
+  stats_.redesign_seconds.push_back(redesign_timer.seconds());
   if (result.lp_cache_hit) {
     ++stats_.lp_cache_hits;
   } else {
@@ -123,10 +124,17 @@ const core::DesignResult& ServeSession::apply_and_redesign(
     const Event& event) {
   apply_event(state_, event);
   ++stats_.events;
-  const auto start = std::chrono::steady_clock::now();
-  const core::DesignResult& result = state_.redesign();
+  OMN_COUNTER_ADD("serve.events", 1);
+  const util::Timer redesign_timer;
+  const core::DesignResult* result_ptr = nullptr;
+  {
+    OMN_TRACE_SPAN([&] { return "serve.redesign " + to_string(event.kind); });
+    result_ptr = &state_.redesign();
+  }
+  const core::DesignResult& result = *result_ptr;
   ++stats_.redesigns;
-  stats_.redesign_seconds.push_back(seconds_since(start));
+  OMN_COUNTER_ADD("serve.redesigns", 1);
+  stats_.redesign_seconds.push_back(redesign_timer.seconds());
   if (result.lp_cache_hit) {
     ++stats_.lp_cache_hits;
   } else {
@@ -153,6 +161,28 @@ std::string ServeSession::ack_mutation(const Event& event,
          std::to_string(static_cast<long long>(1e6 * wall_seconds));
 }
 
+std::string ServeSession::stats_line() const {
+  // Session tallies come from stats_; cache traffic comes from the live
+  // process-wide counter registry (the LpCache bumps those), so a shared
+  // cache's disk activity is visible even when this session caused none.
+  return "ok " + std::to_string(seq()) + " stats events=" +
+         std::to_string(stats_.events) +
+         " redesigns=" + std::to_string(stats_.redesigns) +
+         " replayed=" + std::to_string(stats_.replayed) +
+         " pivots=" + std::to_string(stats_.lp_iterations) +
+         " refactorizations=" + std::to_string(stats_.lp_refactorizations) +
+         " warm_hits=" + std::to_string(stats_.lp_warm_start_hits) +
+         " cache_hits=" + std::to_string(util::counter_value("cache.hits")) +
+         " cache_misses=" +
+         std::to_string(util::counter_value("cache.misses")) +
+         " cache_disk_reads=" +
+         std::to_string(util::counter_value("cache.disk_reads")) +
+         " cache_disk_writes=" +
+         std::to_string(util::counter_value("cache.disk_writes")) +
+         " journal_seq=" + std::to_string(seq()) + " uptime_us=" +
+         std::to_string(static_cast<long long>(uptime_.microseconds()));
+}
+
 std::string ServeSession::ready_line() const {
   const core::DesignResult& result = state_.last();
   return "ok 0 ready status=" + core::to_string(result.status) +
@@ -171,7 +201,7 @@ std::string ServeSession::handle_line(const std::string& line) {
     return "err parse: " + error;
   }
   if (event->is_mutation()) {
-    const auto start = std::chrono::steady_clock::now();
+    const util::Timer event_timer;
     const core::DesignResult* result = nullptr;
     try {
       result = &apply_and_redesign(*event);
@@ -184,7 +214,7 @@ std::string ServeSession::handle_line(const std::string& line) {
     // SIGKILL).  append() flushes; its exceptions propagate — past a
     // journal write failure the ack would lie.
     if (journal_.has_value()) journal_->append(*event);
-    return ack_mutation(*event, *result, seconds_since(start));
+    return ack_mutation(*event, *result, event_timer.seconds());
   }
   switch (event->kind) {
     case EventKind::kQuery: {
@@ -196,6 +226,8 @@ std::string ServeSession::handle_line(const std::string& line) {
              std::to_string(result.evaluation.reflectors_built) +
              " digest=" + state_.design_digest().hex();
     }
+    case EventKind::kStats:
+      return stats_line();
     case EventKind::kSnapshot: {
       ++stats_.snapshots;
       if (journal_.has_value()) {

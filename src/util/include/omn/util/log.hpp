@@ -1,0 +1,38 @@
+#pragma once
+// --log support: a process-level tee that mirrors everything the process
+// writes to stdout and stderr into one timestamped log file (the
+// OpenROAD `-log` idiom: the console session and the log file tell the
+// same story, the log just adds elapsed-time stamps).
+//
+// Mechanism: install_log_tee() swaps fds 1 and 2 for pipes and starts
+// one pump thread per stream.  Each pump forwards every byte verbatim to
+// the original destination (so console output, redirections, and the
+// serve line protocol behave exactly as before) and appends complete
+// lines to the log as `[   12.345] <line>`, the stamp being seconds
+// since the tee was installed (monotonic — never wall-clock, so logs
+// diff cleanly).  stdout and stderr interleave in the log in pump order,
+// each line whole.
+//
+// The tee uninstalls through an atexit hook: flush both C streams,
+// restore the saved fds (which closes the pipe write ends and lets the
+// pumps drain to EOF), join, close the log.  Output printed by LATER
+// atexit hooks therefore still reaches the console but not the log —
+// register the tee before other exit work that must be captured.
+//
+// fd-level, not streambuf-level, on purpose: the tree prints through
+// std::printf and std::ostream both, and only the fd sees every byte.
+
+#include <string>
+
+namespace omn::util {
+
+/// Installs the stdout/stderr tee writing to `path` (truncated).  Call
+/// at most once, before the output that must be captured; throws
+/// std::runtime_error when the log file cannot be opened or the plumbing
+/// fails.  No-op platforms without POSIX fds do not exist for this tree.
+void install_log_tee(const std::string& path);
+
+/// True between install_log_tee() and process exit.
+bool log_tee_installed();
+
+}  // namespace omn::util

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "omn/util/thread_annotations.hpp"
+#include "omn/util/trace.hpp"
 
 namespace omn::util {
 
@@ -88,6 +89,13 @@ void ExecutionContext::parallel_for(
           next.fetch_add(grain, std::memory_order_relaxed);
       if (begin >= count) return;
       const std::size_t end = std::min(count, begin + grain);
+      // One span per claimed grain: in a trace, the claim spans on each
+      // worker lane show exactly how the dynamic partition balanced (or
+      // didn't).  The name is built lazily — untraced runs skip it.
+      OMN_TRACE_SPAN([&] {
+        return "ctx.chunk " + std::to_string(begin) + ".." +
+               std::to_string(end);
+      });
       try {
         for (std::size_t i = begin; i < end; ++i) body(i);
       } catch (...) {

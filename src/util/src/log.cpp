@@ -1,0 +1,140 @@
+#include "omn/util/log.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "omn/util/thread_annotations.hpp"
+#include "omn/util/timer.hpp"
+
+namespace omn::util {
+
+namespace {
+
+/// write(2) until everything is out (pipes and ttys take short writes).
+void write_all(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n <= 0) return;  // the console went away; keep pumping the log
+    data += static_cast<std::size_t>(n);
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
+/// Everything the tee owns.  Leaked: the pumps and the atexit hook
+/// outlive main, so static-destruction order must not touch this.
+struct TeeState {
+  std::FILE* log = nullptr;
+  Timer since_install;
+  int saved_fd[2] = {-1, -1};   // dup of the original fds 1 and 2
+  int pipe_read[2] = {-1, -1};  // read ends the pumps drain
+  std::thread pump[2];
+
+  Mutex log_mutex;
+  // Partial-line carry per stream, flushed when its newline arrives.
+  std::string carry[2] OMN_GUARDED_BY(log_mutex);
+
+  void append(int stream, const char* data, std::size_t size) {
+    LockGuard lock(log_mutex);
+    carry[stream].append(data, size);
+    for (std::size_t nl = carry[stream].find('\n');
+         nl != std::string::npos; nl = carry[stream].find('\n')) {
+      std::fprintf(log, "[%10.3f] %.*s\n", since_install.seconds(),
+                   static_cast<int>(nl), carry[stream].data());
+      carry[stream].erase(0, nl + 1);
+    }
+    std::fflush(log);
+  }
+
+  void flush_carry(int stream) {
+    LockGuard lock(log_mutex);
+    if (!carry[stream].empty()) {
+      std::fprintf(log, "[%10.3f] %s\n", since_install.seconds(),
+                   carry[stream].c_str());
+      carry[stream].clear();
+    }
+    std::fflush(log);
+  }
+};
+
+TeeState* g_tee = nullptr;
+
+void pump_stream(TeeState* tee, int stream) {
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n =
+        ::read(tee->pipe_read[stream], buffer, sizeof(buffer));
+    if (n <= 0) break;  // write ends closed at uninstall -> EOF
+    write_all(tee->saved_fd[stream], buffer,
+              static_cast<std::size_t>(n));
+    tee->append(stream, buffer, static_cast<std::size_t>(n));
+  }
+  tee->flush_carry(stream);
+}
+
+void uninstall_log_tee() {
+  TeeState* tee = g_tee;
+  if (tee == nullptr) return;
+  std::fflush(stdout);
+  std::fflush(stderr);
+  // Restoring the saved fds over 1/2 drops the last references to the
+  // pipe write ends, so each pump reads EOF and drains out.
+  ::dup2(tee->saved_fd[0], STDOUT_FILENO);
+  ::dup2(tee->saved_fd[1], STDERR_FILENO);
+  for (int stream = 0; stream < 2; ++stream) {
+    tee->pump[stream].join();
+    ::close(tee->pipe_read[stream]);
+  }
+  std::fclose(tee->log);
+  g_tee = nullptr;  // saved fds stay open; they ARE fds 1/2 now
+}
+
+}  // namespace
+
+void install_log_tee(const std::string& path) {
+  if (g_tee != nullptr) {
+    throw std::runtime_error("--log: tee already installed");
+  }
+  std::FILE* log = std::fopen(path.c_str(), "w");
+  if (log == nullptr) {
+    throw std::runtime_error("--log: cannot open " + path);
+  }
+  auto* tee = new TeeState;
+  tee->log = log;
+  const int target_fd[2] = {STDOUT_FILENO, STDERR_FILENO};
+  for (int stream = 0; stream < 2; ++stream) {
+    int fds[2];
+    if (::pipe(fds) != 0) {
+      throw std::runtime_error("--log: cannot create pipe");
+    }
+    tee->pipe_read[stream] = fds[0];
+    tee->saved_fd[stream] = ::dup(target_fd[stream]);
+    if (tee->saved_fd[stream] < 0 ||
+        ::dup2(fds[1], target_fd[stream]) < 0) {
+      throw std::runtime_error("--log: cannot redirect fd " +
+                               std::to_string(target_fd[stream]));
+    }
+    ::close(fds[1]);  // fd 1/2 now holds the only write reference
+  }
+  // Line-buffer the C streams so console and log stay interleaved the
+  // way a tty session would be (a pipe would otherwise fully buffer).
+  std::setvbuf(stdout, nullptr, _IOLBF, 0);
+  std::setvbuf(stderr, nullptr, _IONBF, 0);
+  // omn-lint: allow(raw-concurrency): the pump threads block in read(2)
+  // for the process lifetime; parking them in the shared compute pool
+  // would starve it
+  for (int stream = 0; stream < 2; ++stream) {
+    tee->pump[stream] = std::thread(pump_stream, tee, stream);
+  }
+  g_tee = tee;
+  std::atexit(uninstall_log_tee);
+}
+
+bool log_tee_installed() { return g_tee != nullptr; }
+
+}  // namespace omn::util

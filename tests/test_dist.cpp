@@ -2,9 +2,11 @@
 //
 //   - ShardPlan: deterministic, covering, near-equal partitions.
 //   - Frame protocol: round trips plus one test per rejection status, and
-//     the golden file tests/data/dist_frame_v2.bin pinning the current
+//     the golden file tests/data/dist_frame_v3.bin pinning the current
 //     bytes (truncation / checksum-mismatch / version-mismatch rejection);
-//     dist_frame_v1.bin stays as the version-skew rejection fixture.
+//     dist_frame_v1.bin and dist_frame_v2.bin stay as version-skew
+//     rejection fixtures.  `test_dist write-golden <path>` regenerates
+//     the current-version golden on a deliberate format bump.
 //   - Wire codecs: grid and result payloads round-trip bit-exactly.
 //   - Worker loop: protocol errors exit nonzero, a well-formed session
 //     produces a valid result frame (driven in-process through streams).
@@ -41,8 +43,10 @@
 #include "omn/dist/wire.hpp"
 #include "omn/dist/worker.hpp"
 #include "omn/net/serialize.hpp"
+#include "omn/obs/trace_codec.hpp"
 #include "omn/topo/akamai.hpp"
 #include "omn/util/subprocess.hpp"
+#include "omn/util/trace.hpp"
 
 namespace {
 
@@ -299,7 +303,7 @@ std::string golden_frame_payload() {
 }
 
 TEST(GoldenDistFrame, LoadsAndReserializesByteExact) {
-  const std::string golden = slurp(data_path("dist_frame_v2.bin"));
+  const std::string golden = slurp(data_path("dist_frame_v3.bin"));
   ASSERT_FALSE(golden.empty());
   std::istringstream in(golden);
   Frame frame;
@@ -317,7 +321,7 @@ TEST(GoldenDistFrame, LoadsAndReserializesByteExact) {
 }
 
 TEST(GoldenDistFrame, TruncationVersionAndChecksumRejected) {
-  const std::string golden = slurp(data_path("dist_frame_v2.bin"));
+  const std::string golden = slurp(data_path("dist_frame_v3.bin"));
   ASSERT_GT(golden.size(), 28u);
   Frame frame;
   for (const std::size_t keep :
@@ -328,7 +332,7 @@ TEST(GoldenDistFrame, TruncationVersionAndChecksumRejected) {
         << "prefix of " << keep << " bytes was accepted";
   }
   std::string bad_version = golden;
-  bad_version[4] = 3;  // version field (little-endian u32 after the magic)
+  bad_version[4] = 4;  // version field (little-endian u32 after the magic)
   std::istringstream vin(bad_version);
   EXPECT_EQ(omn::dist::read_frame(vin, frame), FrameStatus::kBadVersion);
   std::string bad_payload = golden;
@@ -342,6 +346,16 @@ TEST(GoldenDistFrame, RejectsLegacyV1Frames) {
   // options, warm-start basis, new counters).  A v1 peer must be rejected
   // at the header, before any payload is misread.
   const std::string golden = slurp(data_path("dist_frame_v1.bin"));
+  ASSERT_FALSE(golden.empty());
+  std::istringstream in(golden);
+  Frame frame;
+  EXPECT_EQ(omn::dist::read_frame(in, frame), FrameStatus::kBadVersion);
+}
+
+TEST(GoldenDistFrame, RejectsLegacyV2Frames) {
+  // v3 appended the trailing omn-trace blob to result payloads; a v2 peer
+  // would misread a traced result, so the header rejects it outright.
+  const std::string golden = slurp(data_path("dist_frame_v2.bin"));
   ASSERT_FALSE(golden.empty());
   std::istringstream in(golden);
   Frame frame;
@@ -430,10 +444,28 @@ TEST(DistWire, ResultRoundTripsBitExactly) {
   EXPECT_EQ(bits(decoded.report.cpu_seconds), bits(result.report.cpu_seconds));
   expect_cells_bit_identical(decoded.report.cells, result.report.cells,
                              /*include_timing=*/true);
+  EXPECT_TRUE(decoded.trace.empty());  // tracing off: no blob on the wire
 
   WireResult ignored;
   EXPECT_FALSE(omn::dist::decode_result(payload.substr(0, payload.size() / 2),
                                         ignored));
+}
+
+TEST(DistWire, ResultCarriesOpaqueTraceBlob) {
+  // v3: the trailing trace blob rides along untouched — the wire layer
+  // treats it as bytes; only obs::decode_trace interprets it.
+  const DesignSweep sweep = dist_sweep_grid();
+  WireResult result;
+  result.shard_index = 1;
+  result.report = sweep.run_range(0, 2, dist_sweep_options(),
+                                  omn::util::ExecutionContext::serial());
+  result.trace = std::string("opaque\0span\xff" "bytes", 17);
+  const std::string payload = omn::dist::encode_result(result);
+  WireResult decoded;
+  ASSERT_TRUE(omn::dist::decode_result(payload, decoded));
+  EXPECT_EQ(decoded.trace, result.trace);
+  // Trailing garbage after the blob still never parses.
+  EXPECT_FALSE(omn::dist::decode_result(payload + "x", decoded));
 }
 
 // ---- worker loop (in-process, stream-driven) ------------------------------
@@ -460,7 +492,48 @@ TEST(DistWorker, WellFormedSessionProducesResultFrames) {
   const SweepReport expected = sweep.run_range(
       0, 2, options, omn::util::ExecutionContext::serial());
   expect_cells_bit_identical(result.report.cells, expected.cells);
+  EXPECT_TRUE(result.trace.empty());  // tracing off: no span payload
   EXPECT_EQ(omn::dist::read_frame(out, frame), FrameStatus::kEof);
+}
+
+TEST(DistWorker, TracedSessionShipsDecodableSpanBlob) {
+  // With span recording on (what `worker --trace-spans` arranges), each
+  // result frame carries the worker's span buffers, decodable back into
+  // a timeline that contains the designer stages.
+  const DesignSweep sweep = dist_sweep_grid();
+  const SweepOptions options = dist_sweep_options();
+  std::stringstream in;
+  omn::dist::write_frame(in, FrameType::kGrid,
+                         omn::dist::encode_grid(sweep, options));
+  omn::dist::write_frame(in, FrameType::kShard,
+                         omn::dist::encode_shard(WireShard{0, 0, 2}));
+  omn::dist::write_frame(in, FrameType::kShutdown, {});
+
+  omn::util::Trace::set_enabled(true);
+  omn::util::Trace::drain();  // discard spans recorded by earlier tests
+  std::stringstream out;
+  const int status = omn::dist::run_worker(in, out, nullptr);
+  omn::util::Trace::set_enabled(false);
+  ASSERT_EQ(status, 0);
+
+  Frame frame;
+  ASSERT_EQ(omn::dist::read_frame(out, frame), FrameStatus::kOk);
+  WireResult result;
+  ASSERT_TRUE(omn::dist::decode_result(frame.payload, result));
+  ASSERT_FALSE(result.trace.empty());
+  omn::obs::ProcessTrace trace;
+  ASSERT_TRUE(omn::obs::decode_trace(result.trace, trace));
+  bool saw_designer_span = false;
+  for (const omn::util::ThreadTrace& thread : trace.threads) {
+    for (const omn::util::TraceEvent& event : thread.events) {
+      if (event.name.rfind("designer.", 0) == 0) saw_designer_span = true;
+    }
+  }
+  EXPECT_TRUE(saw_designer_span);
+  // A corrupted blob must decode to false, never a half-parsed timeline.
+  std::string corrupt = result.trace;
+  corrupt[corrupt.size() / 2] ^= 1;
+  EXPECT_FALSE(omn::obs::decode_trace(corrupt, trace));
 }
 
 TEST(DistWorker, ProtocolViolationsExitNonzero) {
@@ -714,6 +787,17 @@ TEST(DistEndToEnd, CorruptCheckpointIsRejectedAndRecomputed) {
 int main(int argc, char** argv) {
   if (argc >= 2 && std::string(argv[1]) == "worker") {
     return omn::dist::worker_main(argc, argv);
+  }
+  if (argc >= 3 && std::string(argv[1]) == "write-golden") {
+    // Regenerates tests/data/dist_frame_v<current>.bin on a deliberate
+    // frame-format bump (the retired version's file stays committed as a
+    // must-reject fixture).
+    const std::string bytes = omn::dist::encode_frame(
+        omn::dist::FrameType::kShard,
+        omn::dist::encode_shard(omn::dist::WireShard{3, 10, 25}));
+    std::ofstream out(argv[2], std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    return out.good() ? 0 : 1;
   }
   ::testing::InitGoogleTest(&argc, argv);
   return RUN_ALL_TESTS();

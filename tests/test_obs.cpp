@@ -1,0 +1,337 @@
+// Tests for omn::obs — the export half of the tracing stack.
+//
+//   - trace codec: ProcessTrace round-trips bit-exactly; truncation,
+//     bad magic, version skew, checksum mismatch, and trailing garbage
+//     are all rejected (a corrupt worker frame must never become a
+//     half-parsed timeline).
+//   - chrome_trace_json: structural golden
+//     tests/data/chrome_trace_golden.json pins the normalized
+//     serialization byte for byte (`test_obs write-golden <path>`
+//     regenerates it on a deliberate format change); offset placement
+//     and metadata lanes are checked on the real-timestamp path.
+//   - collector: deposits merge per pid (earliest offset wins), drain
+//     empties the mailbox.
+//   - merge_process_trace: per-tid concatenation, counter maxima.
+#include "omn/obs/chrome_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "omn/obs/collector.hpp"
+#include "omn/obs/timeline.hpp"
+#include "omn/obs/trace_codec.hpp"
+#include "omn/util/trace.hpp"
+
+namespace {
+
+using omn::obs::ProcessTrace;
+using omn::obs::TimelineProcess;
+using omn::util::ThreadTrace;
+using omn::util::TraceEvent;
+
+std::string data_path(const std::string& file) {
+  const char* dir = std::getenv("OMN_TEST_DATA_DIR");
+  return (dir != nullptr ? std::string(dir) : std::string("tests/data")) +
+         "/" + file;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TraceEvent make_event(TraceEvent::Kind kind, std::string name,
+                      std::uint64_t tick, std::uint64_t micros,
+                      double value = 0.0) {
+  TraceEvent event;
+  event.kind = kind;
+  event.name = std::move(name);
+  event.tick = tick;
+  event.micros = micros;
+  event.value = value;
+  return event;
+}
+
+/// The fixed two-process timeline every serialization test (and the
+/// committed golden) is built from: a main process with two threads
+/// covering all four event kinds plus counters, and one worker lane.
+ProcessTrace fixture_main_trace() {
+  ProcessTrace trace;
+  trace.name = "main";
+  ThreadTrace t0;
+  t0.tid = 0;
+  t0.events.push_back(
+      make_event(TraceEvent::Kind::kBegin, "designer.design", 0, 10));
+  t0.events.push_back(make_event(TraceEvent::Kind::kBegin, "lp.solve", 1, 20));
+  t0.events.push_back(
+      make_event(TraceEvent::Kind::kInstant, "lp.refactorize", 2, 30));
+  t0.events.push_back(
+      make_event(TraceEvent::Kind::kCounter, "lp.pivots", 3, 40, 7.0));
+  t0.events.push_back(make_event(TraceEvent::Kind::kEnd, "lp.solve", 4, 50));
+  t0.events.push_back(
+      make_event(TraceEvent::Kind::kEnd, "designer.design", 5, 60));
+  trace.threads.push_back(std::move(t0));
+  ThreadTrace t1;
+  t1.tid = 1;
+  t1.events.push_back(make_event(TraceEvent::Kind::kBegin, "sweep.cell", 0, 15));
+  t1.events.push_back(make_event(TraceEvent::Kind::kEnd, "sweep.cell", 1, 25));
+  trace.threads.push_back(std::move(t1));
+  trace.counters.emplace_back("cache.hits", 3);
+  trace.counters.emplace_back("lp.solves", 2);
+  return trace;
+}
+
+ProcessTrace fixture_worker_trace() {
+  ProcessTrace trace;
+  trace.name = "worker 1";
+  ThreadTrace t0;
+  t0.tid = 0;
+  t0.events.push_back(
+      make_event(TraceEvent::Kind::kBegin, "designer.attempt", 0, 5));
+  t0.events.push_back(
+      make_event(TraceEvent::Kind::kEnd, "designer.attempt", 1, 9));
+  trace.threads.push_back(std::move(t0));
+  trace.counters.emplace_back("lp.solves", 1);
+  return trace;
+}
+
+std::vector<TimelineProcess> fixture_timeline() {
+  std::vector<TimelineProcess> processes;
+  processes.push_back(TimelineProcess{0, 0, fixture_main_trace()});
+  processes.push_back(TimelineProcess{1, 1000, fixture_worker_trace()});
+  return processes;
+}
+
+// ---- trace codec ----------------------------------------------------------
+
+TEST(TraceCodec, RoundTripsEveryField) {
+  const ProcessTrace original = fixture_main_trace();
+  const std::string bytes = omn::obs::encode_trace(original);
+  ProcessTrace decoded;
+  ASSERT_TRUE(omn::obs::decode_trace(bytes, decoded));
+  EXPECT_EQ(decoded.name, original.name);
+  ASSERT_EQ(decoded.threads.size(), original.threads.size());
+  for (std::size_t t = 0; t < original.threads.size(); ++t) {
+    SCOPED_TRACE("thread " + std::to_string(t));
+    EXPECT_EQ(decoded.threads[t].tid, original.threads[t].tid);
+    ASSERT_EQ(decoded.threads[t].events.size(),
+              original.threads[t].events.size());
+    for (std::size_t n = 0; n < original.threads[t].events.size(); ++n) {
+      const TraceEvent& a = original.threads[t].events[n];
+      const TraceEvent& b = decoded.threads[t].events[n];
+      EXPECT_EQ(b.kind, a.kind);
+      EXPECT_EQ(b.name, a.name);
+      EXPECT_EQ(b.tick, a.tick);
+      EXPECT_EQ(b.micros, a.micros);
+      EXPECT_EQ(b.value, a.value);
+    }
+  }
+  EXPECT_EQ(decoded.counters, original.counters);
+}
+
+TEST(TraceCodec, EmptyTraceRoundTrips) {
+  ProcessTrace empty;
+  empty.name = "idle";
+  const std::string bytes = omn::obs::encode_trace(empty);
+  ProcessTrace decoded;
+  ASSERT_TRUE(omn::obs::decode_trace(bytes, decoded));
+  EXPECT_EQ(decoded.name, "idle");
+  EXPECT_TRUE(decoded.threads.empty());
+  EXPECT_TRUE(decoded.counters.empty());
+}
+
+TEST(TraceCodec, RejectsEveryMalformation) {
+  const std::string good = omn::obs::encode_trace(fixture_main_trace());
+  ProcessTrace ignored;
+  ASSERT_TRUE(omn::obs::decode_trace(good, ignored));
+
+  // Truncation at every prefix length.
+  for (std::size_t keep = 0; keep < good.size(); ++keep) {
+    EXPECT_FALSE(omn::obs::decode_trace(good.substr(0, keep), ignored))
+        << "prefix of " << keep << " bytes was accepted";
+  }
+  // Trailing garbage.
+  EXPECT_FALSE(omn::obs::decode_trace(good + "x", ignored));
+  // Bad magic.
+  std::string bad_magic = good;
+  bad_magic[0] ^= 1;
+  EXPECT_FALSE(omn::obs::decode_trace(bad_magic, ignored));
+  // Version skew (u8 after the u32 magic).
+  std::string bad_version = good;
+  bad_version[4] = 2;
+  EXPECT_FALSE(omn::obs::decode_trace(bad_version, ignored));
+  // Any payload flip trips the trailing checksum.
+  std::string bad_payload = good;
+  bad_payload[good.size() / 2] ^= 1;
+  EXPECT_FALSE(omn::obs::decode_trace(bad_payload, ignored));
+}
+
+// ---- chrome trace export --------------------------------------------------
+
+TEST(ChromeTrace, GoldenNormalizedSerializationIsByteStable) {
+  // Committed golden pins the normalized (tick-timestamp) serialization:
+  // key order, metadata lanes, instant scope, counter tracks.  Any
+  // format change must regenerate it with `test_obs write-golden` — an
+  // explicit, reviewed decision, like the dist frame golden.
+  const std::string golden = slurp(data_path("chrome_trace_golden.json"));
+  ASSERT_FALSE(golden.empty());
+  EXPECT_EQ(omn::obs::chrome_trace_json(fixture_timeline(),
+                                        /*normalize_timestamps=*/true) +
+                "\n",
+            golden);
+}
+
+TEST(ChromeTrace, RealTimestampsApplyTheProcessOffset) {
+  const std::string json =
+      omn::obs::chrome_trace_json(fixture_timeline(),
+                                  /*normalize_timestamps=*/false);
+  // Worker events land at offset + micros on the shared timeline...
+  EXPECT_NE(json.find("1005"), std::string::npos);
+  EXPECT_NE(json.find("1009"), std::string::npos);
+  // ...while normalized output uses per-thread ticks and never sees the
+  // offset.
+  const std::string normalized =
+      omn::obs::chrome_trace_json(fixture_timeline(),
+                                  /*normalize_timestamps=*/true);
+  EXPECT_EQ(normalized.find("1005"), std::string::npos);
+}
+
+TEST(ChromeTrace, EveryProcessGetsANameLane) {
+  const std::string json = omn::obs::chrome_trace_json(fixture_timeline());
+  EXPECT_NE(json.find("process_name"), std::string::npos);
+  EXPECT_NE(json.find("main"), std::string::npos);
+  EXPECT_NE(json.find("worker 1"), std::string::npos);
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+}
+
+// ---- collector ------------------------------------------------------------
+
+TEST(Collector, DepositsMergePerPidAndDrainEmptiesTheMailbox) {
+  omn::obs::take_child_traces();  // discard other tests' leftovers
+
+  omn::obs::add_child_trace(TimelineProcess{2, 500, fixture_worker_trace()});
+  omn::obs::add_child_trace(TimelineProcess{1, 300, fixture_worker_trace()});
+  // Second deposit for pid 1, earlier offset: merged, earliest wins.
+  ProcessTrace later = fixture_worker_trace();
+  later.counters = {{"lp.solves", 5}};
+  omn::obs::add_child_trace(TimelineProcess{1, 100, std::move(later)});
+
+  std::vector<TimelineProcess> taken = omn::obs::take_child_traces();
+  ASSERT_EQ(taken.size(), 2u);
+  EXPECT_EQ(taken[0].pid, 1u);
+  EXPECT_EQ(taken[0].offset_micros, 100);
+  EXPECT_EQ(taken[1].pid, 2u);
+  EXPECT_EQ(taken[1].offset_micros, 500);
+  // pid 1 holds both deposits: its tid-0 stream has both span pairs and
+  // the counter kept the maximum.
+  ASSERT_EQ(taken[0].trace.threads.size(), 1u);
+  EXPECT_EQ(taken[0].trace.threads[0].events.size(), 4u);
+  EXPECT_EQ(taken[0].trace.counters,
+            (std::vector<std::pair<std::string, std::uint64_t>>{
+                {"lp.solves", 5}}));
+
+  EXPECT_TRUE(omn::obs::take_child_traces().empty());
+}
+
+// ---- merge_process_trace --------------------------------------------------
+
+TEST(MergeProcessTrace, ConcatenatesPerTidAndKeepsCounterMaxima) {
+  ProcessTrace into = fixture_main_trace();
+  ProcessTrace from;
+  from.name = "main";
+  ThreadTrace t0;
+  t0.tid = 0;
+  t0.events.push_back(
+      make_event(TraceEvent::Kind::kBegin, "designer.design", 6, 70));
+  t0.events.push_back(
+      make_event(TraceEvent::Kind::kEnd, "designer.design", 7, 80));
+  from.threads.push_back(std::move(t0));
+  ThreadTrace t2;
+  t2.tid = 2;
+  t2.events.push_back(make_event(TraceEvent::Kind::kInstant, "new.thread", 0, 75));
+  from.threads.push_back(std::move(t2));
+  from.counters.emplace_back("cache.hits", 9);
+  from.counters.emplace_back("cache.misses", 1);
+
+  omn::obs::merge_process_trace(into, from);
+  ASSERT_EQ(into.threads.size(), 3u);
+  // tid 0: the original six events plus the two appended ones, in order.
+  EXPECT_EQ(into.threads[0].events.size(), 8u);
+  EXPECT_EQ(into.threads[0].events.back().tick, 7u);
+  // tid 2 arrived whole.
+  bool found_new_thread = false;
+  for (const ThreadTrace& thread : into.threads) {
+    if (thread.tid == 2) {
+      found_new_thread = true;
+      ASSERT_EQ(thread.events.size(), 1u);
+      EXPECT_EQ(thread.events[0].name, "new.thread");
+    }
+  }
+  EXPECT_TRUE(found_new_thread);
+  // Counters: max per name, union of names.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t lp_solves = 0;
+  for (const auto& [name, value] : into.counters) {
+    if (name == "cache.hits") cache_hits = value;
+    if (name == "cache.misses") cache_misses = value;
+    if (name == "lp.solves") lp_solves = value;
+  }
+  EXPECT_EQ(cache_hits, 9u);
+  EXPECT_EQ(cache_misses, 1u);
+  EXPECT_EQ(lp_solves, 2u);
+}
+
+// ---- drain_process_trace --------------------------------------------------
+
+TEST(DrainProcessTrace, CapturesSpansAndCounterSnapshot) {
+  omn::util::Trace::drain();  // discard earlier tests' events
+  omn::util::Trace::set_enabled(true);
+  { OMN_TRACE_SPAN("obs.test_span"); }
+  OMN_COUNTER_ADD("obs.test_counter", 11);
+  ProcessTrace trace = omn::obs::drain_process_trace("test process");
+  omn::util::Trace::set_enabled(false);
+
+  EXPECT_EQ(trace.name, "test process");
+  bool found_span = false;
+  for (const ThreadTrace& thread : trace.threads) {
+    for (const TraceEvent& event : thread.events) {
+      found_span = found_span || event.name == "obs.test_span";
+    }
+  }
+  EXPECT_TRUE(found_span);
+  bool found_counter = false;
+  for (const auto& [name, value] : trace.counters) {
+    if (name == "obs.test_counter") {
+      found_counter = true;
+      EXPECT_GE(value, 11u);
+    }
+  }
+  EXPECT_TRUE(found_counter);
+}
+
+}  // namespace
+
+// `test_obs write-golden <path>` regenerates the committed normalized
+// chrome-trace golden from the fixture timeline (deliberate format
+// changes only).
+int main(int argc, char** argv) {
+  if (argc >= 3 && std::string(argv[1]) == "write-golden") {
+    std::ofstream out(argv[2], std::ios::binary | std::ios::trunc);
+    out << omn::obs::chrome_trace_json(fixture_timeline(),
+                                       /*normalize_timestamps=*/true)
+        << "\n";
+    return out.good() ? 0 : 1;
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -157,8 +157,11 @@ TEST(ServeEvent, ParsesEveryKind) {
   EXPECT_DOUBLE_EQ(e.fanout, 7.5);
 
   EXPECT_EQ(parse_ok("query").kind, EventKind::kQuery);
+  EXPECT_EQ(parse_ok("stats").kind, EventKind::kStats);
   EXPECT_EQ(parse_ok("snapshot").kind, EventKind::kSnapshot);
   EXPECT_EQ(parse_ok("quit").kind, EventKind::kQuit);
+  // stats is a pure read: it must never reach the journal.
+  EXPECT_FALSE(parse_ok("stats").is_mutation());
 }
 
 TEST(ServeEvent, BlankAndCommentAreNotEvents) {
@@ -183,6 +186,7 @@ TEST(ServeEvent, RejectsMalformedLines) {
   expect_rejected("capacity-set r1 4O");               // strict numbers
   expect_rejected("capacity-set r1 -2");
   expect_rejected("query extra");
+  expect_rejected("stats now");
   expect_rejected("quit 0");
 }
 
@@ -196,6 +200,7 @@ TEST(ServeEvent, CanonicalLineRoundTrips) {
       "edge-restore sr s0 r1",
       "capacity-set r1 7.5",
       "query",
+      "stats",
       "snapshot",
       "quit",
   };
@@ -555,6 +560,28 @@ TEST(ServeSession, SpeaksTheLineProtocol) {
 
   const std::string query = session.handle_line("query");
   EXPECT_NE(query.find(" digest="), std::string::npos) << query;
+
+  // stats reports live counters without bumping the sequence number: the
+  // capacity-set above is the one applied event and the one redesign
+  // beyond the initial design, and the LP pivot counter is live.
+  const std::string stats = session.handle_line("stats");
+  EXPECT_EQ(stats.rfind("ok 1 stats ", 0), 0u) << stats;
+  EXPECT_NE(stats.find(" events=1 "), std::string::npos) << stats;
+  EXPECT_NE(stats.find(" redesigns=2 "), std::string::npos) << stats;
+  EXPECT_NE(stats.find(" replayed=0 "), std::string::npos) << stats;
+  EXPECT_NE(stats.find(" journal_seq=1 "), std::string::npos) << stats;
+  EXPECT_NE(stats.find(" uptime_us="), std::string::npos) << stats;
+  const auto count_of = [&stats](const std::string& key) {
+    const std::size_t at = stats.find(" " + key + "=");
+    EXPECT_NE(at, std::string::npos) << key << " missing: " << stats;
+    return at == std::string::npos
+               ? 0ll
+               : std::stoll(stats.substr(at + key.size() + 2));
+  };
+  EXPECT_GT(count_of("pivots"), 0);
+  EXPECT_GE(count_of("refactorizations"), 0);
+  // A second stats call still does not advance the sequence.
+  EXPECT_EQ(session.handle_line("stats").rfind("ok 1 stats ", 0), 0u);
 
   EXPECT_FALSE(session.done());
   EXPECT_EQ(session.handle_line("quit"), "ok 1 bye");

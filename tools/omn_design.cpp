@@ -21,6 +21,18 @@
 //   failover  --instance inst.txt --design design.txt
 //   worker    [--lp-cache DIR]   (internal: distributed sweep worker)
 //
+// Global flags (any subcommand, any position; stripped before the
+// subcommand parser runs):
+//   --log FILE    tee everything printed to stdout/stderr into FILE,
+//                 each line stamped with seconds since startup (the
+//                 console output is unchanged; see omn/util/log.hpp)
+//   --trace FILE  record hierarchical spans (designer stages, LP
+//                 phases, cache traffic, per-worker shard lanes) and
+//                 write a merged Chrome trace-event JSON timeline at
+//                 exit — load FILE in chrome://tracing or Perfetto.
+//                 `sweep --workers N --trace F` merges the workers'
+//                 spans into the same file as per-pid lanes.
+//
 // Typical session:
 //   omn_design generate --sinks 48 --isps 4 --seed 7 --out event.txt
 //   omn_design design   --instance event.txt --colors --out plan.txt
@@ -97,15 +109,18 @@
 #include "omn/dist/worker.hpp"
 #include "omn/lp/simplex.hpp"
 #include "omn/net/serialize.hpp"
+#include "omn/obs/chrome_trace.hpp"
 #include "omn/serve/serve.hpp"
 #include "omn/sim/failures.hpp"
 #include "omn/sim/packet_sim.hpp"
 #include "omn/topo/akamai.hpp"
 #include "omn/util/execution_context.hpp"
 #include "omn/util/json.hpp"
+#include "omn/util/log.hpp"
 #include "omn/util/parse.hpp"
 #include "omn/util/script.hpp"
 #include "omn/util/table.hpp"
+#include "omn/util/trace.hpp"
 
 namespace {
 
@@ -176,12 +191,6 @@ Args parse(const std::vector<std::string>& tokens) {
     }
   }
   return args;
-}
-
-Args parse(int argc, char** argv) {
-  std::vector<std::string> tokens;
-  for (int i = 1; i < argc; ++i) tokens.emplace_back(argv[i]);
-  return parse(tokens);
 }
 
 /// The validated --metrics path ("" when the flag is absent).
@@ -260,9 +269,36 @@ void apply_lp_flags(const Args& args, omn::core::DesignerConfig& cfg,
   }
 }
 
+/// Strips the global `--log FILE` / `--trace FILE` flags (valid for
+/// every subcommand, at any position) out of the token list and applies
+/// them: --log installs the stdout/stderr tee, --trace turns span
+/// recording on and registers the Chrome-trace export at exit.  Strict:
+/// a missing or flag-like value is a UsageError.
+void apply_global_flags(std::vector<std::string>& tokens) {
+  for (auto it = tokens.begin(); it != tokens.end();) {
+    if (*it != "--log" && *it != "--trace") {
+      ++it;
+      continue;
+    }
+    const std::string flag = *it;
+    it = tokens.erase(it);
+    if (it == tokens.end() || it->rfind("--", 0) == 0) {
+      throw UsageError(flag + " needs a file path argument");
+    }
+    const std::string path = *it;
+    it = tokens.erase(it);
+    if (flag == "--log") {
+      omn::util::install_log_tee(path);
+    } else {
+      omn::util::Trace::set_enabled(true);
+      omn::obs::export_merged_trace_at_exit(path, "omn_design");
+    }
+  }
+}
+
 int usage() {
   std::cerr <<
-      "usage: omn_design <command> [options]\n"
+      "usage: omn_design [--log FILE] [--trace FILE] <command> [options]\n"
       "  generate  --sinks N [--isps K] [--seed S] [--eu-heavy] --out F\n"
       "  design    --instance F [--seed S] [--c C] [--colors] [--bandwidth]\n"
       "            [--attempts A] [--threads T] [--lp-cache DIR] [--out F]\n"
@@ -700,14 +736,15 @@ int main(int argc, char** argv) {
     return omn::dist::worker_main(argc, argv);
   }
   try {
-    if (argc >= 2 && std::strcmp(argv[1], "run") == 0) {
+    std::vector<std::string> tokens;
+    for (int i = 1; i < argc; ++i) tokens.emplace_back(argv[i]);
+    apply_global_flags(tokens);
+    if (!tokens.empty() && tokens[0] == "run") {
       // The script path is a positional argument, which parse() rejects
       // by design everywhere else — route before the option parser.
-      std::vector<std::string> tokens;
-      for (int i = 2; i < argc; ++i) tokens.emplace_back(argv[i]);
-      return cmd_run(tokens);
+      return cmd_run({tokens.begin() + 1, tokens.end()});
     }
-    const Args args = parse(argc, argv);
+    const Args args = parse(tokens);
     const int status = dispatch(args);
     return status == -1 ? usage() : status;
   } catch (const UsageError& ex) {

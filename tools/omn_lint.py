@@ -31,6 +31,14 @@ docs/ANALYSIS.md for the full rationale):
       must run on the shared ThreadPool (no oversubscription).
       std::thread::hardware_concurrency and std::this_thread are allowed.
 
+  raw-chrono
+      No raw std::chrono timing outside src/util/, in src/, tools/,
+      bench/, examples/.  Wall clocks go through util::Timer and stage
+      timing through OMN_TRACE_SPAN (omn/util/trace.hpp), so every
+      measurement shares one monotonic clock discipline and shows up in
+      --trace timelines; hand-rolled now()/duration arithmetic is
+      invisible to both.  tests/ is exempt (timeout scaffolding).
+
   no-rand
       No rand()/srand()/random_shuffle, anywhere including tests/.  All
       randomness goes through util::Rng with an explicit seed, or
@@ -168,6 +176,7 @@ RAW_CONCURRENCY_RE = re.compile(
     r"|scoped_lock\b|lock_guard\b|unique_lock\b)"
 )
 RAND_RE = re.compile(r"\b(?:std::)?(?:rand|srand|random_shuffle)\s*\(")
+RAW_CHRONO_RE = re.compile(r"\bstd::chrono\b")
 
 
 def check_loose_number_parse(rel: str, stripped: str) -> list[tuple[int, str]]:
@@ -215,6 +224,20 @@ def check_raw_concurrency(rel: str, stripped: str) -> list[tuple[int, str]]:
     return findings
 
 
+def check_raw_chrono(rel: str, stripped: str) -> list[tuple[int, str]]:
+    if not _in_dirs(rel, ("src", "tools", "bench", "examples")):
+        return []
+    if _in_dirs(rel, ("src/util",)):
+        return []  # util::Timer / Trace wrap the clock here
+    return [
+        (lineno, "raw std::chrono outside util: time wall clocks with "
+                 "util::Timer and stages with OMN_TRACE_SPAN so every "
+                 "measurement shares one clock discipline and appears "
+                 "in --trace timelines")
+        for lineno, _ in _matches(stripped, RAW_CHRONO_RE)
+    ]
+
+
 def check_no_rand(rel: str, stripped: str) -> list[tuple[int, str]]:
     if not _in_dirs(rel, ("src", "tools", "bench", "examples", "tests")):
         return []
@@ -234,6 +257,7 @@ RULES = {
     "loose-number-parse": check_loose_number_parse,
     "unordered-iteration": check_unordered_iteration,
     "raw-concurrency": check_raw_concurrency,
+    "raw-chrono": check_raw_chrono,
     "no-rand": check_no_rand,
 }
 
@@ -343,6 +367,21 @@ SELF_TEST_FIXTURES = [
     ("tests/test_bad_rand.cpp",
      "int f() { return rand(); }\n",
      ["no-rand"]),
+    ("src/serve/src/bad_chrono.cpp",
+     "double f() { auto t = std::chrono::steady_clock::now(); (void)t; "
+     "return 0; }\n",
+     ["raw-chrono"]),
+    ("src/util/src/ok_timer_clock.cpp",
+     "auto now() { return std::chrono::steady_clock::now(); }\n",
+     []),  # util::Timer's implementation layer owns the raw clock
+    ("tests/test_ok_chrono.cpp",
+     "auto deadline = std::chrono::seconds(30);\n",
+     []),  # tests are exempt (timeout scaffolding)
+    ("bench/waived_chrono.cpp",
+     "// omn-lint: allow(raw-chrono): calibrating the Timer itself "
+     "against the raw clock\n"
+     "auto t = std::chrono::steady_clock::now();\n",
+     []),
     ("src/core/src/ok_comment.cpp",
      "// std::stoi would truncate here, which is why we use parse_count\n"
      'const char* s = "std::stoi(";\n',

@@ -20,10 +20,21 @@ committing the new baseline alongside the code that moved it.  Wall
 clock is machine-dependent, so it only gets a generous ratio guard
 (default 25x) to catch runaway slowdowns, never noise.
 
+``check`` reports EVERY mismatched envelope key and sweep record before
+failing, and ``check-all`` extends that to the whole fleet::
+
+    python3 tools/perf_gate.py check-all /tmp/omn-metrics BENCH_*.json
+
+pairs each committed trajectory ``BENCH_<name>.json`` with
+``/tmp/omn-metrics/<name>.json`` and checks them ALL, so one CI run
+shows every regressed bench and every regressed counter at once instead
+of stopping at the first red bench.
+
 Exit codes: 0 pass, 1 regression/malformed input, 2 usage error.
 """
 
 import json
+import os
 import sys
 
 METRICS_SCHEMA = "omn-metrics-v1"
@@ -177,6 +188,38 @@ def check(trajectory_path, metrics_path, max_wall_ratio):
     return 0
 
 
+def check_all(metrics_dir, trajectory_paths, max_wall_ratio):
+    """Checks every (trajectory, metrics) pair; never stops at the first
+    failure, so the output lists every regressed bench and counter."""
+    if not trajectory_paths:
+        return fail("check-all: no trajectory files given")
+    failed = []
+    for trajectory_path in trajectory_paths:
+        base = os.path.basename(trajectory_path)
+        if not (base.startswith("BENCH_") and base.endswith(".json")):
+            failed.append(trajectory_path)
+            print(
+                "perf_gate: %s: expected a BENCH_<name>.json trajectory"
+                % trajectory_path
+            )
+            continue
+        metrics_path = os.path.join(metrics_dir, base[len("BENCH_"):])
+        print("perf_gate: == %s vs %s" % (metrics_path, trajectory_path))
+        try:
+            status = check(trajectory_path, metrics_path, max_wall_ratio)
+        except (OSError, ValueError) as error:
+            status = fail(str(error))
+        if status != 0:
+            failed.append(trajectory_path)
+    if failed:
+        return fail(
+            "%d of %d trajectories regressed: %s"
+            % (len(failed), len(trajectory_paths), ", ".join(failed))
+        )
+    print("perf_gate: PASS all %d trajectories" % len(trajectory_paths))
+    return 0
+
+
 def append(trajectory_path, metrics_path):
     current = load_metrics(metrics_path)
     try:
@@ -205,13 +248,22 @@ def main(argv):
             print("perf_gate: --max-wall-ratio needs a number")
             return 2
         del args[at : at + 2]
+    usage = (
+        "usage: perf_gate.py check <trajectory.json> <metrics.json> "
+        "[--max-wall-ratio R]\n"
+        "       perf_gate.py check-all <metrics-dir> <BENCH_*.json...> "
+        "[--max-wall-ratio R]\n"
+        "       perf_gate.py append <trajectory.json> <metrics.json>"
+    )
+    if args and args[0] == "check-all":
+        if len(args) < 3:
+            print(__doc__.strip().splitlines()[0])
+            print(usage)
+            return 2
+        return check_all(args[1], args[2:], max_wall_ratio)
     if len(args) != 3 or args[0] not in ("check", "append"):
         print(__doc__.strip().splitlines()[0])
-        print(
-            "usage: perf_gate.py check <trajectory.json> <metrics.json> "
-            "[--max-wall-ratio R]\n"
-            "       perf_gate.py append <trajectory.json> <metrics.json>"
-        )
+        print(usage)
         return 2
     mode, trajectory_path, metrics_path = args
     try:
